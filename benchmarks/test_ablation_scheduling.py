@@ -1,0 +1,139 @@
+"""Ablations on design choices DESIGN.md calls out (extensions).
+
+1. **Unboost placement**: when a protocol boost is removed, does the
+   thread go to the head of its priority queue (the paper's
+   recommendation -- "neither should any other thread at the same
+   priority level be scheduled instead of the current thread ... nor
+   should the effected thread be penalized") or the tail?  Head
+   placement avoids gratuitous context switches.
+2. **Scalability of the monolithic monitor**: context switches and
+   elapsed time versus thread count for the contention workload -- the
+   uniprocessor design the paper chose (coarse locking is fine without
+   parallelism).
+"""
+
+from repro.bench.workloads import (
+    fan_out_fan_in,
+    lock_storm,
+    pipeline,
+    run_workload,
+)
+from repro.core import config as cfg
+from repro.core.attr import MutexAttr, ThreadAttr
+from tests.conftest import run_program
+
+
+def _unboost_run(placement):
+    """A boosted thread competes with a same-priority peer at unboost
+    time; counts context switches."""
+    order = []
+
+    def holder(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.work(20_000)
+        yield pt.mutex_unlock(m)  # unboost happens here
+        yield pt.work(5_000)
+        order.append("holder-done")
+
+    def peer(pt):
+        yield pt.work(5_000)
+        order.append("peer-done")
+
+    def contender(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init(MutexAttr(protocol=cfg.PRIO_INHERIT))
+        h = yield pt.create(holder, m, attr=ThreadAttr(priority=30),
+                            name="holder")
+        p = yield pt.create(peer, attr=ThreadAttr(priority=30),
+                            name="peer")
+        yield pt.delay_us(100)
+        c = yield pt.create(contender, m, attr=ThreadAttr(priority=90),
+                            name="contender")
+        for t in (h, p, c):
+            yield pt.join(t)
+
+    rt = run_program(main, priority=100, unboost_placement=placement)
+    return order, rt.dispatcher.context_switches
+
+
+def test_head_placement_keeps_the_unboosted_thread_running(sim_bench):
+    def _both():
+        head_order, head_switches = _unboost_run("head")
+        tail_order, tail_switches = _unboost_run("tail")
+        return {
+            "head_first": head_order[0],
+            "tail_first": tail_order[0],
+            "head_switches": head_switches,
+            "tail_switches": tail_switches,
+        }
+
+    r = sim_bench(_both)
+    # Head placement: the formerly-boosted holder continues (it did
+    # not choose to be boosted); the paper's recommendation.
+    assert r["head_first"] == "holder-done"
+    # Head placement never needs more switches than tail placement.
+    assert r["head_switches"] <= r["tail_switches"]
+
+
+def test_monitor_scalability_with_thread_count(sim_bench):
+    """Per-iteration cost stays flat as threads grow: the monolithic
+    monitor serialises, it does not degrade (uniprocessor claim)."""
+
+    def _sweep():
+        out = {}
+        for n in (2, 4, 8, 16):
+            result = run_workload(
+                lock_storm(threads=n, iterations=5), priority=110
+            )
+            out["n%d_us_per_cs" % n] = (
+                result["elapsed_us"] / result["context_switches"]
+            )
+        return out
+
+    r = sim_bench(_sweep)
+    per_switch = [r["n%d_us_per_cs" % n] for n in (2, 4, 8, 16)]
+    # The cost of a dispatch does not blow up with population.
+    assert max(per_switch) < 3 * min(per_switch)
+
+
+def test_pipeline_workload_smoke(sim_bench):
+    def _run():
+        return run_workload(
+            pipeline(stages=4, items=12), priority=90
+        )["context_switches"]
+
+    switches = sim_bench(_run)
+    assert switches > 4  # every stage got the CPU at least once
+
+
+def test_fan_out_fan_in_workload_smoke(sim_bench):
+    def _run():
+        return run_workload(
+            fan_out_fan_in(workers=6, chunks=4), priority=40
+        )["elapsed_us"]
+
+    elapsed = sim_bench(_run)
+    assert elapsed > 0
+
+
+def test_protocol_overhead_on_contention_heavy_workload(sim_bench):
+    """The paper: protocol support costs something even when unused
+    ("it now requires an additional check of the attributes"), and
+    protocol mutexes cost more under contention."""
+
+    def _sweep():
+        out = {}
+        for protocol in (cfg.PRIO_NONE, cfg.PRIO_INHERIT,
+                         cfg.PRIO_PROTECT):
+            result = run_workload(
+                lock_storm(threads=6, iterations=6, protocol=protocol),
+                priority=110,
+            )
+            out[protocol] = result["elapsed_us"]
+        return out
+
+    r = sim_bench(_sweep)
+    assert r[cfg.PRIO_NONE] <= r[cfg.PRIO_INHERIT] * 1.05

@@ -1,0 +1,131 @@
+"""The Ada layering claim, measured.
+
+The paper's motivation: the library "has been used successfully in an
+effort to implement an Ada runtime system on top of Pthreads ... and to
+show that the overhead of layering a runtime system on top of Pthreads
+is not prohibitive."  This bench quantifies the layering: an Ada
+rendezvous round trip versus the equivalent raw Pthreads
+synchronisation (a semaphore ping-pong, Table 2's own metric).
+"""
+
+from repro.ada import AdaRuntime
+from tests.conftest import make_runtime
+
+ROUNDS = 20
+
+
+def _rendezvous_roundtrip_us() -> float:
+    """Mean cost of one entry call + accept round trip."""
+    art = AdaRuntime()
+    out = {}
+
+    def server(ada):
+        for _ in range(ROUNDS):
+            yield ada.accept("ping")
+
+    def env(ada):
+        srv = yield ada.spawn(server, name="server")
+        yield ada.delay(0.0005)
+        world = ada.pt.runtime.world
+        start = world.now
+        for _ in range(ROUNDS):
+            yield ada.entry_call(srv, "ping")
+        out["us"] = world.us(world.now - start) / ROUNDS
+        yield ada.await_dependents()
+
+    art.main_task(env)
+    art.run()
+    return out["us"]
+
+
+def _semaphore_roundtrip_us() -> float:
+    """The raw-Pthreads equivalent: a two-semaphore ping-pong."""
+    rt = make_runtime()
+    out = {}
+
+    def partner(pt, s1, s2):
+        for _ in range(ROUNDS):
+            yield pt.sem_wait(s1)
+            yield pt.sem_post(s2)
+
+    def main(pt):
+        s1 = yield pt.sem_init(0)
+        s2 = yield pt.sem_init(0)
+        other = yield pt.create(partner, s1, s2)
+        world = pt.runtime.world
+        start = world.now
+        for _ in range(ROUNDS):
+            yield pt.sem_post(s1)
+            yield pt.sem_wait(s2)
+        out["us"] = world.us(world.now - start) / ROUNDS
+        yield pt.join(other)
+
+    rt.main(main)
+    rt.run()
+    return out["us"]
+
+
+def test_ada_layering_overhead_is_not_prohibitive(sim_bench):
+    def _both():
+        rendezvous = _rendezvous_roundtrip_us()
+        semaphore = _semaphore_roundtrip_us()
+        return {
+            "rendezvous_us": rendezvous,
+            "semaphore_us": semaphore,
+            "overhead_factor": rendezvous / semaphore,
+        }
+
+    r = sim_bench(_both)
+    # A rendezvous is strictly richer (two-way synchronisation plus
+    # argument passing), so it must cost more than a bare semaphore
+    # round trip -- but within a small constant factor, which is the
+    # paper's "not prohibitive".
+    assert r["overhead_factor"] > 1.0
+    assert r["overhead_factor"] < 4.0, r
+
+
+def test_ada_task_creation_overhead(sim_bench):
+    """Spawning a task costs thread creation plus bounded runtime
+    bookkeeping (mutex/cond creation and the shell frames)."""
+
+    def _measure():
+        art = AdaRuntime()
+        out = {}
+
+        def tiny(ada):
+            yield ada.pt.work(1)
+
+        def env(ada):
+            world = ada.pt.runtime.world
+            start = world.now
+            t = yield ada.spawn(tiny, name="tiny")
+            out["spawn_us"] = world.us(world.now - start)
+            yield ada.await_dependents()
+            del t
+
+        art.main_task(env)
+        art.run()
+
+        rt = make_runtime()
+        out2 = {}
+
+        def tiny_thread(pt):
+            yield pt.work(1)
+
+        def main(pt):
+            world = pt.runtime.world
+            start = world.now
+            t = yield pt.create(tiny_thread)
+            out2["create_us"] = world.us(world.now - start)
+            yield pt.join(t)
+
+        rt.main(main)
+        rt.run()
+        return {
+            "task_spawn_us": out["spawn_us"],
+            "thread_create_us": out2["create_us"],
+            "factor": out["spawn_us"] / out2["create_us"],
+        }
+
+    r = sim_bench(_measure)
+    assert r["factor"] < 6.0, r

@@ -1,0 +1,20 @@
+"""Calibration gate: every Table 2 point within 10 % of the paper.
+
+This is the regression tripwire for `repro/hw/costs.py` and the code
+paths it prices: a library change that silently shifts a metric fails
+here before it muddies EXPERIMENTS.md.
+"""
+
+from repro.bench.calibrate import calibration_points, worst_deviation
+
+
+def test_calibration_within_ten_percent(sim_bench):
+    points = sim_bench(lambda: calibration_points())
+    for point in points:
+        assert point.within(0.10), str(point)
+
+
+def test_calibration_report_covers_all_paper_cells(sim_bench):
+    points = sim_bench(lambda: calibration_points(models=["sparc-ipx"]))
+    # Every row of Table 2 has an IPX "Ours" value in the paper.
+    assert len(points) == 12

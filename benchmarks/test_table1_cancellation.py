@@ -1,0 +1,104 @@
+"""Table 1: the action taken upon a cancellation request, regenerated.
+
+The harness runs one victim per (interruptibility state, type) cell and
+records what actually happened, rebuilding the paper's matrix:
+
+========  =============  ================================================
+disabled  any            SIGCANCEL pends until cancellation is enabled
+enabled   controlled     pends until an interruption point is reached
+enabled   asynchronous   acted upon immediately
+========  =============  ================================================
+"""
+
+from repro.core.config import (
+    PTHREAD_CANCELED,
+    PTHREAD_INTR_ASYNCHRONOUS,
+    PTHREAD_INTR_CONTROLLED,
+    PTHREAD_INTR_DISABLE,
+    PTHREAD_INTR_ENABLE,
+)
+from tests.conftest import run_program
+
+
+def _run_cell(state, intr_type):
+    """Cancel a victim configured per the cell; classify the action."""
+    log = []
+
+    def victim(pt):
+        if state == PTHREAD_INTR_DISABLE:
+            yield pt.setintr(PTHREAD_INTR_DISABLE)
+        yield pt.setintrtype(intr_type)
+        yield pt.work(30_000)  # the cancel arrives in this burst
+        log.append("survived-burst")
+        if state == PTHREAD_INTR_DISABLE:
+            yield pt.work(10_000)
+            log.append("still-disabled")
+            yield pt.setintr(PTHREAD_INTR_ENABLE)
+            if intr_type == PTHREAD_INTR_CONTROLLED:
+                yield pt.testintr()
+        else:
+            yield pt.testintr()  # interruption point
+        log.append("past-interruption-point")
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        log.append(("cancelled", value is PTHREAD_CANCELED))
+
+    run_program(main, priority=90)
+    cancelled = ("cancelled", True) in log
+    if not cancelled:
+        return "ignored"
+    if "survived-burst" not in log:
+        return "immediate"
+    if state == PTHREAD_INTR_DISABLE and "still-disabled" in log:
+        return "pends-until-enabled"
+    if "past-interruption-point" not in log:
+        return "pends-until-interruption-point"
+    return "after-everything"
+
+
+def build_table1():
+    """The full matrix, as (state, type) -> observed action."""
+    return {
+        ("disabled", "controlled"): _run_cell(
+            PTHREAD_INTR_DISABLE, PTHREAD_INTR_CONTROLLED
+        ),
+        ("disabled", "asynchronous"): _run_cell(
+            PTHREAD_INTR_DISABLE, PTHREAD_INTR_ASYNCHRONOUS
+        ),
+        ("enabled", "controlled"): _run_cell(
+            PTHREAD_INTR_ENABLE, PTHREAD_INTR_CONTROLLED
+        ),
+        ("enabled", "asynchronous"): _run_cell(
+            PTHREAD_INTR_ENABLE, PTHREAD_INTR_ASYNCHRONOUS
+        ),
+    }
+
+
+def test_table1_matrix(sim_bench):
+    table = sim_bench(build_table1)
+    # Row 1: disabled + any type -> pends until enabled.
+    assert table[("disabled", "controlled")] == "pends-until-enabled"
+    assert table[("disabled", "asynchronous")] == "pends-until-enabled"
+    # Row 2: enabled + controlled -> pends until an interruption point.
+    assert (
+        table[("enabled", "controlled")]
+        == "pends-until-interruption-point"
+    )
+    # Row 3: enabled + asynchronous -> acted upon immediately.
+    assert table[("enabled", "asynchronous")] == "immediate"
+
+
+def format_table1(table=None) -> str:
+    """Render the regenerated matrix (used by the examples)."""
+    table = table or build_table1()
+    lines = [
+        "%-10s %-14s %s" % ("State", "Type", "Observed action"),
+        "-" * 60,
+    ]
+    for (state, intr_type), action in table.items():
+        lines.append("%-10s %-14s %s" % (state, intr_type, action))
+    return "\n".join(lines)

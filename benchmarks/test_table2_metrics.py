@@ -1,0 +1,66 @@
+"""Table 2: the paper's twelve performance metrics, regenerated.
+
+One benchmark per (row, CPU model with a paper value).  Each run
+reports the simulated latency and asserts it lands near the paper's
+"Ours" number; cross-row *shape* assertions (library kernel << UNIX
+kernel, thread switch << process switch, external signal >> internal)
+live at the bottom.
+"""
+
+import pytest
+
+from benchmarks.conftest import approx_ratio
+from repro.bench.metrics import MEASUREMENTS, measure_all
+from repro.bench.table2 import PAPER_TABLE2, ROWS_BY_KEY
+
+_CASES = []
+for _row in PAPER_TABLE2:
+    if _row.ours_ipx is not None:
+        _CASES.append((_row.key, "sparc-ipx", _row.ours_ipx))
+    if _row.ours_1plus is not None:
+        _CASES.append((_row.key, "sparc-1+", _row.ours_1plus))
+
+
+@pytest.mark.parametrize("key,model,paper_us", _CASES)
+def test_table2_row(sim_bench, key, model, paper_us):
+    measured = sim_bench(MEASUREMENTS[key], model)
+    approx_ratio(measured, paper_us, tolerance=0.25)
+
+
+def test_table2_shape_claims(sim_bench):
+    """The qualitative claims Table 2 supports, all at once."""
+
+    def _measure_both():
+        return {"ipx": measure_all("sparc-ipx"),
+                "oneplus": measure_all("sparc-1+")}
+
+    both = sim_bench(_measure_both)
+    ipx, oneplus = both["ipx"], both["oneplus"]
+
+    # "to enter and exit the Pthreads kernel is considerably faster
+    # than to enter and exit the UNIX kernel".
+    assert ipx["unix_kernel_enter_exit"] > 20 * ipx["kernel_enter_exit"]
+    # "UNIX process context switches are considerably slower than
+    # thread context switches".
+    assert ipx["process_context_switch"] > 2.5 * ipx["thread_context_switch"]
+    # setjmp/longjmp "gives a lower bound on the overhead of a context
+    # switch".
+    assert ipx["setjmp_longjmp"] < ipx["thread_context_switch"]
+    # External (demultiplexed) signals pay the UNIX delivery path;
+    # internal ones never leave the library.
+    assert ipx["signal_external"] > 3 * ipx["signal_internal"]
+    assert ipx["signal_external"] > ipx["unix_signal_handler"]
+    # An uncontended mutex is nearly free; contention costs about one
+    # context switch.
+    assert ipx["mutex_pair_uncontended"] < 0.1 * ipx["mutex_pair_contended"]
+    ratio = ipx["mutex_pair_contended"] / ipx["thread_context_switch"]
+    assert 0.8 < ratio < 2.5
+    # The faster machine wins every row.
+    for key in MEASUREMENTS:
+        assert ipx[key] < oneplus[key], key
+    # "Neither Lynx ... nor Sun's ... is reported to perform as well
+    # as ours" (semaphores), and creation beats Sun's.
+    sem = ROWS_BY_KEY["semaphore_sync"]
+    assert oneplus["semaphore_sync"] < sem.sun_1plus
+    assert ipx["semaphore_sync"] < sem.lynx_ipx
+    assert oneplus["thread_create"] < ROWS_BY_KEY["thread_create"].sun_1plus

@@ -1,0 +1,207 @@
+"""Table 3: properties of the synchronization protocols, measured.
+
+The paper's comparison of priority inheritance vs priority ceiling
+(via SRP):
+
+- *when* priority is boosted: inheritance boosts on contention,
+  ceiling on acquisition;
+- *implementation*: inheritance needs a linear search at unlock,
+  ceiling a push/pop of saved levels;
+- *bound on inversion*: ceiling bounds the high-priority thread's
+  blocking by ONE critical section; under inheritance it can be the
+  SUM of critical sections of lower-priority threads;
+- ceiling "tends to require fewer context switches".
+"""
+
+from repro.core import config as cfg
+from repro.core.attr import MutexAttr, ThreadAttr
+from tests.conftest import run_program
+
+
+def _boost_timing(protocol):
+    """When does the boost happen relative to contention?"""
+    marks = {}
+
+    def holder(pt, m):
+        me = yield pt.self_id()
+        yield pt.mutex_lock(m)
+        marks["after_lock"] = me.effective_priority
+        yield pt.work(20_000)
+        yield pt.mutex_unlock(m)
+
+    def contender(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init(
+            MutexAttr(protocol=protocol, prioceiling=80)
+        )
+        h = yield pt.create(
+            holder, m, attr=ThreadAttr(priority=10), name="holder"
+        )
+        yield pt.delay_us(100)
+        marks["before_contention"] = h.effective_priority
+        c = yield pt.create(
+            contender, m, attr=ThreadAttr(priority=80), name="contender"
+        )
+        yield pt.delay_us(50)
+        marks["during_contention"] = h.effective_priority
+        yield pt.join(h)
+        yield pt.join(c)
+
+    run_program(main, priority=100)
+    return marks
+
+
+def test_inheritance_boosts_only_on_contention(sim_bench):
+    marks = sim_bench(_boost_timing, cfg.PRIO_INHERIT)
+    assert marks["after_lock"] == 10  # no boost at lock time
+    assert marks["before_contention"] == 10
+    assert marks["during_contention"] == 80  # boosted by the waiter
+
+
+def test_ceiling_boosts_at_acquisition(sim_bench):
+    marks = sim_bench(_boost_timing, cfg.PRIO_PROTECT)
+    assert marks["after_lock"] == 80  # boosted immediately
+    assert marks["before_contention"] == 80
+
+
+def _inversion_bound(protocol, n_low=3):
+    """The high-priority thread's blocking time.
+
+    ``n_low`` low-priority threads each hold their own mutex for one
+    critical section; the high thread locks all of them in turn.
+    Under the ceiling protocol each low thread runs its critical
+    section at the ceiling *before* the high thread starts losing
+    time to it; under inheritance the high thread can arrive to find
+    every mutex already held and serially inherit through each one.
+    Returns the high thread's wall time (cycles).
+    """
+    result = {}
+    section = 30_000  # cycles per critical section (~750 us on IPX)
+
+    def low(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.work(section)
+        yield pt.mutex_unlock(m)
+
+    def high(pt, mutexes):
+        world = pt.runtime.world
+        start = world.now
+        for m in mutexes:
+            yield pt.mutex_lock(m)
+            yield pt.work(100)
+            yield pt.mutex_unlock(m)
+        result["high_time"] = world.now - start
+
+    def main(pt):
+        mutexes = []
+        lows = []
+        # Staggered arrival at slightly increasing priorities: under
+        # inheritance each newcomer preempts the previous (unboosted)
+        # holder just after it locked, so when the high thread arrives
+        # every mutex is held mid-section.  Under the ceiling protocol
+        # the first holder runs at the ceiling, nobody preempts it, and
+        # at most one section can ever be in flight.
+        for i in range(n_low):
+            m = yield pt.mutex_init(
+                MutexAttr(protocol=protocol, prioceiling=90)
+            )
+            mutexes.append(m)
+            lows.append(
+                (
+                    yield pt.create(
+                        low, m, attr=ThreadAttr(priority=10 + i),
+                        name="low%d" % i,
+                    )
+                )
+            )
+            yield pt.delay_us(100)  # let low-i lock and begin working
+        h = yield pt.create(
+            high, mutexes, attr=ThreadAttr(priority=90), name="high"
+        )
+        yield pt.join(h)
+        for t in lows:
+            yield pt.join(t)
+
+    rt = run_program(main, priority=100)
+    result["switches"] = rt.dispatcher.context_switches
+    result["boosts"] = rt.protocols.boosts
+    return result
+
+
+def test_inversion_bound_inheritance_is_sum_of_sections(sim_bench):
+    r1 = sim_bench(_inversion_bound, cfg.PRIO_INHERIT, 1)
+    r3 = _inversion_bound(cfg.PRIO_INHERIT, 3)
+    # Blocking grows roughly linearly with the number of held sections.
+    assert r3["high_time"] > 2 * r1["high_time"]
+
+
+def test_ceiling_blocking_stays_near_one_section(sim_bench):
+    """With ceilings, by the time the high thread starts, at most one
+    low section can be in flight at the ceiling level; its total
+    blocking stays near one section, not the sum."""
+    r3 = sim_bench(_inversion_bound, cfg.PRIO_PROTECT, 3)
+    inherit3 = _inversion_bound(cfg.PRIO_INHERIT, 3)
+    assert r3["high_time"] < inherit3["high_time"]
+
+
+def test_ceiling_uses_fewer_context_switches(sim_bench):
+    def _both():
+        return {
+            "inherit": _inversion_bound(cfg.PRIO_INHERIT, 3)["switches"],
+            "ceiling": _inversion_bound(cfg.PRIO_PROTECT, 3)["switches"],
+        }
+
+    both = sim_bench(_both)
+    assert both["ceiling"] <= both["inherit"]
+
+
+def test_inheritance_adapts_dynamically_ceiling_is_static(sim_bench):
+    """Inheritance tracks the *actual* contender priority; ceiling
+    always boosts to the preset ceiling regardless."""
+
+    def _observe(protocol, contender_prio):
+        marks = {}
+
+        def holder(pt, m):
+            me = yield pt.self_id()
+            yield pt.mutex_lock(m)
+            yield pt.work(20_000)
+            marks["level"] = me.effective_priority
+            yield pt.mutex_unlock(m)
+
+        def contender(pt, m):
+            yield pt.mutex_lock(m)
+            yield pt.mutex_unlock(m)
+
+        def main(pt):
+            m = yield pt.mutex_init(
+                MutexAttr(protocol=protocol, prioceiling=95)
+            )
+            h = yield pt.create(
+                holder, m, attr=ThreadAttr(priority=5), name="h"
+            )
+            yield pt.delay_us(100)
+            c = yield pt.create(
+                contender, m,
+                attr=ThreadAttr(priority=contender_prio), name="c",
+            )
+            yield pt.join(h)
+            yield pt.join(c)
+
+        run_program(main, priority=100)
+        return marks["level"]
+
+    def _matrix():
+        return {
+            "inherit_40": _observe(cfg.PRIO_INHERIT, 40),
+            "inherit_70": _observe(cfg.PRIO_INHERIT, 70),
+            "ceiling_40": _observe(cfg.PRIO_PROTECT, 40),
+            "ceiling_70": _observe(cfg.PRIO_PROTECT, 70),
+        }
+
+    m = sim_bench(_matrix)
+    assert m["inherit_40"] == 40 and m["inherit_70"] == 70  # adaptive
+    assert m["ceiling_40"] == 95 and m["ceiling_70"] == 95  # static

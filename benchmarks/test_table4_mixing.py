@@ -1,0 +1,157 @@
+"""Table 4: mixing the inheritance and ceiling protocols.
+
+Reproduces the paper's five-step action sequence and both priority
+columns: Pi (linear-search unlock, inheritance-style) and Pc (pure
+stack pop, ceiling-style), showing the divergence at step 4.
+
+    #  Action        Pi  Pc
+    1  lock(inht)     0   0
+    2  lock(ceil)     1   1   (ceiling scaled: 0->10, 1->40, 2->70)
+    3  (contention)   2   2
+    4  unlock(ceil)   2   0   <- protocol divergence
+    5  unlock(inht)   0   0
+"""
+
+from repro.core import config as cfg
+from repro.core.attr import MutexAttr, ThreadAttr
+from tests.conftest import run_program
+
+#: The paper uses abstract priorities 0/1/2; we scale them.
+P0, P1, P2 = 10, 40, 70
+
+
+def run_mixing(unlock_mode):
+    """Run the Table 4 sequence; returns {step: priority}."""
+    observed = {}
+
+    def pi_thread(pt, inht, ceil):
+        me = yield pt.self_id()
+        yield pt.mutex_lock(inht)  # step 1
+        observed[1] = me.effective_priority
+        yield pt.mutex_lock(ceil)  # step 2
+        observed[2] = me.effective_priority
+        yield pt.work(30_000)  # step 3: contention for inht arrives
+        observed[3] = me.effective_priority
+        yield pt.mutex_unlock(ceil)  # step 4
+        observed[4] = me.effective_priority
+        yield pt.mutex_unlock(inht)  # step 5
+        observed[5] = me.effective_priority
+
+    def contender(pt, inht):
+        yield pt.mutex_lock(inht)
+        yield pt.mutex_unlock(inht)
+
+    def main(pt):
+        inht = yield pt.mutex_init(
+            MutexAttr(protocol=cfg.PRIO_INHERIT, name="inht")
+        )
+        ceil = yield pt.mutex_init(
+            MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=P1,
+                      name="ceil")
+        )
+        t = yield pt.create(
+            pi_thread, inht, ceil, attr=ThreadAttr(priority=P0), name="Pi"
+        )
+        yield pt.delay_us(150)  # Pi holds both mutexes
+        c = yield pt.create(
+            contender, inht, attr=ThreadAttr(priority=P2), name="C"
+        )
+        yield pt.join(t)
+        yield pt.join(c)
+
+    run_program(main, priority=100, mixed_protocol_unlock=unlock_mode)
+    return observed
+
+
+def test_table4_linear_search_column(sim_bench):
+    """The Pi column: the boost survives unlocking the ceiling mutex,
+    avoiding unbounded inversion (the paper's recommendation)."""
+    pi = sim_bench(run_mixing, "linear-search")
+    assert pi == {1: P0, 2: P1, 3: P2, 4: P2, 5: P0}
+
+
+def test_table4_stack_column_diverges_at_step_4(sim_bench):
+    """The Pc column: a pure stack pop restores the pre-ceiling level,
+    dropping the inheritance boost -- priority inversion for inht."""
+    pc = sim_bench(run_mixing, "stack")
+    assert pc[1] == P0 and pc[2] == P1 and pc[3] == P2
+    assert pc[4] == P0  # the divergence the paper tabulates
+    assert pc[5] == P0
+
+
+def test_divergence_causes_real_inversion_in_stack_mode(sim_bench):
+    """Make the paper's warning concrete: in stack mode a medium
+    thread runs between steps 4 and 5, starving the contender."""
+
+    def _inversion(mode):
+        order = []
+
+        def pi_thread(pt, inht, ceil):
+            yield pt.mutex_lock(inht)
+            yield pt.mutex_lock(ceil)
+            yield pt.work(30_000)
+            yield pt.mutex_unlock(ceil)  # step 4
+            yield pt.work(30_000)  # still holding inht
+            yield pt.mutex_unlock(inht)
+            order.append("pi-done")
+
+        def contender(pt, inht):
+            yield pt.mutex_lock(inht)
+            order.append("contender-got-inht")
+            yield pt.mutex_unlock(inht)
+
+        def medium(pt):
+            yield pt.work(25_000)
+            order.append("medium-done")
+
+        def main(pt):
+            inht = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_INHERIT)
+            )
+            ceil = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=P1)
+            )
+            t = yield pt.create(
+                pi_thread, inht, ceil,
+                attr=ThreadAttr(priority=P0), name="Pi",
+            )
+            yield pt.delay_us(150)
+            c = yield pt.create(
+                contender, inht, attr=ThreadAttr(priority=P2), name="C"
+            )
+            m = yield pt.create(
+                medium, attr=ThreadAttr(priority=P1 + 5), name="M"
+            )
+            for x in (t, c, m):
+                yield pt.join(x)
+
+        run_program(main, priority=100, mixed_protocol_unlock=mode)
+        return order
+
+    stack_order = sim_bench(_inversion, "stack")
+    linear_order = _inversion("linear-search")
+    # Stack mode: the medium thread overtakes the inheriting holder
+    # after step 4, delaying the high-priority contender.
+    assert stack_order.index("medium-done") < stack_order.index(
+        "contender-got-inht"
+    )
+    # Linear search: the contender is served before the medium thread.
+    assert linear_order.index("contender-got-inht") < linear_order.index(
+        "medium-done"
+    )
+
+
+def format_table4() -> str:
+    """Render both columns side by side (used by the examples)."""
+    pi = run_mixing("linear-search")
+    pc = run_mixing("stack")
+    actions = {
+        1: "lock(inht)", 2: "lock(ceil)", 3: "(contention for inht)",
+        4: "unlock(ceil)", 5: "unlock(inht)",
+    }
+    lines = ["#  %-22s %4s %4s" % ("Action", "Pi", "Pc"), "-" * 38]
+    for step in range(1, 6):
+        lines.append(
+            "%d  %-22s %4d %4d" % (step, actions[step], pi[step], pc[step])
+        )
+    return "\n".join(lines)

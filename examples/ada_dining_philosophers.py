@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Dining philosophers in the Ada tasking layer.
+
+Five philosopher tasks rendezvous with a waiter task whose *guarded
+selective wait* only offers a "pickup" entry while both of that
+philosopher's forks are free -- the classic deadlock-free Ada
+formulation, exercising tasks, entry families, selective wait, and
+delays on top of the Pthreads library.
+
+    python examples/ada_dining_philosophers.py
+"""
+
+import sys
+
+sys.path.insert(0, ".")
+
+from repro.ada import AdaRuntime
+
+N = 5
+MEALS = 3
+
+
+def waiter(ada, log):
+    """Grants fork pairs through guarded accepts."""
+    forks = [True] * N
+    finished = [0]
+
+    def pickup_handler(seat):
+        def handler(pt):
+            forks[seat] = forks[(seat + 1) % N] = False
+            log.append(("eat", seat))
+            yield pt.work(10)
+
+        return handler
+
+    def putdown_handler(pt, seat):
+        forks[seat] = forks[(seat + 1) % N] = True
+        yield pt.work(10)
+
+    def done_handler(pt, seat):
+        finished[0] += 1
+        yield pt.work(1)
+
+    while finished[0] < N:
+        accepts = {"putdown": putdown_handler, "done": done_handler}
+        for seat in range(N):
+            if forks[seat] and forks[(seat + 1) % N]:
+                # The guard: offer pickup only when both forks free.
+                accepts["pickup%d" % seat] = pickup_handler(seat)
+        yield ada.select(accepts)
+    return "waiter-done"
+
+
+def philosopher(ada, waiter_task, seat, log):
+    for _meal in range(MEALS):
+        yield ada.delay(0.0005)  # think
+        yield ada.entry_call(waiter_task, "pickup%d" % seat)
+        yield ada.delay(0.0008)  # eat
+        yield ada.entry_call(waiter_task, "putdown", seat)
+    yield ada.entry_call(waiter_task, "done", seat)
+    return "phil-%d" % seat
+
+
+def env(ada):
+    log = []
+    w = yield ada.spawn(waiter, log, name="waiter", priority=70)
+    for seat in range(N):
+        yield ada.spawn(
+            philosopher, w, seat, log, name="phil-%d" % seat, priority=50
+        )
+    yield ada.await_dependents()
+    meals = [0] * N
+    for kind, seat in log:
+        if kind == "eat":
+            meals[seat] += 1
+    print("meals per philosopher:", meals)
+    assert meals == [MEALS] * N
+
+
+if __name__ == "__main__":
+    art = AdaRuntime(model="sparc-ipx")
+    art.main_task(env)
+    art.run()
+    print(
+        "completed in %.1f simulated us with %d context switches"
+        % (art.world.now_us, art.rt.dispatcher.context_switches)
+    )

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Perverted scheduling as a race detector.
+
+A deliberately broken program (the critical read/write sits outside
+its lock) runs under FIFO and under the paper's three perverted
+policies, across several RNG seeds.  FIFO hides the bug every time;
+the perverted policies surface it -- deterministically per seed, which
+is the paper's argument for them over time-slice debugging.
+
+    python examples/perverted_debugging.py
+"""
+
+import sys
+
+sys.path.insert(0, ".")
+
+from benchmarks.test_perverted_scheduling import (
+    _racy_workload,
+    detection_sweep,
+)
+from repro.core import config as cfg
+from repro.sched.perverted import RandomSwitchPolicy
+from tests.conftest import run_program
+
+
+def main():
+    seeds = 10
+    print("Racy program: 3 threads x 6 unprotected increments "
+          "(expect 18)\n")
+    rates = detection_sweep(seeds=seeds)
+    print("%-28s %s" % ("policy", "runs detecting the lost update"))
+    print("-" * 50)
+    for policy, detections in rates.items():
+        bar = "#" * detections
+        print("%-28s %2d/%d %s" % (policy, detections, seeds, bar))
+
+    print()
+    print("Reproducibility: random-switch with a fixed seed gives the "
+          "same interleaving every run:")
+    for seed in (3, 7):
+        outcomes = []
+        for _ in range(3):
+            main_fn, shared, _ = _racy_workload()
+            run_program(
+                main_fn, policy=RandomSwitchPolicy(seed=seed), seed=seed
+            )
+            outcomes.append(shared["counter"])
+        print("  seed %2d -> counters %s" % (seed, outcomes))
+
+
+if __name__ == "__main__":
+    main()

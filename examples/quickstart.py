@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: threads, a mutex, a condition variable, a join.
+
+Thread bodies are Python generators receiving a ``pt`` facade; every
+``yield`` executes one operation on the simulated machine.  Run:
+
+    python examples/quickstart.py
+"""
+
+from repro import PthreadsRuntime, ThreadAttr
+
+
+def worker(pt, m, cv, inbox, results, worker_id):
+    """Consume numbers from the inbox until a None arrives."""
+    while True:
+        yield pt.mutex_lock(m)
+        while not inbox:
+            yield pt.cond_wait(cv, m)
+        item = inbox.pop(0)
+        yield pt.mutex_unlock(m)
+        if item is None:
+            return "worker-%d done" % worker_id
+        yield pt.work(1_000)  # simulate real computation
+        results.append((worker_id, item * item))
+
+
+def main(pt):
+    m = yield pt.mutex_init()
+    cv = yield pt.cond_init()
+    inbox, results = [], []
+
+    workers = []
+    for i in range(3):
+        t = yield pt.create(
+            worker, m, cv, inbox, results, i,
+            attr=ThreadAttr(priority=50), name="worker-%d" % i,
+        )
+        workers.append(t)
+
+    # Feed work, then one poison pill per worker.
+    for item in list(range(9)) + [None] * 3:
+        yield pt.mutex_lock(m)
+        inbox.append(item)
+        yield pt.cond_signal(cv)
+        yield pt.mutex_unlock(m)
+        yield pt.delay_us(200)
+
+    for t in workers:
+        err, value = yield pt.join(t)
+        print("joined:", value)
+
+    print("results:", sorted(results))
+
+
+if __name__ == "__main__":
+    rt = PthreadsRuntime(model="sparc-ipx")
+    rt.main(main, priority=60)
+    rt.run()
+    print(
+        "simulated time: %.1f us, context switches: %d"
+        % (rt.world.now_us, rt.dispatcher.context_switches)
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Rate-monotonic periodic tasks with a ceiling-protected resource.
+
+The paper targets "real-time system environments": priority-driven
+preemptive scheduling plus the ceiling protocol exist so periodic tasks
+can share a resource with bounded blocking.  Three periodic threads
+(shorter period = higher priority, the rate-monotonic assignment) log
+samples into a shared buffer guarded by a priority-ceiling mutex; the
+run reports per-task deadline behaviour with the protocol on and off.
+
+    python examples/rate_monotonic.py
+"""
+
+from repro import MutexAttr, PthreadsRuntime, RuntimeConfig, ThreadAttr
+from repro.core import config as cfg
+
+#: (name, period_us, work_us, priority, uses_buffer).  Priorities are
+#: rate-monotonic; the medium task is a pure compute hog that never
+#: touches the shared buffer -- it exists to preempt the slow task
+#: inside its critical section, the Figure 5 inversion shape.
+TASKS = [
+    ("fast", 2_000.0, 400.0, 90, True),
+    ("medium", 5_000.0, 1_500.0, 60, False),
+    ("slow", 11_000.0, 2_400.0, 30, True),
+]
+CYCLES = 8  # releases per task
+
+
+def periodic(pt, name, period_us, work_us, mutex, stats, uses_buffer):
+    world = pt.runtime.world
+    release = world.now_us
+    for _job in range(CYCLES):
+        if uses_buffer:
+            # Half the work is in a critical section on the buffer.
+            yield pt.work_us(work_us / 2)
+            yield pt.mutex_lock(mutex)
+            yield pt.work_us(work_us / 2)
+            yield pt.mutex_unlock(mutex)
+        else:
+            yield pt.work_us(work_us)
+        finish = world.now_us
+        response = finish - release
+        stats.setdefault(name, []).append(response)
+        release += period_us
+        sleep_for = release - world.now_us
+        if sleep_for > 0:
+            yield pt.delay_us(sleep_for)
+
+
+def run(protocol):
+    rt = PthreadsRuntime(
+        model="sparc-ipx",
+        config=RuntimeConfig(timeslice_us=None, pool_size=8),
+    )
+    stats = {}
+
+    def main(pt):
+        mutex = yield pt.mutex_init(
+            MutexAttr(protocol=protocol, prioceiling=95)
+        )
+        threads = []
+        for name, period, work, prio, uses_buffer in TASKS:
+            threads.append(
+                (
+                    yield pt.create(
+                        periodic, name, period, work, mutex, stats,
+                        uses_buffer,
+                        attr=ThreadAttr(priority=prio), name=name,
+                    )
+                )
+            )
+        for t in threads:
+            yield pt.join(t)
+
+    rt.main(main, priority=100)
+    rt.run()
+    return stats
+
+
+def report(protocol, stats):
+    print("protocol = %s" % protocol)
+    for name, period, work, prio, _uses in TASKS:
+        responses = stats[name]
+        worst = max(responses)
+        misses = sum(1 for r in responses if r > period)
+        print(
+            "  %-7s period %7.0f us  worst response %8.0f us  "
+            "deadline misses %d/%d"
+            % (name, period, worst, misses, len(responses))
+        )
+    print()
+
+
+if __name__ == "__main__":
+    for protocol in (cfg.PRIO_NONE, cfg.PRIO_PROTECT):
+        report(protocol, run(protocol))
+    print(
+        "Without a protocol, the medium hog preempts the slow task\n"
+        "inside its critical section, stretching the fast task's worst\n"
+        "response far past its period (the Figure 5 inversion).  With\n"
+        "the ceiling protocol the blocking is bounded by one critical\n"
+        "section -- the paper's 'tighter' bound -- and the worst\n"
+        "response drops accordingly."
+    )

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table 2 and print paper-vs-measured.
+
+Runs every metric on both simulated machines (SPARC 1+ and SPARC IPX).
+
+    python examples/table2_report.py
+"""
+
+from repro.bench import format_table2, measure_all
+
+
+def main():
+    print("Measuring on the simulated SPARC 1+ ...")
+    oneplus = measure_all("sparc-1+")
+    print("Measuring on the simulated SPARC IPX ...")
+    ipx = measure_all("sparc-ipx")
+    print()
+    print("Table 2: Performance Metrics (paper values vs this reproduction)")
+    print()
+    print(format_table2(oneplus, ipx))
+    print()
+    print(
+        "Columns: Sun = SunOS LWP (Powell et al.), Ours = the paper's\n"
+        "library, meas. = this reproduction (simulated microseconds),\n"
+        "Lynx = LynxOS pre-release.  '-' = not reported in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro -- a library implementation of POSIX threads under (simulated) UNIX.
+
+A faithful reproduction of Frank Mueller's USENIX 1993 paper
+"A Library Implementation of POSIX Threads under UNIX" (FSU Pthreads):
+a user-level Pthreads library -- monolithic-monitor kernel, dispatcher,
+signal delivery model with fake calls, cancellation, priority
+inheritance/ceiling mutexes, perverted debugging scheduling -- running
+on a simulated SPARC/SunOS substrate with a calibrated cycle-cost
+model, so the paper's entire evaluation (Table 2 and friends)
+regenerates in simulated microseconds.
+
+Quickstart::
+
+    from repro import PthreadsRuntime
+
+    def child(pt, n):
+        yield pt.work(n)
+        return n * 2
+
+    def main(pt):
+        t = yield pt.create(child, 100, name="child")
+        err, value = yield pt.join(t)
+        print("child returned", value)
+
+    rt = PthreadsRuntime(model="sparc-ipx")
+    rt.main(main)
+    rt.run()
+
+See README.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from repro.core import (
+    PT,
+    CondAttr,
+    MutexAttr,
+    PthreadsRuntime,
+    RuntimeConfig,
+    Tcb,
+    ThreadAttr,
+    ThreadState,
+)
+from repro.core import config
+from repro.core import errors
+from repro.debug import Inspector, Timeline, Tracer
+from repro.hw.costs import SPARC_1PLUS, SPARC_IPX, cost_model
+from repro.sched import (
+    MutexSwitchPolicy,
+    RandomSwitchPolicy,
+    RoundRobinOrderedSwitchPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.unix.sigset import SigSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CondAttr",
+    "Inspector",
+    "MutexAttr",
+    "MutexSwitchPolicy",
+    "PT",
+    "PthreadsRuntime",
+    "RandomSwitchPolicy",
+    "RoundRobinOrderedSwitchPolicy",
+    "RuntimeConfig",
+    "SPARC_1PLUS",
+    "SPARC_IPX",
+    "SchedulingPolicy",
+    "SigSet",
+    "Tcb",
+    "ThreadAttr",
+    "ThreadState",
+    "Timeline",
+    "Tracer",
+    "config",
+    "cost_model",
+    "errors",
+    "make_policy",
+]

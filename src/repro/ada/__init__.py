@@ -1,0 +1,40 @@
+"""An Ada-83-style tasking runtime layered on Pthreads.
+
+The paper's library exists to host an Ada runtime system: "It has been
+used successfully in an effort to implement an Ada runtime system on
+top of Pthreads ... and to show that the overhead of layering a runtime
+system on top of Pthreads is not prohibitive."  This package is that
+layer, scaled to the features the paper names:
+
+- tasks mapped one-to-one onto threads (:mod:`repro.ada.tasks`);
+- rendezvous -- entry calls (plain, timed, and conditional), accept
+  statements with extended-rendezvous semantics, and selective wait
+  (:mod:`repro.ada.rendezvous`);
+- delay statements over the library timer queue (``Ada.delay``);
+- abort via thread cancellation (:mod:`repro.ada.tasks`);
+- exception propagation out of signal handlers using the
+  implementation-defined *redirect* feature of fake calls plus
+  setjmp-style unwinding (:mod:`repro.ada.exceptions`) -- the exact
+  mechanism the paper says the redirect feature is "essential" for.
+"""
+
+from repro.ada.exceptions import (
+    AdaException,
+    CONSTRAINT_ERROR,
+    PROGRAM_ERROR,
+    STORAGE_ERROR,
+    TASKING_ERROR,
+)
+from repro.ada.runtime import AdaRuntime
+from repro.ada.tasks import AdaTask, TaskAborted
+
+__all__ = [
+    "AdaException",
+    "AdaRuntime",
+    "AdaTask",
+    "CONSTRAINT_ERROR",
+    "PROGRAM_ERROR",
+    "STORAGE_ERROR",
+    "TASKING_ERROR",
+    "TaskAborted",
+]

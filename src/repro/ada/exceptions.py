@@ -1,0 +1,85 @@
+"""Ada exceptions over simulated frames.
+
+Ada exceptions are :class:`~repro.sim.frames.SimException` subclasses,
+so they propagate across simulated call frames and are caught with
+ordinary ``try``/``except`` inside task bodies.
+
+Synchronous UNIX signals map onto the predefined exceptions
+(``SIGFPE`` -> Constraint_Error, ``SIGSEGV``/``SIGBUS`` ->
+Storage_Error, ``SIGILL`` -> Program_Error) through the mechanism the
+paper describes: the signal's user handler issues a *redirect* so that,
+after the handler returns, a raise routine runs at the interruption
+point and the exception propagates from the faulting statement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.sim.frames import SimException
+from repro.unix.sigset import SIGBUS, SIGFPE, SIGILL, SIGSEGV
+
+
+class AdaException(SimException):
+    """Base of all Ada exceptions."""
+
+    ada_name = "ADA_EXCEPTION"
+
+    def __str__(self) -> str:
+        detail = super().__str__()
+        return self.ada_name if not detail else "%s: %s" % (
+            self.ada_name, detail,
+        )
+
+
+class ConstraintError(AdaException):
+    ada_name = "CONSTRAINT_ERROR"
+
+
+class ProgramError(AdaException):
+    ada_name = "PROGRAM_ERROR"
+
+
+class StorageError(AdaException):
+    ada_name = "STORAGE_ERROR"
+
+
+class TaskingError(AdaException):
+    ada_name = "TASKING_ERROR"
+
+
+# The RM's predefined exceptions under their Ada names.
+CONSTRAINT_ERROR = ConstraintError
+PROGRAM_ERROR = ProgramError
+STORAGE_ERROR = StorageError
+TASKING_ERROR = TaskingError
+
+#: Synchronous signal -> predefined exception (paper: "When a
+#: synchronous signal is received, one needs to return from the user
+#: handler and restore the previous frame before propagating the
+#: exception corresponding to the signal").
+SIGNAL_EXCEPTIONS: Dict[int, Type[AdaException]] = {
+    SIGFPE: ConstraintError,
+    SIGSEGV: StorageError,
+    SIGBUS: StorageError,
+    SIGILL: ProgramError,
+}
+
+
+def raise_routine(exc_class: Type[AdaException], detail: str = ""):
+    """A redirect target that raises ``exc_class`` at the interruption
+    point (runs as a simulated frame)."""
+
+    def _raiser(pt):
+        raise exc_class(detail)
+        yield  # pragma: no cover - makes it a generator
+
+    _raiser.__name__ = "raise_%s" % exc_class.ada_name.lower()
+    return _raiser
+
+
+def signal_exception_handler(pt, sig: int):
+    """The user handler installed for synchronous signals: redirect to
+    the raise routine for the mapped exception."""
+    exc_class = SIGNAL_EXCEPTIONS.get(sig, ProgramError)
+    yield pt.sig_redirect(raise_routine(exc_class, "signal %d" % sig))

@@ -1,0 +1,226 @@
+"""Rendezvous: entry calls and accept statements.
+
+Ada tasks synchronise by *rendezvous*: a caller issues an entry call
+and blocks; the callee accepts the entry, optionally executes a body
+while the caller stays blocked (extended rendezvous), and both proceed.
+Built entirely from Pthreads mutexes and condition variables, as the
+paper's Ada runtime was.
+
+Also implements Ada's *selective wait* (accept alternatives with an
+optional delay or else part) and *timed entry calls*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.ada.exceptions import AdaException, TaskingError
+from repro.core.errors import ETIMEDOUT
+
+
+class EntryCall:
+    """One caller blocked in a rendezvous."""
+
+    __slots__ = ("args", "cond", "done", "result", "exc", "cancelled")
+
+    def __init__(self, args: tuple, cond: Any) -> None:
+        self.args = args
+        self.cond = cond  # signalled when the rendezvous completes
+        self.done = False
+        self.result: Any = None
+        self.exc: Optional[AdaException] = None
+        self.cancelled = False  # timed call withdrew
+
+
+class EntrySet:
+    """A task's entries, created lazily by name."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[EntryCall]] = {}
+
+    def queue(self, name: str) -> Deque[EntryCall]:
+        return self._queues.setdefault(name, deque())
+
+    def pending(self, name: str) -> int:
+        return len(self._queues.get(name, ()))
+
+    def all_queued(self):
+        for queue in self._queues.values():
+            for call in queue:
+                yield call
+
+    def clear(self) -> None:
+        self._queues.clear()
+
+
+# ---------------------------------------------------------------------------
+# Caller side
+# ---------------------------------------------------------------------------
+
+
+def entry_call_body(pt, callee, name: str, args: tuple):
+    """``callee.name(args)``: block until the rendezvous completes."""
+    yield pt.mutex_lock(callee.mutex)
+    if callee.completed:
+        yield pt.mutex_unlock(callee.mutex)
+        raise TaskingError("entry call on completed task %s" % callee.name)
+    call = EntryCall(args, cond=(yield pt.cond_init()))
+    callee.entries.queue(name).append(call)
+    yield pt.cond_signal(callee.accept_cond)
+    while not call.done and not callee.completed:
+        yield pt.cond_wait(call.cond, callee.mutex)
+    yield pt.mutex_unlock(callee.mutex)
+    if not call.done:
+        raise TaskingError("task %s completed during rendezvous" % callee.name)
+    if call.exc is not None:
+        raise call.exc
+    return call.result
+
+
+def timed_entry_call_body(pt, callee, name: str, args: tuple, seconds: float):
+    """Ada timed entry call: withdraw if not accepted in time.
+
+    Returns ``(True, result)`` on rendezvous, ``(False, None)`` on
+    timeout.
+    """
+    deadline_us = seconds * 1e6
+    yield pt.mutex_lock(callee.mutex)
+    if callee.completed:
+        yield pt.mutex_unlock(callee.mutex)
+        raise TaskingError("entry call on completed task %s" % callee.name)
+    call = EntryCall(args, cond=(yield pt.cond_init()))
+    queue = callee.entries.queue(name)
+    queue.append(call)
+    yield pt.cond_signal(callee.accept_cond)
+    while not call.done and not callee.completed:
+        err = yield pt.cond_timedwait(call.cond, callee.mutex, deadline_us)
+        if err == ETIMEDOUT and not call.done:
+            # Withdraw the call -- unless the acceptor already took it
+            # off the queue (then the rendezvous must finish).
+            if call in queue:
+                queue.remove(call)
+                call.cancelled = True
+                yield pt.mutex_unlock(callee.mutex)
+                return (False, None)
+    yield pt.mutex_unlock(callee.mutex)
+    if not call.done:
+        raise TaskingError("task %s completed during rendezvous" % callee.name)
+    if call.exc is not None:
+        raise call.exc
+    return (True, call.result)
+
+
+def conditional_entry_call_body(pt, callee, name: str, args: tuple):
+    """Ada conditional entry call (``select call else ...``).
+
+    The call proceeds only if the callee is *immediately* ready to
+    accept -- i.e. it is blocked in an accept/selective wait offering
+    this entry.  Returns ``(True, result)`` or ``(False, None)``.
+    """
+    yield pt.mutex_lock(callee.mutex)
+    ready = (
+        not callee.completed
+        and callee.acceptor_waiting_on is not None
+        and name in callee.acceptor_waiting_on
+    )
+    if not ready:
+        yield pt.mutex_unlock(callee.mutex)
+        return (False, None)
+    call = EntryCall(args, cond=(yield pt.cond_init()))
+    callee.entries.queue(name).append(call)
+    yield pt.cond_signal(callee.accept_cond)
+    while not call.done and not callee.completed:
+        yield pt.cond_wait(call.cond, callee.mutex)
+    yield pt.mutex_unlock(callee.mutex)
+    if not call.done:
+        raise TaskingError("task %s completed during rendezvous" % callee.name)
+    if call.exc is not None:
+        raise call.exc
+    return (True, call.result)
+
+
+# ---------------------------------------------------------------------------
+# Acceptor side
+# ---------------------------------------------------------------------------
+
+
+def accept_body(pt, task, name: str, handler):
+    """``accept name`` [``do`` handler]: complete one rendezvous.
+
+    With no handler this is a simple rendezvous (returns the caller's
+    args); with a handler, an extended rendezvous: ``handler(pt,
+    *args)`` runs while the caller stays blocked, and its return value
+    becomes the caller's result.  An :class:`AdaException` in the
+    handler propagates in *both* tasks, per the RM.
+    """
+    yield pt.mutex_lock(task.mutex)
+    queue = task.entries.queue(name)
+    task.acceptor_waiting_on = {name}
+    while not queue:
+        yield pt.cond_wait(task.accept_cond, task.mutex)
+    task.acceptor_waiting_on = None
+    call = queue.popleft()
+    yield pt.mutex_unlock(task.mutex)
+    result, exc = None, None
+    if handler is not None:
+        try:
+            result = yield pt.call(handler, *call.args)
+        except AdaException as caught:
+            exc = caught
+    yield pt.mutex_lock(task.mutex)
+    call.result = result
+    call.exc = exc
+    call.done = True
+    yield pt.cond_signal(call.cond)
+    yield pt.mutex_unlock(task.mutex)
+    if exc is not None:
+        raise exc
+    return call.args if handler is None else result
+
+
+def select_body(pt, task, accepts, delay_seconds, else_part):
+    """Ada selective wait.
+
+    ``accepts`` maps entry names to handlers (or None).  Returns a
+    triple ``(kind, name, value)`` where kind is ``"accept"``,
+    ``"delay"`` (the delay alternative expired) or ``"else"``.
+    """
+    deadline_us = None if delay_seconds is None else delay_seconds * 1e6
+    yield pt.mutex_lock(task.mutex)
+    while True:
+        for name, handler in accepts.items():
+            if task.entries.pending(name):
+                task.acceptor_waiting_on = None
+                call = task.entries.queue(name).popleft()
+                yield pt.mutex_unlock(task.mutex)
+                result, exc = None, None
+                if handler is not None:
+                    try:
+                        result = yield pt.call(handler, *call.args)
+                    except AdaException as caught:
+                        exc = caught
+                yield pt.mutex_lock(task.mutex)
+                call.result = result
+                call.exc = exc
+                call.done = True
+                yield pt.cond_signal(call.cond)
+                yield pt.mutex_unlock(task.mutex)
+                if exc is not None:
+                    raise exc
+                value = call.args if handler is None else result
+                return ("accept", name, value)
+        if else_part:
+            yield pt.mutex_unlock(task.mutex)
+            return ("else", None, None)
+        task.acceptor_waiting_on = set(accepts)
+        if deadline_us is not None:
+            err = yield pt.cond_timedwait(
+                task.accept_cond, task.mutex, deadline_us
+            )
+            if err == ETIMEDOUT:
+                task.acceptor_waiting_on = None
+                yield pt.mutex_unlock(task.mutex)
+                return ("delay", None, None)
+        else:
+            yield pt.cond_wait(task.accept_cond, task.mutex)

@@ -1,0 +1,69 @@
+"""The Ada runtime system object.
+
+Owns a Pthreads runtime, installs the synchronous-signal-to-exception
+mapping, and starts the *environment task* (the Ada main program).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.ada import tasks as _tasks
+from repro.ada.exceptions import SIGNAL_EXCEPTIONS, signal_exception_handler
+from repro.core import config as cfg
+from repro.core.fakecall import UserAction
+from repro.core.runtime import PthreadsRuntime
+
+
+class AdaRuntime:
+    """An Ada tasking runtime layered on one Pthreads runtime."""
+
+    def __init__(self, model: str = "sparc-ipx", **runtime_kwargs: Any) -> None:
+        self.rt = PthreadsRuntime(model=model, **runtime_kwargs)
+        # Synchronous signals become predefined exceptions via the
+        # fake-call redirect feature.
+        for sig in SIGNAL_EXCEPTIONS:
+            self.rt.user_actions[sig] = UserAction(signal_exception_handler)
+        self.environment_task: Optional[_tasks.AdaTask] = None
+
+    def main_task(
+        self,
+        body: Callable,
+        *args: Any,
+        name: str = "environment",
+        priority: int = cfg.PTHREAD_DEFAULT_PRIORITY,
+    ) -> _tasks.AdaTask:
+        """Create the environment task running ``body(ada, *args)``."""
+        if self.environment_task is not None:
+            raise RuntimeError("environment task already created")
+        task = _tasks.AdaTask(name)
+        task.tcb = self.rt.main(
+            _environment_shell,
+            task,
+            body,
+            args,
+            name=name,
+            priority=priority,
+        )
+        self.environment_task = task
+        return task
+
+    def run(self, **kwargs: Any) -> None:
+        """Run until the whole program (all tasks) completes."""
+        self.rt.run(**kwargs)
+
+    @property
+    def world(self):
+        return self.rt.world
+
+    def __repr__(self) -> str:
+        return "AdaRuntime(%r)" % (self.rt,)
+
+
+def _environment_shell(pt, task: _tasks.AdaTask, body, args):
+    """Bootstrap frame: the environment task must create its own
+    rendezvous objects before the generic shell can run."""
+    task.mutex = yield pt.mutex_init()
+    task.accept_cond = yield pt.cond_init()
+    result = yield from _tasks.task_shell(pt, task, body, args)
+    return result

@@ -1,0 +1,191 @@
+"""Ada tasks mapped onto Pthreads threads.
+
+Each :class:`AdaTask` wraps one thread plus its rendezvous state (a
+mutex, an "accept" condition variable, and the entry queues).  The
+*task shell* -- the thread body the runtime actually creates -- sets
+Ada semantics up around the user's task body:
+
+- a cleanup handler marks the task completed and releases any queued
+  entry callers with TASKING_ERROR (it runs on normal completion,
+  abort, and unhandled exceptions alike, because return-from-body is an
+  implicit ``pthread_exit``);
+- interruptibility is set to asynchronous, so ``abort`` (mapped onto
+  ``pthread_cancel``) takes effect immediately, as Ada requires;
+- on normal completion the task awaits its dependents (Ada's
+  master/dependent rule); an aborting task aborts them.
+
+Task bodies are generators ``body(ada, *args)`` receiving an
+:class:`Ada` facade that extends the thread-level ``pt`` API with
+tasking operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.ada import rendezvous as rv
+from repro.ada.exceptions import AdaException
+from repro.core import config as cfg
+from repro.core.tcb import Tcb
+from repro.sim.ops import Invoke
+
+_task_ids = itertools.count(1)
+
+
+class TaskAborted(AdaException):
+    """Raised in contexts that observe their own abort."""
+
+    ada_name = "TASK_ABORTED"
+
+
+class AdaTask:
+    """One Ada task: a thread plus rendezvous state."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.task_id = next(_task_ids)
+        self.name = name or "task-%d" % self.task_id
+        self.tcb: Optional[Tcb] = None
+        self.mutex = None  # created inside the spawner (simulated calls)
+        self.accept_cond = None
+        self.entries = rv.EntrySet()
+        #: While the task blocks in accept/select, the entry names it
+        #: offers (conditional entry calls test this).
+        self.acceptor_waiting_on = None
+        self.completed = False
+        self.children: List["AdaTask"] = []
+        self.parent: Optional["AdaTask"] = None
+        self.result: Any = None
+
+    @property
+    def terminated(self) -> bool:
+        tcb = self.tcb
+        return self.completed and (tcb is None or not tcb.alive)
+
+    def __repr__(self) -> str:
+        return "AdaTask(%s, completed=%s)" % (self.name, self.completed)
+
+
+class Ada:
+    """The tasking facade handed to every task body."""
+
+    def __init__(self, pt, task: AdaTask) -> None:
+        self.pt = pt
+        self.task = task
+
+    # -- structure ---------------------------------------------------------
+
+    def spawn(
+        self,
+        body: Callable,
+        *args: Any,
+        name: Optional[str] = None,
+        priority: Optional[int] = None,
+    ) -> Invoke:
+        """Declare-and-activate a dependent task; returns the AdaTask."""
+        return Invoke(_spawn_body, (self.task, body, args, name, priority))
+
+    def await_dependents(self) -> Invoke:
+        """Block until every dependent task completes (master rule)."""
+        return Invoke(_await_dependents_body, (self.task,))
+
+    # -- rendezvous -----------------------------------------------------------
+
+    def entry_call(self, callee: AdaTask, entry: str, *args: Any) -> Invoke:
+        return Invoke(rv.entry_call_body, (callee, entry, args))
+
+    def timed_entry_call(
+        self, callee: AdaTask, entry: str, seconds: float, *args: Any
+    ) -> Invoke:
+        return Invoke(rv.timed_entry_call_body, (callee, entry, args, seconds))
+
+    def conditional_entry_call(
+        self, callee: AdaTask, entry: str, *args: Any
+    ) -> Invoke:
+        """``select call else``: rendezvous only if immediately ready."""
+        return Invoke(rv.conditional_entry_call_body, (callee, entry, args))
+
+    def accept(self, entry: str, handler: Optional[Callable] = None) -> Invoke:
+        return Invoke(rv.accept_body, (self.task, entry, handler))
+
+    def select(
+        self,
+        accepts: dict,
+        delay_seconds: Optional[float] = None,
+        else_part: bool = False,
+    ) -> Invoke:
+        return Invoke(
+            rv.select_body, (self.task, accepts, delay_seconds, else_part)
+        )
+
+    # -- time and control --------------------------------------------------------
+
+    def delay(self, seconds: float):
+        """The Ada ``delay`` statement."""
+        return self.pt.delay_us(seconds * 1e6)
+
+    def abort(self, victim: AdaTask):
+        """``abort victim``: cancellation, asynchronous."""
+        return self.pt.cancel(victim.tcb)
+
+    def __repr__(self) -> str:
+        return "Ada(%s)" % self.task.name
+
+
+# ---------------------------------------------------------------------------
+# Shell and helpers (simulated-code generators)
+# ---------------------------------------------------------------------------
+
+
+def task_shell(pt, task: AdaTask, body: Callable, args: tuple):
+    """The thread body wrapping every Ada task."""
+    yield pt.cleanup_push(_completion_handler, task)
+    yield pt.setintrtype(cfg.PTHREAD_INTR_ASYNCHRONOUS)
+    ada = Ada(pt, task)
+    result = yield from body(ada, *args)
+    yield from _await_dependents_body(pt, task)
+    task.result = result
+    return result
+
+
+def _completion_handler(pt, task: AdaTask):
+    """Cleanup handler: completion processing (runs on every exit path)."""
+    # Abort still-running dependents (Ada: abort is transitive).
+    for child in task.children:
+        if child.tcb is not None and child.tcb.alive:
+            yield pt.cancel(child.tcb)
+    err = yield pt.mutex_lock(task.mutex)
+    task.completed = True
+    yield pt.cond_broadcast(task.accept_cond)
+    for call in task.entries.all_queued():
+        yield pt.cond_signal(call.cond)
+    task.entries.clear()
+    if err == 0:
+        yield pt.mutex_unlock(task.mutex)
+
+
+def _spawn_body(pt, parent: AdaTask, body, args, name, priority):
+    task = AdaTask(name)
+    task.parent = parent
+    if parent is not None:
+        parent.children.append(task)
+    task.mutex = yield pt.mutex_init()
+    task.accept_cond = yield pt.cond_init()
+    prio = priority if priority is not None else cfg.PTHREAD_DEFAULT_PRIORITY
+    from repro.core.attr import ThreadAttr
+
+    task.tcb = yield pt.create(
+        task_shell,
+        task,
+        body,
+        args,
+        attr=ThreadAttr(priority=prio, name=task.name),
+    )
+    return task
+
+
+def _await_dependents_body(pt, task: AdaTask):
+    for child in list(task.children):
+        if child.tcb is not None and not child.tcb.reclaimed:
+            yield pt.join(child.tcb)
+    return None

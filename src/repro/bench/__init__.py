@@ -1,0 +1,27 @@
+"""The measurement harness for the paper's evaluation.
+
+- :mod:`repro.bench.dualloop` -- dual-loop timing over the virtual
+  clock (the paper's methodology).
+- :mod:`repro.bench.metrics` -- one measurement routine per Table 2
+  row, each building a fresh runtime and exercising the real code
+  path.
+- :mod:`repro.bench.table2` -- the paper's reported numbers and the
+  row schema.
+- :mod:`repro.bench.reporting` -- the formatter that prints the
+  paper-vs-measured table.
+"""
+
+from repro.bench.dualloop import DualLoopTimer
+from repro.bench.metrics import MEASUREMENTS, measure_all, measure_row
+from repro.bench.reporting import format_table2
+from repro.bench.table2 import PAPER_TABLE2, Table2Row
+
+__all__ = [
+    "DualLoopTimer",
+    "MEASUREMENTS",
+    "PAPER_TABLE2",
+    "Table2Row",
+    "format_table2",
+    "measure_all",
+    "measure_row",
+]

@@ -1,0 +1,84 @@
+"""Calibration verification: measured vs paper, programmatically.
+
+`repro/hw/costs.py` is the repository's only tuning surface; this
+module re-measures every Table 2 row and reports relative deviation
+from the paper's "Ours" columns, so a change to the library code that
+silently shifts a metric shows up immediately (the calibration tests
+in ``benchmarks/`` gate on these numbers).
+
+    python -m repro.bench.calibrate
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.metrics import MEASUREMENTS
+from repro.bench.table2 import PAPER_TABLE2
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One (row, machine) check."""
+
+    key: str
+    model: str
+    paper_us: float
+    measured_us: float
+
+    @property
+    def deviation(self) -> float:
+        """Signed relative deviation (0.1 = 10 % above the paper)."""
+        return self.measured_us / self.paper_us - 1.0
+
+    def within(self, tolerance: float) -> bool:
+        return abs(self.deviation) <= tolerance
+
+    def __str__(self) -> str:
+        return "%-26s %-9s paper %7.1f  measured %7.1f  (%+5.1f%%)" % (
+            self.key,
+            self.model,
+            self.paper_us,
+            self.measured_us,
+            self.deviation * 100,
+        )
+
+
+def calibration_points(
+    models: Optional[List[str]] = None,
+) -> List[CalibrationPoint]:
+    """Measure every row that has a paper value on the given models."""
+    points: List[CalibrationPoint] = []
+    for row in PAPER_TABLE2:
+        targets: Dict[str, Optional[float]] = {
+            "sparc-1+": row.ours_1plus,
+            "sparc-ipx": row.ours_ipx,
+        }
+        for model, paper_us in targets.items():
+            if paper_us is None:
+                continue
+            if models is not None and model not in models:
+                continue
+            measured = MEASUREMENTS[row.key](model)
+            points.append(
+                CalibrationPoint(row.key, model, paper_us, measured)
+            )
+    return points
+
+
+def worst_deviation(points: List[CalibrationPoint]) -> float:
+    return max(abs(p.deviation) for p in points)
+
+
+def report(points: Optional[List[CalibrationPoint]] = None) -> str:
+    points = points if points is not None else calibration_points()
+    lines = [str(p) for p in points]
+    lines.append(
+        "worst deviation: %.1f%%" % (worst_deviation(points) * 100)
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report())

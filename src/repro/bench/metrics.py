@@ -1,0 +1,429 @@
+"""One measurement routine per Table 2 row.
+
+Every routine builds a fresh world, runs the paper's scenario for that
+metric through the real library code paths, and returns the measured
+latency in simulated microseconds.  Nothing here charges costs
+directly -- the numbers emerge from the code the library executes.
+
+Scenarios follow the paper's text:
+
+- mutex contention times "the interval between an unlock by thread A
+  and the return from a lock operation by thread B (which was
+  suspended while A held the mutex)";
+- semaphore synchronization is "one Dijkstra P operation plus one V
+  operation" in a two-thread ping-pong;
+- thread creation excludes the context switch and assumes a pooled
+  TCB/stack;
+- the process context switch times "two alternating processes which
+  activate each other by exchanging signals minus the time required
+  for process signal delivery".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.dualloop import LOOP_OVERHEAD_CYCLES
+from repro.core.attr import ThreadAttr
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import PthreadsRuntime
+from repro.sim.world import World
+from repro.unix import process as uproc
+from repro.unix.kernel import UnixKernel
+from repro.unix.signals import SigAction, SigCause
+from repro.unix.sigset import SIGUSR1, SigSet
+
+ITERS = 50
+
+
+def _runtime(model: str) -> PthreadsRuntime:
+    return PthreadsRuntime(
+        model=model,
+        config=RuntimeConfig(timeslice_us=None, pool_size=8),
+    )
+
+
+def _per_op(world: World, cycles: int, ops: int) -> float:
+    """Dual-loop reduction: strip loop overhead, average per op."""
+    return world.us(max(cycles - LOOP_OVERHEAD_CYCLES * ops, 0)) / ops
+
+
+# ---------------------------------------------------------------------------
+# Rows
+# ---------------------------------------------------------------------------
+
+
+def measure_kernel_enter_exit(model: str) -> float:
+    """Row 1: set/clear the kernel flag (the library's "kernel call")."""
+    rt = _runtime(model)
+    world = rt.world
+    start = world.now
+    for _ in range(ITERS):
+        rt.kern.enter()
+        rt.kern.leave()
+        world.spend_cycles(LOOP_OVERHEAD_CYCLES, fire=False)
+    return _per_op(world, world.now - start, ITERS)
+
+
+def measure_unix_kernel_enter_exit(model: str) -> float:
+    """Row 2: a ``getpid`` round trip into the UNIX kernel."""
+    rt = _runtime(model)
+    out: Dict[str, float] = {}
+
+    def main(pt):
+        world = pt.runtime.world
+        start = world.now
+        for _ in range(ITERS):
+            yield pt.unix_getpid()
+            yield pt.work(LOOP_OVERHEAD_CYCLES)
+        out["us"] = _per_op(world, world.now - start, ITERS)
+
+    rt.main(main)
+    rt.run()
+    return out["us"]
+
+
+def measure_mutex_pair_uncontended(model: str) -> float:
+    """Row 3: lock + unlock of a free, no-protocol mutex."""
+    rt = _runtime(model)
+    out: Dict[str, float] = {}
+
+    def main(pt):
+        world = pt.runtime.world
+        mutex = yield pt.mutex_init()
+        start = world.now
+        for _ in range(ITERS):
+            yield pt.mutex_lock(mutex)
+            yield pt.mutex_unlock(mutex)
+            yield pt.work(LOOP_OVERHEAD_CYCLES)
+        out["us"] = _per_op(world, world.now - start, ITERS)
+
+    rt.main(main)
+    rt.run()
+    return out["us"]
+
+
+def measure_mutex_pair_contended(model: str) -> float:
+    """Row 4: unlock by A until the suspended B's lock returns."""
+    rt = _runtime(model)
+    world = rt.world
+    unlock_at: List[int] = []
+    return_at: List[int] = []
+    rounds = 12
+
+    def contender(pt, mutex, gate):
+        # High priority: each round it blocks on the mutex held by A.
+        for _ in range(rounds):
+            yield pt.sem_wait(gate)  # wait until A holds the mutex
+            yield pt.mutex_lock(mutex)  # suspends; A will unlock
+            return_at.append(pt.runtime.world.now)
+            yield pt.mutex_unlock(mutex)
+
+    def main(pt):
+        mutex = yield pt.mutex_init()
+        gate = yield pt.sem_init(0)
+        b = yield pt.create(
+            contender, mutex, gate,
+            attr=ThreadAttr(priority=100), name="B",
+        )
+        for _ in range(rounds):
+            yield pt.mutex_lock(mutex)
+            yield pt.sem_post(gate)  # B runs, blocks on the mutex
+            unlock_at.append(pt.runtime.world.now)
+            yield pt.mutex_unlock(mutex)  # B preempts and returns
+        yield pt.join(b)
+
+    rt.main(main, priority=20)
+    rt.run()
+    deltas = [r - u for u, r in zip(unlock_at, return_at)]
+    return world.us(sum(deltas)) / len(deltas)
+
+
+def measure_semaphore_sync(model: str) -> float:
+    """Row 5: one P plus one V, two-thread ping-pong."""
+    rt = _runtime(model)
+    out: Dict[str, float] = {}
+    rounds = 20
+
+    def partner(pt, s1, s2):
+        for _ in range(rounds):
+            yield pt.sem_wait(s1)
+            yield pt.sem_post(s2)
+
+    def main(pt):
+        world = pt.runtime.world
+        s1 = yield pt.sem_init(0)
+        s2 = yield pt.sem_init(0)
+        other = yield pt.create(partner, s1, s2, name="partner")
+        start = world.now
+        for _ in range(rounds):
+            yield pt.sem_post(s1)
+            yield pt.sem_wait(s2)
+        # Each round performs two P and two V operations.
+        out["us"] = world.us(world.now - start) / (2 * rounds)
+        yield pt.join(other)
+
+    rt.main(main)
+    rt.run()
+    return out["us"]
+
+
+def measure_thread_create(model: str) -> float:
+    """Row 6: pthread_create with a pooled TCB/stack, no switch."""
+    rt = _runtime(model)
+    out: Dict[str, float] = {}
+
+    def child(pt):
+        return
+        yield  # pragma: no cover - makes it a generator
+
+    def main(pt):
+        world = pt.runtime.world
+        total = 0
+        for _ in range(ITERS):
+            start = world.now
+            # Lower priority: the child cannot preempt the creator.
+            t = yield pt.create(child, attr=ThreadAttr(priority=10))
+            total += world.now - start
+            yield pt.join(t)  # recycle the pool entry
+        out["us"] = world.us(total) / ITERS
+
+    rt.main(main, priority=50)
+    rt.run()
+    return out["us"]
+
+
+def measure_setjmp_longjmp(model: str) -> float:
+    """Row 7: a setjmp/longjmp pair."""
+    rt = _runtime(model)
+    out: Dict[str, float] = {}
+
+    def jumper(pt, buf):
+        yield pt.longjmp(buf, 1)
+
+    def main(pt):
+        world = pt.runtime.world
+        start = world.now
+        for _ in range(ITERS):
+            buf = yield pt.jmp_buf()
+            jumped, value = yield pt.setjmp_block(buf, jumper, buf)
+            assert jumped and value == 1
+            yield pt.work(LOOP_OVERHEAD_CYCLES)
+        out["us"] = _per_op(world, world.now - start, ITERS)
+
+    rt.main(main)
+    rt.run()
+    return out["us"]
+
+
+def measure_thread_context_switch(model: str) -> float:
+    """Row 8: yield ping-pong between two equal-priority threads."""
+    rt = _runtime(model)
+    out: Dict[str, float] = {}
+    rounds = 25
+
+    def partner(pt):
+        for _ in range(rounds):
+            yield pt.yield_()
+
+    def main(pt):
+        world = pt.runtime.world
+        other = yield pt.create(partner, name="partner")
+        start = world.now
+        for _ in range(rounds):
+            yield pt.yield_()
+        out["us"] = world.us(world.now - start) / (2 * rounds)
+        yield pt.join(other)
+
+    rt.main(main)
+    rt.run()
+    return out["us"]
+
+
+def measure_process_context_switch(model: str) -> float:
+    """Row 9: alternating processes exchanging signals, minus the
+    signal-delivery time (the paper's subtraction)."""
+    rounds = 10
+
+    # Part 1: the ping-pong.
+    world = World(model)
+    kernel = UnixKernel(world)
+
+    def body(pt_ignored=None, peer_pid=None):
+        raise NotImplementedError  # replaced below
+
+    def make_body(peer_pid_holder, n):
+        def process_body():
+            for i in range(n):
+                yield uproc.kill(peer_pid_holder[0], SIGUSR1)
+                if i < n - 1:
+                    yield uproc.pause()
+        return process_body
+
+    peer_a: List[int] = [0]
+    peer_b: List[int] = [0]
+    proc_a = uproc.UnixProcess(kernel, make_body(peer_a, rounds), name="A")
+    proc_b = uproc.UnixProcess(kernel, make_body(peer_b, rounds), name="B")
+    peer_a[0] = proc_b.pid
+    peer_b[0] = proc_a.pid
+    for proc in (proc_a, proc_b):
+        kernel.sigaction(
+            proc, SIGUSR1, SigAction(handler=lambda sig, cause: None)
+        )
+    sched = uproc.UnixScheduler(world, kernel)
+    sched.add(proc_a)
+    sched.add(proc_b)
+    start = world.now
+    sched.run()
+    elapsed = world.now - start
+    switches = sched.process_switches
+    per_round = elapsed / max(switches, 1)
+
+    # Part 2: signal delivery alone (self-signal, same kernel costs).
+    world2 = World(model)
+    kernel2 = UnixKernel(world2)
+    proc_c = uproc.UnixProcess(kernel2, None, name="C")
+    proc_c.auto_deliver = True
+    kernel2.sigaction(
+        proc_c, SIGUSR1, SigAction(handler=lambda sig, cause: None)
+    )
+    start2 = world2.now
+    for _ in range(rounds):
+        kernel2.kill(proc_c, SIGUSR1)
+    delivery = (world2.now - start2) / rounds
+
+    # Each switch carries one kill + one delivery + one pause with it.
+    pause_overhead = world.model.cost("syscall")
+    return world.us(int(per_round - delivery - pause_overhead))
+
+
+def measure_signal_internal(model: str) -> float:
+    """Row 10: pthread_kill to a suspended thread until its handler
+    runs -- no UNIX kernel involvement at all."""
+    rt = _runtime(model)
+    world = rt.world
+    sent: List[int] = []
+    received: List[int] = []
+    rounds = 10
+
+    def handler(pt, sig):
+        received.append(pt.runtime.world.now)
+        return
+        yield  # pragma: no cover
+
+    def victim(pt):
+        # Suspend forever; each signal interrupts the delay, runs the
+        # handler, and the wait returns EINTR -- so loop.
+        for _ in range(rounds):
+            yield pt.delay_us(1_000_000)
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        v = yield pt.create(
+            victim, attr=ThreadAttr(priority=100), name="victim"
+        )
+        yield pt.delay_us(50)
+        for _ in range(rounds):
+            sent.append(pt.runtime.world.now)
+            yield pt.kill(v, SIGUSR1)
+            yield pt.delay_us(50)
+        yield pt.cancel(v)
+        yield pt.join(v)
+
+    rt.main(main, priority=50)
+    rt.run()
+    deltas = [r - s for s, r in zip(sent, received)]
+    return world.us(sum(deltas)) / len(deltas)
+
+
+def measure_signal_external(model: str) -> float:
+    """Row 11: a signal from outside the process, demultiplexed by the
+    universal handler to the right thread's handler."""
+    rt = _runtime(model)
+    world = rt.world
+    sent: List[int] = []
+    received: List[int] = []
+    rounds = 10
+
+    def handler(pt, sig):
+        received.append(pt.runtime.world.now)
+        return
+        yield  # pragma: no cover
+
+    def victim(pt):
+        for _ in range(rounds):
+            yield pt.delay_us(1_000_000)
+
+    def main(pt):
+        from repro.core.signals import SIG_BLOCK
+
+        yield pt.sigaction(SIGUSR1, handler)
+        # Only the victim leaves SIGUSR1 unmasked: rule 5's linear
+        # search directs the external signal at it.
+        yield pt.sigmask(SIG_BLOCK, SigSet([SIGUSR1]))
+        yield pt.create(victim, attr=ThreadAttr(priority=100), name="victim")
+        # Busy main-loop: external signals land mid-computation.
+        for _ in range(rounds):
+            yield pt.work(world.cycles_for_us(400))
+
+    def external_sender():
+        sent.append(world.now)
+        rt.unix.kill(rt.proc, SIGUSR1)
+
+    for i in range(rounds):
+        rt.world.schedule_in(
+            world.cycles_for_us(300 + 400 * i), external_sender, name="ext"
+        )
+    rt.main(main, priority=50)
+    rt.run(until_us=300 + 400 * (rounds + 2))
+    deltas = [r - s for s, r in zip(sent, received)]
+    return world.us(sum(deltas)) / len(deltas)
+
+
+def measure_unix_signal_handler(model: str) -> float:
+    """Row 12: raw UNIX signal delivery to an ordinary handler."""
+    world = World(model)
+    kernel = UnixKernel(world)
+    proc = uproc.UnixProcess(kernel, None, name="solo")
+    proc.auto_deliver = True
+    received: List[int] = []
+    kernel.sigaction(
+        proc,
+        SIGUSR1,
+        SigAction(handler=lambda sig, cause: received.append(world.now)),
+    )
+    rounds = 10
+    sent = []
+    for _ in range(rounds):
+        sent.append(world.now)
+        # Posted by "the sender": the receiver pays delivery, not the
+        # sender's kill syscall.
+        kernel.post_signal(proc, SIGUSR1, SigCause(kind="external"))
+    deltas = [r - s for s, r in zip(sent, received)]
+    return world.us(sum(deltas)) / len(deltas)
+
+
+MEASUREMENTS: Dict[str, Callable[[str], float]] = {
+    "kernel_enter_exit": measure_kernel_enter_exit,
+    "unix_kernel_enter_exit": measure_unix_kernel_enter_exit,
+    "mutex_pair_uncontended": measure_mutex_pair_uncontended,
+    "mutex_pair_contended": measure_mutex_pair_contended,
+    "semaphore_sync": measure_semaphore_sync,
+    "thread_create": measure_thread_create,
+    "setjmp_longjmp": measure_setjmp_longjmp,
+    "thread_context_switch": measure_thread_context_switch,
+    "process_context_switch": measure_process_context_switch,
+    "signal_internal": measure_signal_internal,
+    "signal_external": measure_signal_external,
+    "unix_signal_handler": measure_unix_signal_handler,
+}
+
+
+def measure_row(key: str, model: str) -> float:
+    """Measure one Table 2 row on one CPU model."""
+    return MEASUREMENTS[key](model)
+
+
+def measure_all(model: str) -> Dict[str, float]:
+    """Measure every Table 2 row on one CPU model."""
+    return {key: fn(model) for key, fn in MEASUREMENTS.items()}

@@ -1,0 +1,47 @@
+"""Render the paper-vs-measured Table 2."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.table2 import PAPER_TABLE2
+
+
+def _cell(value: Optional[float]) -> str:
+    if value is None:
+        return "     -"
+    if value < 10:
+        return "%6.1f" % value
+    return "%6.0f" % value
+
+
+def format_table2(
+    measured_1plus: Dict[str, float],
+    measured_ipx: Dict[str, float],
+) -> str:
+    """The paper's Table 2 with measured columns beside each "Ours".
+
+    ``measured_*`` map row keys to simulated microseconds (missing
+    keys render as '-').
+    """
+    header = (
+        "%-34s | %6s %6s %6s | %6s %6s %6s\n"
+        % ("", "Sun", "Ours", "meas.", "Ours", "meas.", "Lynx")
+    )
+    header += (
+        "%-34s | %6s %6s %6s | %6s %6s %6s\n"
+        % ("Performance Metric [us]", "1+", "1+", "1+", "IPX", "IPX", "IPX")
+    )
+    rule = "-" * len(header.splitlines()[0]) + "\n"
+    body = ""
+    for row in PAPER_TABLE2:
+        body += "%-34s | %s %s %s | %s %s %s\n" % (
+            row.label,
+            _cell(row.sun_1plus),
+            _cell(row.ours_1plus),
+            _cell(measured_1plus.get(row.key)),
+            _cell(row.ours_ipx),
+            _cell(measured_ipx.get(row.key)),
+            _cell(row.lynx_ipx),
+        )
+    return header + rule + body

@@ -1,0 +1,82 @@
+"""Table 2 of the paper: the reported numbers and row schema.
+
+Column legend (all microseconds):
+
+- ``sun_1plus``   -- SunOS LWP threads on a SPARC 1+ (Powell et al.);
+- ``ours_1plus``  -- the paper's library on a SPARC 1+;
+- ``ours_ipx``    -- the paper's library on a SPARC IPX;
+- ``lynx_ipx``    -- a LynxOS pre-release on a SPARC IPX.
+
+``None`` means the paper's cell is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One performance metric of Table 2."""
+
+    key: str
+    label: str
+    sun_1plus: Optional[float]
+    ours_1plus: Optional[float]
+    ours_ipx: Optional[float]
+    lynx_ipx: Optional[float]
+
+
+PAPER_TABLE2 = [
+    Table2Row(
+        "kernel_enter_exit", "enter and exit Pthreads kernel",
+        None, None, 0.4, 7.5,
+    ),
+    Table2Row(
+        "unix_kernel_enter_exit", "enter and exit UNIX kernel",
+        None, None, 18.0, None,
+    ),
+    Table2Row(
+        "mutex_pair_uncontended", "mutex lock/unlock, no contention",
+        None, None, 1.0, 5.0,
+    ),
+    Table2Row(
+        "mutex_pair_contended", "mutex lock/unlock, contention",
+        None, None, 51.0, None,
+    ),
+    Table2Row(
+        "semaphore_sync", "semaphore synchronization",
+        158.0, 101.0, 55.0, 75.0,
+    ),
+    Table2Row(
+        "thread_create", "thread create, no context switch",
+        56.0, 25.0, 12.0, None,
+    ),
+    Table2Row(
+        "setjmp_longjmp", "setjmp/longjmp pair",
+        59.0, 49.0, 29.0, None,
+    ),
+    Table2Row(
+        "thread_context_switch", "thread context switch (yield)",
+        None, None, 37.0, 38.0,
+    ),
+    Table2Row(
+        "process_context_switch", "UNIX process context switch",
+        None, None, 123.0, 41.0,
+    ),
+    Table2Row(
+        "signal_internal", "thread signal handler (internal)",
+        None, None, 52.0, None,
+    ),
+    Table2Row(
+        "signal_external", "thread signal handler (external)",
+        None, None, 250.0, None,
+    ),
+    Table2Row(
+        "unix_signal_handler", "UNIX signal handler",
+        None, None, 154.0, None,
+    ),
+]
+
+ROWS_BY_KEY = {row.key: row for row in PAPER_TABLE2}

@@ -1,0 +1,164 @@
+"""Reusable synthetic workloads for benchmarks and stress tests.
+
+The paper's evaluation is micro-benchmarks; these composite workloads
+exercise the same primitives at scale (the "medium and fine-grain
+models of parallelism" its Future Work contemplates) and are shared by
+the scalability/ablation benches and the stress tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.attr import MutexAttr, ThreadAttr
+from repro.core.runtime import PthreadsRuntime
+
+
+def pipeline(stages: int, items: int, work_cycles: int = 500):
+    """An ``stages``-deep pipeline over condvar-guarded queues.
+
+    Returns a main generator; after the run, the returned dict (via
+    the main thread's exit value) reports per-item latency.
+    """
+
+    def stage_body(pt, inbox, outbox, m, cv_in, cv_out):
+        while True:
+            yield pt.mutex_lock(m)
+            while not inbox:
+                yield pt.cond_wait(cv_in, m)
+            item = inbox.pop(0)
+            yield pt.mutex_unlock(m)
+            if item is None:
+                if outbox is not None:
+                    yield pt.mutex_lock(m)
+                    outbox.append(None)
+                    yield pt.cond_signal(cv_out)
+                    yield pt.mutex_unlock(m)
+                return
+            yield pt.work(work_cycles)
+            if outbox is not None:
+                yield pt.mutex_lock(m)
+                outbox.append(item)
+                yield pt.cond_signal(cv_out)
+                yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        queues = [[] for _ in range(stages + 1)]
+        conds = []
+        for _ in range(stages + 1):
+            conds.append((yield pt.cond_init()))
+        threads = []
+        for s in range(stages):
+            outbox = queues[s + 1] if s + 1 < stages else None
+            cv_out = conds[s + 1] if s + 1 < stages else None
+            threads.append(
+                (
+                    yield pt.create(
+                        stage_body, queues[s], outbox, m,
+                        conds[s], cv_out, name="stage-%d" % s,
+                    )
+                )
+            )
+        for item in list(range(items)) + [None]:
+            yield pt.mutex_lock(m)
+            queues[0].append(item)
+            yield pt.cond_signal(conds[0])
+            yield pt.mutex_unlock(m)
+        for t in threads:
+            yield pt.join(t)
+        return {"items": items, "stages": stages}
+
+    return main
+
+
+def fan_out_fan_in(workers: int, chunks: int, work_cycles: int = 1_000):
+    """Scatter ``chunks`` of work over ``workers``; gather at a barrier."""
+
+    def worker(pt, barrier, results, index):
+        total = 0
+        for chunk in range(chunks):
+            yield pt.work(work_cycles)
+            total += chunk
+        results[index] = total
+        yield pt.barrier_wait(barrier)
+
+    def main(pt):
+        barrier = yield pt.barrier_init(workers + 1)
+        results = [None] * workers
+        for i in range(workers):
+            yield pt.create(
+                worker, barrier, results, i,
+                attr=ThreadAttr(priority=50), name="fan-%d" % i,
+            )
+        yield pt.barrier_wait(barrier)
+        assert all(r == sum(range(chunks)) for r in results)
+        return {"workers": workers}
+
+    return main
+
+
+def lock_storm(
+    threads: int,
+    iterations: int,
+    protocol: str = "none",
+    section_cycles: int = 200,
+    spread_priorities: bool = True,
+):
+    """Heavy contention on one mutex (protocol selectable)."""
+
+    def worker(pt, m, stats):
+        for _ in range(iterations):
+            yield pt.mutex_lock(m)
+            yield pt.work(section_cycles)
+            yield pt.mutex_unlock(m)
+            yield pt.work(50)
+        stats["done"] += 1
+
+    def main(pt):
+        m = yield pt.mutex_init(
+            MutexAttr(protocol=protocol, prioceiling=120)
+        )
+        stats = {"done": 0}
+        ts = []
+        for i in range(threads):
+            prio = 20 + (i * 13 % 80) if spread_priorities else 50
+            ts.append(
+                (
+                    yield pt.create(
+                        worker, m, stats,
+                        attr=ThreadAttr(priority=prio), name="ls-%d" % i,
+                    )
+                )
+            )
+        for t in ts:
+            yield pt.join(t)
+        assert stats["done"] == threads
+        return {"mutex": m}
+
+    return main
+
+
+def run_workload(
+    main_fn,
+    model: str = "sparc-ipx",
+    priority: int = 100,
+    timeslice_us: Optional[float] = None,
+    **runtime_kwargs: Any,
+) -> Dict[str, Any]:
+    """Run a workload main; returns summary statistics."""
+    from repro.core.config import RuntimeConfig
+
+    rt = PthreadsRuntime(
+        model=model,
+        config=RuntimeConfig(timeslice_us=timeslice_us, pool_size=64),
+        **runtime_kwargs,
+    )
+    rt.main(main_fn, priority=priority)
+    rt.run()
+    return {
+        "elapsed_us": rt.world.now_us,
+        "context_switches": rt.dispatcher.context_switches,
+        "syscalls": rt.unix.total_syscalls,
+        "runtime": rt,
+    }

@@ -1,0 +1,28 @@
+"""The Pthreads library (the paper's primary contribution).
+
+Public surface:
+
+- :class:`~repro.core.runtime.PthreadsRuntime` -- one process running
+  the library; create it, add a ``main`` thread, and ``run()``.
+- :class:`~repro.core.api.PT` -- the op facade thread bodies receive.
+- Attribute records (:class:`ThreadAttr`, :class:`MutexAttr`,
+  :class:`CondAttr`) and the configuration/priority constants in
+  :mod:`repro.core.config`.
+"""
+
+from repro.core.api import PT
+from repro.core.attr import CondAttr, MutexAttr, ThreadAttr
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import PthreadsRuntime
+from repro.core.tcb import Tcb, ThreadState
+
+__all__ = [
+    "CondAttr",
+    "MutexAttr",
+    "PT",
+    "PthreadsRuntime",
+    "RuntimeConfig",
+    "Tcb",
+    "ThreadAttr",
+    "ThreadState",
+]

@@ -1,0 +1,205 @@
+"""A C-flavoured, language-independent procedural interface.
+
+The paper stresses a "language-independent interface": every service is
+a *linkable entry point*, never a C macro, so any language binding can
+call it ("It was decided to avoid C macros for interface
+implementations in general ... trading the overhead of function calls
+... for the generality and language-independence of the interface").
+
+This module is that interface shape: plain functions named exactly
+like the POSIX entry points, returning op descriptors for the yielding
+runtime.  Bindings (the Ada layer, user code ported from C) can target
+these names one-for-one::
+
+    from repro.core import cinterface as c
+
+    def body(pt):
+        m = yield c.pthread_mutex_init(pt)
+        yield c.pthread_mutex_lock(pt, m)
+        yield c.pthread_mutex_unlock(pt, m)
+        me = yield c.pthread_self(pt)
+        yield c.pthread_exit(pt, 0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.unix.sigset import SigSet
+
+# -- thread management --------------------------------------------------------
+
+
+def pthread_create(pt, fn: Callable, *args: Any, attr=None, name=None):
+    return pt.create(fn, *args, attr=attr, name=name)
+
+
+def pthread_join(pt, thread):
+    return pt.join(thread)
+
+
+def pthread_detach(pt, thread):
+    return pt.detach(thread)
+
+
+def pthread_exit(pt, value: Any = None):
+    return pt.exit(value)
+
+
+def pthread_self(pt):
+    return pt.self_id()
+
+
+def pthread_equal(pt, a, b):
+    return pt.equal(a, b)
+
+
+def pthread_yield(pt):
+    return pt.yield_()
+
+
+def pthread_setprio(pt, thread, priority: int):
+    return pt.setprio(thread, priority)
+
+
+def pthread_getprio(pt, thread):
+    return pt.getprio(thread)
+
+
+def pthread_setschedparam(pt, thread, policy, priority: int):
+    return pt.setschedparam(thread, policy, priority)
+
+
+def pthread_getschedparam(pt, thread):
+    return pt.getschedparam(thread)
+
+
+# -- mutexes ----------------------------------------------------------------------
+
+
+def pthread_mutex_init(pt, attr=None):
+    return pt.mutex_init(attr)
+
+
+def pthread_mutex_destroy(pt, mutex):
+    return pt.mutex_destroy(mutex)
+
+
+def pthread_mutex_lock(pt, mutex):
+    return pt.mutex_lock(mutex)
+
+
+def pthread_mutex_trylock(pt, mutex):
+    return pt.mutex_trylock(mutex)
+
+
+def pthread_mutex_unlock(pt, mutex):
+    return pt.mutex_unlock(mutex)
+
+
+def pthread_mutex_setprioceiling(pt, mutex, ceiling: int):
+    return pt.mutex_setprioceiling(mutex, ceiling)
+
+
+def pthread_mutex_getprioceiling(pt, mutex):
+    return pt.mutex_getprioceiling(mutex)
+
+
+# -- condition variables ------------------------------------------------------------
+
+
+def pthread_cond_init(pt, attr=None):
+    return pt.cond_init(attr)
+
+
+def pthread_cond_destroy(pt, cond):
+    return pt.cond_destroy(cond)
+
+
+def pthread_cond_wait(pt, cond, mutex):
+    return pt.cond_wait(cond, mutex)
+
+
+def pthread_cond_timedwait(pt, cond, mutex, timeout_us: float):
+    return pt.cond_timedwait(cond, mutex, timeout_us)
+
+
+def pthread_cond_signal(pt, cond):
+    return pt.cond_signal(cond)
+
+
+def pthread_cond_broadcast(pt, cond):
+    return pt.cond_broadcast(cond)
+
+
+# -- signals ----------------------------------------------------------------------------
+
+
+def sigaction(pt, sig: int, handler: Any, mask: Optional[SigSet] = None):
+    return pt.sigaction(sig, handler, mask)
+
+
+def sigprocmask(pt, how: str, signals: Optional[SigSet] = None):
+    # POSIX spells the thread-level call sigprocmask/pthread_sigmask.
+    return pt.sigmask(how, signals)
+
+
+def pthread_kill(pt, thread, sig: int):
+    return pt.kill(thread, sig)
+
+
+def sigwait(pt, signals: SigSet):
+    return pt.sigwait(signals)
+
+
+# -- cancellation (draft-6 names) ----------------------------------------------------------
+
+
+def pthread_cancel(pt, thread):
+    return pt.cancel(thread)
+
+
+def pthread_setintr(pt, state: str):
+    return pt.setintr(state)
+
+
+def pthread_setintrtype(pt, intr_type: str):
+    return pt.setintrtype(intr_type)
+
+
+def pthread_testintr(pt):
+    return pt.testintr()
+
+
+# -- cleanup handlers (functions, NOT macros -- the paper's position) ------------------------------
+
+
+def pthread_cleanup_push(pt, handler: Callable, arg: Any = None):
+    return pt.cleanup_push(handler, arg)
+
+
+def pthread_cleanup_pop(pt, execute: bool = False):
+    return pt.cleanup_pop(execute)
+
+
+# -- thread-specific data and once --------------------------------------------------------------------
+
+
+def pthread_key_create(pt, destructor: Optional[Callable] = None):
+    return pt.key_create(destructor)
+
+
+def pthread_key_delete(pt, key: int):
+    return pt.key_delete(key)
+
+
+def pthread_setspecific(pt, key: int, value: Any):
+    return pt.setspecific(key, value)
+
+
+def pthread_getspecific(pt, key: int):
+    return pt.getspecific(key)
+
+
+def pthread_once(pt, once_control, init_routine: Callable):
+    return pt.once(once_control, init_routine)

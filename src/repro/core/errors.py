@@ -1,0 +1,52 @@
+"""POSIX error numbers and per-thread errno.
+
+Draft 6 of POSIX 1003.4a (the draft the paper implements) had most
+calls return -1 and set ``errno``; the ratified standard returns the
+error number directly.  We follow the modern convention -- every
+``pthread_*`` entry point returns 0 on success or an error number --
+but the library still maintains a per-thread errno that the dispatcher
+saves and restores across context switches, exactly as the paper's
+"loading UNIX's global error number with the thread's error number"
+step does.
+"""
+
+from __future__ import annotations
+
+OK = 0
+EPERM = 1
+ESRCH = 3
+EINTR = 4
+EAGAIN = 11
+ENOMEM = 12
+EBUSY = 16
+EINVAL = 22
+EDEADLK = 35
+ETIMEDOUT = 60
+ENOSPC = 28
+
+_NAMES = {
+    OK: "OK",
+    EPERM: "EPERM",
+    ESRCH: "ESRCH",
+    EINTR: "EINTR",
+    EAGAIN: "EAGAIN",
+    ENOMEM: "ENOMEM",
+    EBUSY: "EBUSY",
+    EINVAL: "EINVAL",
+    EDEADLK: "EDEADLK",
+    ETIMEDOUT: "ETIMEDOUT",
+    ENOSPC: "ENOSPC",
+}
+
+
+def errno_name(err: int) -> str:
+    """Symbolic name of an error number (for messages and traces)."""
+    return _NAMES.get(err, "E#%d" % err)
+
+
+class PthreadsInternalError(Exception):
+    """The library detected a broken internal invariant.
+
+    These are bugs in the library (or deliberately injected faults in
+    tests), never user errors: user errors come back as error numbers.
+    """

@@ -1,0 +1,109 @@
+"""Thread-blocking I/O over asynchronous UNIX requests.
+
+UNIX read/write would block the whole process; the library instead
+issues a non-blocking request and suspends only the calling *thread*.
+The completion arrives as SIGIO with a cause naming the requester
+(delivery-model rule 4), and only that thread wakes.  The paper credits
+this layer to Viresh Rustagi and discusses its limits under "Open
+Problems" (UNIX lacks non-blocking equivalents for some calls).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import EINVAL
+from repro.core.libbase import BLOCKED, LibraryOps
+from repro.core.tcb import Tcb
+from repro.hw import costs
+
+
+class IoOps(LibraryOps):
+    """Entry points for thread-level read/write.
+
+    Two completion paths exist:
+
+    - the paper's shipping design: SIGIO through the universal handler,
+      demultiplexed by delivery-model rule 4;
+    - the paper's *proposed* design (Open Problems / Marsh & Scott):
+      a first-class kernel/user channel that hands the completion and
+      its datum straight to the library scheduler (``fc_*``), skipping
+      signal delivery entirely.
+    """
+
+    ENTRIES = {
+        "read": "lib_read",
+        "write": "lib_write",
+    }
+
+    def lib_read(
+        self, tcb: Tcb, fd: int, nbytes: int, device: str = "disk0"
+    ) -> Any:
+        """Blocking-at-thread-level read; returns ``(err, nbytes)``."""
+        return self._io(tcb, "read", fd, nbytes, device)
+
+    def lib_write(
+        self, tcb: Tcb, fd: int, nbytes: int, device: str = "disk0"
+    ) -> Any:
+        """Blocking-at-thread-level write; returns ``(err, nbytes)``."""
+        return self._io(tcb, "write", fd, nbytes, device)
+
+    def _io(self, tcb: Tcb, op: str, fd: int, nbytes: int, device: str) -> Any:
+        rt = self.rt
+        dev = rt.io_devices.get(device)
+        if dev is None:
+            return (EINVAL, 0)
+        if nbytes < 0:
+            return (EINVAL, 0)
+        if rt.cancel_ops.act_if_pending(tcb):
+            return BLOCKED
+        rt.kern.enter()
+        rt.world.spend(costs.INSN, times=8, fire=False)
+        request = dev.submit(fd, op, nbytes, requester=tcb)
+        rt.block_current(
+            kind="io",
+            obj=dev,
+            interruptible=True,
+            request=request,
+        )
+        rt.world.emit(
+            "io-issue", thread=tcb.name, op=op, fd=fd, nbytes=nbytes
+        )
+        rt.kern.leave()
+        return BLOCKED
+
+    # -- the first-class channel (upcall side) -----------------------------------
+
+    def fc_upcall(self, datum: Any, request: Any) -> None:
+        """The user-scheduler upcall the channel invokes on completion.
+
+        Respects the monolithic monitor: inside the kernel the upcall
+        is logged for the dispatcher (like a deferred signal);
+        otherwise it wakes the thread immediately -- no recipient
+        search, no sigsetmask pair, no universal handler.
+        """
+        rt = self.rt
+        del datum  # the request carries the requester
+        if rt.kern.kernel_flag:
+            rt.kern.deferred_upcalls.append(request)
+            rt.kern.request_dispatch()
+            return
+        rt.kern.enter()
+        self.fc_wake(request)
+        rt.kern.request_dispatch()
+        rt.kern.leave()
+
+    def fc_wake(self, request: Any) -> None:
+        """Wake the requester (kernel flag held)."""
+        rt = self.rt
+        tcb = request.requester
+        wait = tcb.wait
+        if (
+            wait is None
+            or wait.kind != "io"
+            or wait.data.get("request") is not request
+        ):
+            return  # already woken (interrupted or cancelled)
+        wait.deliver((0, request.result))
+        rt.sched.make_ready(tcb)
+        rt.world.emit("io-fc-wake", thread=tcb.name)

@@ -1,0 +1,169 @@
+"""Priority queues of threads.
+
+Two queue shapes appear throughout the library:
+
+- :class:`ReadyQueue`: one FIFO per priority level (the classic
+  multi-level ready queue).  Supports head/tail insertion (preempted
+  threads go to the head, yielded/sliced threads to the tail) and the
+  perverted policies' "tail of the lowest priority queue" reposition.
+- :class:`PrioWaitQueue`: a priority-ordered wait list (mutex and
+  condition variable sleepers): the highest-priority waiter wakes
+  first, FIFO among equals, and a waiter's position follows protocol
+  priority boosts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.core import config
+from repro.core.tcb import Tcb
+
+
+class ReadyQueue:
+    """Multi-level FIFO ready queue, highest priority first."""
+
+    def __init__(self) -> None:
+        self._levels: Dict[int, Deque[Tcb]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __contains__(self, tcb: Tcb) -> bool:
+        # A perverted-policy reposition may file a thread below its own
+        # priority level, so scan every level.
+        return any(tcb in level for level in self._levels.values())
+
+    def enqueue(self, tcb: Tcb, front: bool = False) -> None:
+        """Insert at the thread's current effective priority."""
+        level = self._levels.setdefault(tcb.effective_priority, deque())
+        if front:
+            level.appendleft(tcb)
+        else:
+            level.append(tcb)
+        self._count += 1
+
+    def enqueue_lowest_tail(self, tcb: Tcb) -> None:
+        """Perverted-policy reposition: tail of the lowest priority queue.
+
+        The thread keeps its priority; it is merely *ordered* behind
+        everything currently ready (the paper accepts that this may
+        violate priority scheduling -- that is the point).
+        """
+        occupied = list(self._levels_with_items())
+        lowest = min(occupied) if occupied else config.PTHREAD_MIN_PRIORITY
+        level = self._levels.setdefault(lowest, deque())
+        level.append(tcb)
+        self._count += 1
+
+    def dequeue(self) -> Optional[Tcb]:
+        """Pop the head of the highest non-empty priority level."""
+        for priority in sorted(self._levels_with_items(), reverse=True):
+            self._count -= 1
+            return self._levels[priority].popleft()
+        return None
+
+    def peek(self) -> Optional[Tcb]:
+        for priority in sorted(self._levels_with_items(), reverse=True):
+            return self._levels[priority][0]
+        return None
+
+    def remove(self, tcb: Tcb) -> bool:
+        """Remove a specific thread wherever it is queued."""
+        for level in self._levels.values():
+            try:
+                level.remove(tcb)
+            except ValueError:
+                continue
+            self._count -= 1
+            return True
+        return False
+
+    def reposition(self, tcb: Tcb, front: bool = False) -> None:
+        """Re-file a thread after its effective priority changed."""
+        if self.remove(tcb):
+            self.enqueue(tcb, front=front)
+
+    def threads(self) -> List[Tcb]:
+        """All queued threads, highest priority first, FIFO within."""
+        out: List[Tcb] = []
+        for priority in sorted(self._levels_with_items(), reverse=True):
+            out.extend(self._levels[priority])
+        return out
+
+    def all_at(self, priority: int) -> List[Tcb]:
+        return list(self._levels.get(priority, ()))
+
+    def _levels_with_items(self) -> Iterator[int]:
+        return (p for p, q in self._levels.items() if q)
+
+    def __repr__(self) -> str:
+        parts = [
+            "%d:[%s]" % (p, ",".join(t.name for t in self._levels[p]))
+            for p in sorted(self._levels_with_items(), reverse=True)
+        ]
+        return "ReadyQueue(%s)" % " ".join(parts)
+
+
+class PrioWaitQueue:
+    """Priority-ordered waiter list (highest first, FIFO among equals)."""
+
+    def __init__(self) -> None:
+        self._items: List[Tcb] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, tcb: Tcb) -> bool:
+        return tcb in self._items
+
+    def __iter__(self) -> Iterator[Tcb]:
+        return iter(self._items)
+
+    def add(self, tcb: Tcb) -> None:
+        """Insert behind all waiters of >= priority (stable)."""
+        priority = tcb.effective_priority
+        index = len(self._items)
+        for i, other in enumerate(self._items):
+            if other.effective_priority < priority:
+                index = i
+                break
+        self._items.insert(index, tcb)
+
+    def pop_highest(self) -> Optional[Tcb]:
+        if not self._items:
+            return None
+        return self._items.pop(0)
+
+    def remove(self, tcb: Tcb) -> bool:
+        try:
+            self._items.remove(tcb)
+        except ValueError:
+            return False
+        return True
+
+    def resort(self, tcb: Tcb) -> None:
+        """Re-file one waiter whose priority changed (boost/unboost)."""
+        if self.remove(tcb):
+            self.add(tcb)
+
+    def highest_priority(self) -> Optional[int]:
+        if not self._items:
+            return None
+        return self._items[0].effective_priority
+
+    def threads(self) -> List[Tcb]:
+        return list(self._items)
+
+    def __repr__(self) -> str:
+        return "PrioWaitQueue([%s])" % ", ".join(
+            "%s@%d" % (t.name, t.effective_priority) for t in self._items
+        )

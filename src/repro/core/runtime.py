@@ -1,0 +1,590 @@
+"""The Pthreads runtime: executor loop, universal handler, host process.
+
+One :class:`PthreadsRuntime` is one UNIX process running the Pthreads
+library.  It owns the library kernel (monolithic monitor), the
+scheduler and dispatcher, the thread table, and the executor that runs
+thread programs op by op against the virtual clock.
+
+The control-flow trick that makes a pure-Python reproduction possible:
+thread bodies are generators, so "context switching" is just choosing
+which generator the executor resumes next.  All library code runs as
+plain Python inside the executor's call, charging virtual time; when a
+library call blocks the calling thread, it parks a wait record and
+returns the :data:`~repro.core.libbase.BLOCKED` sentinel, and the
+Python stack unwinds naturally back to the executor loop, which then
+resumes whatever thread the dispatcher chose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core import config as cfg
+from repro.core.attr import ThreadAttr
+from repro.core.dispatcher import Dispatcher
+from repro.core.errors import PthreadsInternalError
+from repro.core.kernel import LibKernel
+from repro.core.libbase import BLOCKED
+from repro.core.pool import ThreadPool
+from repro.core.scheduler import Scheduler
+from repro.core.tcb import Tcb, ThreadState, WaitRecord
+from repro.sim.frames import Frame, ProgramCrash
+from repro.sim.ops import Invoke, LibCall, SysCall, Work
+from repro.sim.world import DeadlockError, World
+from repro.unix.io import IoDevice
+from repro.unix.kernel import UnixKernel
+from repro.unix.signals import (
+    InterruptFrame,
+    ProcessSignals,
+    SigAction,
+    SigCause,
+)
+from repro.unix.sigset import NSIG, SIGCANCEL, UNMASKABLE, SigSet
+from repro.unix.timers import IntervalTimer
+
+
+class HostProcess:
+    """The UNIX process hosting the Pthreads library."""
+
+    def __init__(self, kernel: UnixKernel, name: str = "pthreads-proc") -> None:
+        self.name = name
+        self.signals = ProcessSignals()
+        self.interrupt_frames: List[InterruptFrame] = []
+        # Signals posted to this process deliver immediately: from the
+        # UNIX kernel's viewpoint it is always the running process.
+        self.auto_deliver = True
+        self.pid = kernel.register(self)
+
+
+class PthreadsRuntime:
+    """One process's Pthreads library instance plus its executor."""
+
+    def __init__(
+        self,
+        model: Union[str, object] = "sparc-ipx",
+        seed: int = 0,
+        config: Optional[cfg.RuntimeConfig] = None,
+        policy: Optional[object] = None,
+        trace: Optional[object] = None,
+        world: Optional[World] = None,
+    ) -> None:
+        self.config = config or cfg.RuntimeConfig()
+        self.world = world if world is not None else World(model, seed=seed)
+        if trace is not None:
+            trace.attach(self.world.clock)
+            self.world.trace = trace
+        self.unix = UnixKernel(self.world)
+        self.proc = HostProcess(self.unix)
+        self.heap = self.unix.make_heap(self.proc)
+        self.kern = LibKernel(self)
+        self.sched = Scheduler(self)
+        self.dispatcher = Dispatcher(self)
+        self.policy = policy  # perverted/debug scheduling policy or None
+        self.pool = ThreadPool(
+            self.world,
+            self.heap,
+            size=self.config.pool_size,
+            stack_size=self.config.default_stack_size,
+        )
+
+        #: The simulated UNIX global errno (switched by the dispatcher).
+        self.unix_errno = 0
+        self.current: Optional[Tcb] = None
+        #: The thread whose register windows physically occupy the CPU
+        #: (stays set across idle periods; flushed on the next switch).
+        self.on_cpu: Optional[Tcb] = None
+        self.threads: Dict[int, Tcb] = {}
+        self._next_tid = 1
+        #: Process-wide user signal actions (signal actions are shared
+        #: by all threads; only masks are per-thread).
+        self.user_actions: Dict[int, Any] = {}
+        #: Signals no thread could take yet (delivery-model rule 6).
+        self.process_pending: List[Any] = []
+        self.terminated_by: Optional[int] = None  # default-action signal
+        self.steps = 0
+
+        # Subsystems (registered entry points).
+        self.registry: Dict[str, Callable] = {}
+        self._build_subsystems()
+
+        # Devices and timers.
+        self.io_devices: Dict[str, IoDevice] = {}
+        self._install_universal_handler()
+        self.timer = IntervalTimer(self.world, self.unix, self.proc)
+        self._slicer: Optional[IntervalTimer] = None
+        if self.config.timeslice_us is not None:
+            self._start_slicer()
+
+    # -- construction helpers ----------------------------------------------------
+
+    def _build_subsystems(self) -> None:
+        # Imported here to keep module import order acyclic.
+        from repro.core.barrier import BarrierOps
+        from repro.core.cancel import CancelOps
+        from repro.core.cleanup import CleanupOps
+        from repro.core.cond import CondOps
+        from repro.core.fakecall import FakeCalls
+        from repro.core.iolib import IoOps
+        from repro.core.jmp import JmpOps
+        from repro.core.mutex import MutexOps
+        from repro.core.once import OnceOps
+        from repro.core.protocols import ProtocolManager
+        from repro.core.rwlock import RwLockOps
+        from repro.core.stdio import StdioOps
+        from repro.core.semaphore import SemOps
+        from repro.core.sigdeliver import SignalDelivery
+        from repro.core.signals import SignalOps
+        from repro.core.threads import ThreadOps
+        from repro.core.timerq import TimerOps
+        from repro.core.tsd import TsdOps
+
+        self.fakecalls = FakeCalls(self)
+        self.sigdeliver = SignalDelivery(self)
+        self.protocols = ProtocolManager(self)
+        self.thread_ops = ThreadOps(self)
+        self.mutex_ops = MutexOps(self)
+        self.cond_ops = CondOps(self)
+        self.sem_ops = SemOps(self)
+        self.signal_ops = SignalOps(self)
+        self.cancel_ops = CancelOps(self)
+        self.cleanup_ops = CleanupOps(self)
+        self.tsd_ops = TsdOps(self)
+        self.once_ops = OnceOps(self)
+        self.jmp_ops = JmpOps(self)
+        self.timer_ops = TimerOps(self)
+        self.io_ops = IoOps(self)
+        self.rwlock_ops = RwLockOps(self)
+        self.barrier_ops = BarrierOps(self)
+        self.stdio_ops = StdioOps(self)
+        for ops in (
+            self.thread_ops,
+            self.mutex_ops,
+            self.cond_ops,
+            self.sem_ops,
+            self.signal_ops,
+            self.cancel_ops,
+            self.cleanup_ops,
+            self.tsd_ops,
+            self.once_ops,
+            self.jmp_ops,
+            self.timer_ops,
+            self.io_ops,
+            self.rwlock_ops,
+            self.barrier_ops,
+            self.stdio_ops,
+        ):
+            ops.register(self.registry)
+
+    def _install_universal_handler(self) -> None:
+        """Install the universal handler for every maskable UNIX signal
+        (library initialisation, as in the paper)."""
+        action = SigAction(
+            handler=self._universal_handler, manual_return=True
+        )
+        for sig in range(1, NSIG):
+            if sig in UNMASKABLE or sig == SIGCANCEL:
+                continue
+            self.unix.sigaction(self.proc, sig, action)
+
+    def _start_slicer(self) -> None:
+        from repro.unix.sigset import SIGVTALRM
+
+        quantum = self.world.cycles_for_us(self.config.timeslice_us)
+        self._slicer = IntervalTimer(
+            self.world, self.unix, self.proc, which=1, sig=SIGVTALRM
+        )
+        self._slicer.arm(
+            quantum, interval_cycles=quantum, tag="timeslice"
+        )
+
+    # -- thread table ---------------------------------------------------------------
+
+    def new_tid(self) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def all_threads(self) -> List[Tcb]:
+        return [t for t in self.threads.values() if not t.reclaimed]
+
+    def live_threads(self) -> List[Tcb]:
+        return [t for t in self.all_threads() if t.alive]
+
+    def find_thread(self, name: str) -> Optional[Tcb]:
+        for tcb in self.all_threads():
+            if tcb.name == name:
+                return tcb
+        return None
+
+    # -- starting programs -------------------------------------------------------------
+
+    def main(
+        self,
+        fn: Callable,
+        *args: Any,
+        name: str = "main",
+        priority: int = cfg.PTHREAD_DEFAULT_PRIORITY,
+        policy: str = cfg.SCHED_FIFO,
+    ) -> Tcb:
+        """Create the initial thread running ``fn(pt, *args)``."""
+        attr = ThreadAttr(priority=priority, policy=policy, name=name)
+        return self.thread_ops.create_thread(fn, args, attr, creator=None)
+
+    def add_io_device(
+        self,
+        name: str = "disk0",
+        first_class: bool = False,
+        **kwargs: Any,
+    ) -> IoDevice:
+        """Attach a device.  ``first_class=True`` routes completions
+        through the Marsh & Scott kernel/user channel (the paper's
+        Open Problems proposal) instead of SIGIO demultiplexing."""
+        channel = None
+        if first_class:
+            channel = self._ensure_first_class()
+        device = IoDevice(
+            self.world, self.unix, self.proc, name=name,
+            channel=channel, **kwargs,
+        )
+        self.io_devices[name] = device
+        return device
+
+    def _ensure_first_class(self):
+        from repro.unix.firstclass import FirstClassInterface
+
+        if getattr(self, "first_class", None) is None:
+            self.first_class = FirstClassInterface(self.world, self.unix)
+            self.first_class.register_scheduler(self.io_ops.fc_upcall)
+        return self.first_class
+
+    # -- blocking helper (used by every subsystem) ------------------------------------------
+
+    def block_current(
+        self,
+        kind: str,
+        obj: Any = None,
+        teardown: Optional[Callable[[], None]] = None,
+        interruptible: bool = True,
+        **data: Any,
+    ) -> WaitRecord:
+        """Park the current thread; must run with the kernel flag set.
+
+        The caller's library-call frame receives its result later via
+        ``record.deliver(value)``.  Returns the wait record.
+        """
+        tcb = self.current
+        if tcb is None:
+            raise PthreadsInternalError("block_current with no current thread")
+        record = WaitRecord(
+            kind=kind,
+            obj=obj,
+            frame=tcb.frames.top,
+            since=self.world.now,
+            interruptible=interruptible,
+            teardown=teardown,
+            data=dict(data),
+        )
+        tcb.wait = record
+        tcb.state = ThreadState.BLOCKED
+        self.current = None
+        self.kern.request_dispatch()
+        self.world.emit("block", thread=tcb.name, wait=kind)
+        return record
+
+    # -- the executor ------------------------------------------------------------------
+
+    def run(
+        self,
+        until_us: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        """Run the world until every thread terminates (or a bound hits).
+
+        Raises :class:`~repro.sim.world.DeadlockError` when live threads
+        remain but nothing can ever wake them.
+        """
+        until_cycles = (
+            self.world.cycles_for_us(until_us) if until_us is not None else None
+        )
+        idle_streak = 0
+        while self.terminated_by is None:
+            if until_cycles is not None and self.world.now >= until_cycles:
+                return
+            if max_steps is not None and self.steps >= max_steps:
+                return
+            if self.current is None:
+                if not self._find_work():
+                    return
+                idle_streak += 1
+                if self.current is None and idle_streak > 100_000:
+                    # Recurring events (a time slicer, a periodic
+                    # timer) keep time moving while every thread stays
+                    # blocked forever: a livelocked deadlock.
+                    raise DeadlockError(
+                        "no thread became runnable across %d idle "
+                        "wakeups (all threads blocked; only recurring "
+                        "events keep firing)" % idle_streak
+                    )
+                continue
+            idle_streak = 0
+            self._step_current()
+
+    def _find_work(self) -> bool:
+        """Dispatch a ready thread or idle to the next event.
+
+        Returns False when the run is complete (no live threads, or
+        only never-activated lazy threads remain).
+        """
+        if self.sched.ready:
+            self.kern.enter()
+            self.kern.request_dispatch()
+            self.kern.leave()
+            return self.current is not None or bool(self.sched.ready)
+        blocked = [
+            t for t in self.live_threads() if t.state is ThreadState.BLOCKED
+        ]
+        if blocked:
+            if self.world.next_event_time() is None:
+                raise DeadlockError(
+                    "all threads blocked with no pending events: %s"
+                    % ", ".join(
+                        "%s(%s)" % (t.name, t.wait.kind if t.wait else "?")
+                        for t in blocked
+                    )
+                )
+            self.world.advance_to_next_event()
+            return True
+        return False  # only terminated / embryonic threads remain
+
+    def _step_current(self) -> None:
+        tcb = self.current
+        assert tcb is not None
+        self.steps += 1
+        frame = tcb.frames.top
+        if frame.remaining_work > 0:
+            self._do_work(tcb, frame)
+            return
+        started = self.world.now
+        kind, payload = frame.resume()
+        if kind == "return":
+            self._frame_returned(tcb, frame, payload)
+            tcb.cpu_cycles += self.world.now - started
+            return
+        if kind == "raise":
+            self._frame_raised(tcb, frame, payload)
+            tcb.cpu_cycles += self.world.now - started
+            return
+        op = payload
+        if isinstance(op, Work):
+            frame.remaining_work = op.cycles
+            self._do_work(tcb, frame)
+        elif isinstance(op, LibCall):
+            self._libcall(tcb, frame, op)
+            tcb.cpu_cycles += self.world.now - started
+        elif isinstance(op, SysCall):
+            self._unix_syscall(tcb, frame, op)
+            tcb.cpu_cycles += self.world.now - started
+        elif isinstance(op, Invoke):
+            self._push_invoke(tcb, op)
+            tcb.cpu_cycles += self.world.now - started
+        else:
+            raise ProgramCrash(
+                frame.name, TypeError("bad op yielded: %r" % (op,))
+            )
+
+    def _do_work(self, tcb: Tcb, frame: Frame) -> None:
+        """Burn a compute burst, splitting it at asynchronous events."""
+        world = self.world
+        while frame.remaining_work > 0:
+            if self.current is not tcb or tcb.frames.top is not frame:
+                return  # preempted, or a fake call landed on top
+            chunk = frame.remaining_work
+            next_event = world.next_event_time()
+            if next_event is not None and next_event <= world.now:
+                world.fire_due()
+                continue
+            if next_event is not None and next_event - world.now < chunk:
+                chunk = next_event - world.now
+            world.clock.advance(chunk)
+            frame.remaining_work -= chunk
+            tcb.cpu_cycles += chunk
+            world.fire_due()
+        if self.current is tcb and tcb.frames.top is frame:
+            frame.pending_value = None
+
+    def _libcall(self, tcb: Tcb, frame: Frame, op: LibCall) -> None:
+        entry = self.registry.get(op.name)
+        if entry is None:
+            raise ProgramCrash(
+                frame.name, NameError("unknown library call: %r" % op.name)
+            )
+        result = entry(tcb, *op.args, **op.kwargs)
+        if result is not BLOCKED:
+            frame.pending_value = result
+
+    def _unix_syscall(self, tcb: Tcb, frame: Frame, op: SysCall) -> None:
+        if op.name == "getpid":
+            frame.pending_value = self.unix.getpid(self.proc)
+        elif op.name == "sigsetmask":
+            frame.pending_value = self.unix.sigsetmask(self.proc, *op.args)
+        elif op.name == "sigpending":
+            frame.pending_value = self.unix.sigpending(self.proc)
+        elif op.name == "raise":
+            # A synchronous fault caused by the running thread.
+            sig = op.args[0]
+            cause = SigCause(kind="synchronous", thread=tcb)
+            self.unix.kill(self.proc, sig, cause)
+            frame.pending_value = 0
+        else:
+            raise ProgramCrash(
+                frame.name, NameError("unknown syscall: %r" % op.name)
+            )
+
+    def _push_invoke(self, tcb: Tcb, op: Invoke) -> None:
+        from repro.hw.memory import StackOverflow
+        from repro.unix.sigset import SIGSEGV
+
+        # Frames called from a signal wrapper (the user handler and
+        # anything it calls) may keep using the redzone/signal stack.
+        in_handler = any(
+            f.kind in ("wrapper", "redirect") for f in tcb.frames
+        )
+        try:
+            self.push_frame(
+                tcb,
+                op.fn,
+                op.args,
+                op.kwargs,
+                kind="handler-call" if in_handler else "user",
+                frame_bytes=op.frame_bytes,
+            )
+        except StackOverflow:
+            # The save/probe faulted: a synchronous SIGSEGV at the call
+            # site.  With a user action installed (the Ada runtime maps
+            # it to STORAGE_ERROR via the redirect feature) the thread
+            # recovers; otherwise the default action kills the process.
+            cause = SigCause(kind="synchronous", thread=tcb)
+            self.unix.kill(self.proc, SIGSEGV, cause)
+
+    def push_frame(
+        self,
+        tcb: Tcb,
+        fn: Callable,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        kind: str = "user",
+        frame_bytes: int = 96,
+        on_pop: Optional[Callable[[Any], Any]] = None,
+        deliver_to_caller: bool = True,
+    ) -> Frame:
+        """Push a simulated call frame onto a thread's stack.
+
+        Wrapper/redirect frames (fake calls) may borrow the stack's
+        redzone -- the stand-in for a signal stack -- so signal
+        handling still works at the brink of stack exhaustion.
+        """
+        from repro.core.api import PT
+
+        gen = fn(PT(self), *args, **(kwargs or {}))
+        if not hasattr(gen, "send"):
+            raise ProgramCrash(
+                getattr(fn, "__name__", str(fn)),
+                TypeError(
+                    "thread code must be a generator function (it must "
+                    "yield ops); %r returned %r" % (fn, gen)
+                ),
+            )
+        frame = Frame(
+            gen,
+            name=getattr(fn, "__name__", "frame"),
+            kind=kind,
+            frame_bytes=frame_bytes,
+            on_pop=on_pop,
+            deliver_to_caller=deliver_to_caller,
+        )
+        if tcb.stack is not None:
+            # May raise StackOverflow: do it before any state changes.
+            tcb.stack.push(
+                frame_bytes,
+                redzone_ok=kind in ("wrapper", "redirect", "handler-call"),
+            )
+        if tcb is self.current:
+            self.world.windows.save()
+        tcb.frames.push(frame)
+        return frame
+
+    def _frame_returned(self, tcb: Tcb, frame: Frame, value: Any) -> None:
+        popped = tcb.frames.pop()
+        if popped is not frame:
+            raise PthreadsInternalError("frame stack corruption")
+        if tcb.stack is not None:
+            tcb.stack.pop(frame.frame_bytes)
+        self.world.windows.restore()
+        if frame.on_pop is not None:
+            frame.on_pop(value)
+        if not tcb.frames:
+            # The start routine returned: implicit pthread_exit(value).
+            self.thread_ops.finish_thread(tcb, value)
+            return
+        if frame.deliver_to_caller:
+            tcb.frames.top.pending_value = value
+
+    def _frame_raised(self, tcb: Tcb, frame: Frame, exc: BaseException) -> None:
+        """A frame let a SimException escape: unwind into the caller."""
+        popped = tcb.frames.pop()
+        if popped is not frame:
+            raise PthreadsInternalError("frame stack corruption")
+        if tcb.stack is not None:
+            tcb.stack.pop(frame.frame_bytes)
+        self.world.windows.restore()
+        self.world.emit(
+            "sim-exception", thread=tcb.name, frame=frame.name, exc=repr(exc)
+        )
+        if not tcb.frames:
+            # Unhandled at the bottom: the thread terminates abnormally
+            # (Ada: an unhandled exception completes the task).
+            tcb.crashed_with = exc
+            self.thread_ops.finish_thread(tcb, exc)
+            return
+        tcb.frames.top.pending_exc = exc
+
+    # -- the universal signal handler -----------------------------------------------------
+
+    def _universal_handler(self, sig: int, cause: SigCause) -> None:
+        """Entry point for every UNIX signal delivered to the process."""
+        frame = self.proc.interrupt_frames.pop()
+        if self.kern.kernel_flag:
+            # Caught inside the library kernel: log it, request the
+            # dispatcher, and return to the interruption point at once.
+            self.kern.log_deferred(sig, cause)
+            self.unix.sigreturn_frame(self.proc, frame)
+            self.world.emit("signal-deferred", sig=sig)
+            return
+        interrupted = self.current
+        if interrupted is not None:
+            # The handler frame stays pending on the interrupted
+            # thread's stack until it is redispatched.
+            interrupted.pending_interrupt_frames.append(frame)
+        else:
+            self.unix.sigreturn_frame(self.proc, frame)
+        self.kern.enter()
+        # First of the two sigsetmask calls per received signal:
+        # re-enable all signals now that the kernel flag protects us.
+        self.unix.sigsetmask(self.proc, SigSet())
+        self.sigdeliver.direct_signal(sig, cause)
+        self.kern.request_dispatch()
+        self.kern.leave()
+
+    # -- shutdown ------------------------------------------------------------------------
+
+    def process_default_action(self, sig: int) -> None:
+        """A default-action signal terminates the whole process."""
+        self.terminated_by = sig
+        self.world.emit("process-terminated", sig=sig)
+
+    def __repr__(self) -> str:
+        return "PthreadsRuntime(model=%s, threads=%d, t=%.1fus)" % (
+            self.world.model.name,
+            len(self.threads),
+            self.world.now_us,
+        )

@@ -1,0 +1,139 @@
+"""Counting semaphores, built on mutexes and condition variables.
+
+The paper: "Other synchronization methods such as counting semaphores
+can be easily implemented on top of these primitives [17]" -- and Table
+2 times exactly that construction ("semaphore synchronization refers to
+one Dijkstra P operation plus one V operation").  Accordingly the P/V
+bodies here are *library-level generator routines* composed from the
+mutex and condvar entry points, not new primitives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.attr import CondAttr, MutexAttr
+from repro.core.errors import EAGAIN, OK
+from repro.core.libbase import LibraryOps
+from repro.core.tcb import Tcb
+from repro.hw import costs
+
+_sem_ids = itertools.count(1)
+
+
+class Semaphore:
+    """A counting semaphore: a count guarded by a mutex + condvar."""
+
+    def __init__(self, runtime, value: int = 0, name: Optional[str] = None):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0: %r" % value)
+        self.sid = next(_sem_ids)
+        self.name = name or "sem-%d" % self.sid
+        self.count = value
+        self.mutex = runtime.mutex_ops.lib_mutex_init(
+            None, MutexAttr(name="%s.mutex" % self.name)
+        )
+        self.cond = runtime.cond_ops.lib_cond_init(
+            None, CondAttr(name="%s.cond" % self.name)
+        )
+        self.waits = 0
+        self.posts = 0
+
+    def __repr__(self) -> str:
+        return "Semaphore(%s, count=%d)" % (self.name, self.count)
+
+
+class SemOps(LibraryOps):
+    """Semaphore creation and the non-blocking queries.
+
+    The blocking P operation is the generator
+    :func:`sem_wait_body`, composed from mutex/cond calls exactly as
+    the paper's library does; the facade exposes it as ``pt.sem_wait``.
+    """
+
+    ENTRIES = {
+        "sem_init": "lib_sem_init",
+        "sem_destroy": "lib_sem_destroy",
+        "sem_trywait": "lib_sem_trywait",
+        "sem_getvalue": "lib_sem_getvalue",
+    }
+
+    def lib_sem_init(
+        self, tcb: Tcb, value: int = 0, name: Optional[str] = None
+    ) -> Semaphore:
+        del tcb
+        self.rt.world.spend(costs.SEM_OVERHEAD, fire=False)
+        return Semaphore(self.rt, value=value, name=name)
+
+    def lib_sem_destroy(self, tcb: Tcb, sem: Semaphore) -> int:
+        rt = self.rt
+        rt.world.spend(costs.ATTR_OP, fire=False)
+        err = rt.cond_ops.lib_cond_destroy(tcb, sem.cond)
+        if err != OK:
+            return err
+        return rt.mutex_ops.lib_mutex_destroy(tcb, sem.mutex)
+
+    def lib_sem_trywait(self, tcb: Tcb, sem: Semaphore) -> int:
+        """Non-blocking P: EAGAIN when the count is zero."""
+        rt = self.rt
+        err = rt.mutex_ops.lib_mutex_lock(tcb, sem.mutex)
+        if err != OK:
+            return err
+        rt.world.spend(costs.SEM_OVERHEAD, fire=False)
+        if sem.count > 0:
+            sem.count -= 1
+            result = OK
+        else:
+            result = EAGAIN
+        rt.mutex_ops.lib_mutex_unlock(tcb, sem.mutex)
+        return result
+
+    def lib_sem_getvalue(self, tcb: Tcb, sem: Semaphore) -> int:
+        del tcb
+        self.rt.world.spend(costs.INSN, times=2, fire=False)
+        return sem.count
+
+
+def _unlock_cleanup(pt, mutex):
+    """Cleanup handler: release a mutex held across a cancellable wait
+    (the standard libc pattern -- cancellation inside the cond wait
+    reacquires the mutex, and this hands it back)."""
+    yield pt.mutex_unlock(mutex)
+
+
+def sem_wait_body(pt, sem: Semaphore):
+    """Dijkstra P, composed from the primitives (paper ref [17]).
+
+    A cancellation point: cancellation while blocked leaves the
+    semaphore consistent (count untouched, mutex released by the
+    cleanup handler).
+    """
+    yield pt.charge(costs.SEM_OVERHEAD)
+    err = yield pt.mutex_lock(sem.mutex)
+    if err != OK:
+        return err
+    yield pt.cleanup_push(_unlock_cleanup, sem.mutex)
+    sem.waits += 1
+    while sem.count == 0:
+        # The wait can return spuriously or with EINTR (a handler
+        # interrupted it; the wrapper reacquired the mutex).  Either
+        # way the predicate is re-evaluated, as POSIX demands.
+        yield pt.cond_wait(sem.cond, sem.mutex)
+    sem.count -= 1
+    yield pt.cleanup_pop(False)
+    yield pt.mutex_unlock(sem.mutex)
+    return OK
+
+
+def sem_post_body(pt, sem: Semaphore):
+    """Dijkstra V, composed from the primitives."""
+    yield pt.charge(costs.SEM_OVERHEAD)
+    err = yield pt.mutex_lock(sem.mutex)
+    if err != OK:
+        return err
+    sem.posts += 1
+    sem.count += 1
+    yield pt.cond_signal(sem.cond)
+    yield pt.mutex_unlock(sem.mutex)
+    return OK

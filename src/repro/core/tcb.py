@@ -1,0 +1,199 @@
+"""Thread control blocks and thread states.
+
+The paper's state model: a thread is *blocked* (waiting for an event),
+*ready* (runnable, not chosen), *running* (dispatched), or *terminated*
+(unschedulable); *detached* combines with any of these.  Once a
+detached thread terminates (or a terminated thread is detached) its
+memory is reclaimed and it may not be referenced again -- the runtime
+enforces that by invalidating the TCB.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core import config
+from repro.hw.memory import Stack
+from repro.sim.frames import Frame, FrameStack
+from repro.unix.signals import InterruptFrame, SigCause
+from repro.unix.sigset import SigSet
+
+
+class ThreadState(enum.Enum):
+    EMBRYO = "embryo"  # lazily created, not yet activated
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class WaitRecord:
+    """Why a blocked thread is blocked, and how to tear the wait down.
+
+    ``kind`` is one of ``mutex``, ``cond``, ``join``, ``sigwait``,
+    ``delay``, ``io``, ``once``.  ``frame`` is the frame whose pending
+    library call blocked; its ``pending_value`` receives the call's
+    result at wake-up.  ``teardown`` removes the thread from whatever
+    queue it sits on (used when a handler or cancellation interrupts
+    the wait); ``interruptible`` says whether a user signal handler may
+    interrupt this wait (mutex waits are not interruptible, per the
+    paper's deterministic-mutex-state rule).
+    """
+
+    kind: str
+    obj: Any
+    frame: Frame
+    since: int = 0
+    interruptible: bool = True
+    teardown: Optional[Callable[[], None]] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def deliver(self, value: Any) -> None:
+        """Set the blocked call's return value for when the thread runs."""
+        self.frame.pending_value = value
+
+
+class ThreadPending:
+    """Per-thread pending signals (single slot per signal, BSD-style)."""
+
+    def __init__(self) -> None:
+        self._causes: Dict[int, SigCause] = {}
+        self._order: List[int] = []
+        self.lost = 0
+
+    def post(self, sig: int, cause: SigCause) -> bool:
+        if sig in self._causes:
+            self.lost += 1
+            return False
+        self._causes[sig] = cause
+        self._order.append(sig)
+        return True
+
+    def take(self, sig: int) -> Optional[SigCause]:
+        if sig not in self._causes:
+            return None
+        self._order.remove(sig)
+        return self._causes.pop(sig)
+
+    def take_any_unmasked(self, mask: SigSet) -> Optional[Any]:
+        """Pop the oldest pending signal not in ``mask`` as (sig, cause)."""
+        for index, sig in enumerate(self._order):
+            if sig not in mask:
+                del self._order[index]
+                return sig, self._causes.pop(sig)
+        return None
+
+    def take_any_in(self, wanted: SigSet) -> Optional[Any]:
+        """Pop the oldest pending signal contained in ``wanted``."""
+        for index, sig in enumerate(self._order):
+            if sig in wanted:
+                del self._order[index]
+                return sig, self._causes.pop(sig)
+        return None
+
+    def __contains__(self, sig: int) -> bool:
+        return sig in self._causes
+
+    def signals(self) -> SigSet:
+        return SigSet(self._causes.keys())
+
+    def __len__(self) -> int:
+        return len(self._causes)
+
+
+class Tcb:
+    """A thread control block.
+
+    Everything the library knows about one thread lives here; the
+    paper's debugger sketch ("information could be extracted from the
+    thread control block") is served by :class:`repro.debug.Inspector`
+    reading these fields.
+    """
+
+    def __init__(self, tid: int, name: str) -> None:
+        self.tid = tid
+        self.name = name
+        self.state = ThreadState.EMBRYO
+        self.detached = False
+
+        # Scheduling.
+        self.base_priority = config.PTHREAD_DEFAULT_PRIORITY
+        self.effective_priority = config.PTHREAD_DEFAULT_PRIORITY
+        self.policy = config.SCHED_FIFO
+
+        # Execution.
+        self.frames = FrameStack()
+        self.stack: Optional[Stack] = None
+        self.errno = 0
+        self.start_fn: Optional[Callable] = None
+        self.start_args: tuple = ()
+
+        # Signals.
+        self.sigmask = SigSet()
+        self.pending = ThreadPending()
+        self.pending_interrupt_frames: List[InterruptFrame] = []
+
+        # Blocking.
+        self.wait: Optional[WaitRecord] = None
+
+        # Join/exit protocol.
+        self.exit_value: Any = None
+        self.joiner: Optional["Tcb"] = None
+        self.reclaimed = False
+        self.exiting = False
+
+        # Cancellation ("interruptibility", draft-6 vocabulary).
+        self.intr_enabled = True
+        self.intr_type = config.PTHREAD_INTR_CONTROLLED
+        self.cancel_pending = False
+
+        # Cleanup handlers and thread-specific data.
+        self.cleanup_stack: List[Any] = []
+        self.tsd: Dict[int, Any] = {}
+
+        # Synchronization protocol state.
+        self.held_mutexes: List[Any] = []
+        self.srp_stack: List[int] = []  # saved priorities (ceiling protocol)
+
+        # Lazy creation (paper's future-work extension).
+        self.lazy = False
+        self.meta_stack_size: Optional[int] = None
+
+        # Pool bookkeeping and handler redirect.
+        self.tcb_addr = 0
+        self.redirect_request: Optional[Any] = None
+        #: Set when the thread died of an unhandled simulated exception.
+        self.crashed_with: Optional[BaseException] = None
+
+        # Statistics.
+        self.cpu_cycles = 0
+        self.context_switches_in = 0
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ThreadState.TERMINATED and not self.reclaimed
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (ThreadState.READY, ThreadState.RUNNING)
+
+    def check_valid(self) -> None:
+        """Raise if this TCB has been reclaimed (dangling reference)."""
+        if self.reclaimed:
+            raise ReferenceError(
+                "thread %r was detached+terminated and reclaimed; "
+                "references to it are invalid" % (self.name,)
+            )
+
+    def __repr__(self) -> str:
+        return "Tcb(%s, %s, prio=%d/%d)" % (
+            self.name,
+            self.state.value,
+            self.effective_priority,
+            self.base_priority,
+        )

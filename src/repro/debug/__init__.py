@@ -1,0 +1,34 @@
+"""Debugging facilities.
+
+The paper's "Future Work" sketches a threads-aware debugging
+environment: context switches visible to the user, per-thread
+information extracted from the TCB.  This package provides the
+reproduction's version of that: a structured trace of every scheduling
+decision, signal delivery, and synchronization event
+(:mod:`repro.debug.trace`) and an inspector that renders per-thread
+state and execution timelines (:mod:`repro.debug.inspector`) -- the
+timelines are also how the Figure 5 priority-inversion plots are
+regenerated.
+"""
+
+from repro.debug.inspector import Inspector, Timeline
+from repro.debug.replay import (
+    ScheduleDiff,
+    ScheduleStep,
+    compare_schedules,
+    extract_schedule,
+    schedules_identical,
+)
+from repro.debug.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Inspector",
+    "ScheduleDiff",
+    "ScheduleStep",
+    "Timeline",
+    "TraceRecord",
+    "Tracer",
+    "compare_schedules",
+    "extract_schedule",
+    "schedules_identical",
+]

@@ -1,0 +1,87 @@
+"""Schedule comparison: the reproducibility half of perverted debugging.
+
+The paper prefers the perverted policies to time-sliced debugging
+because their interleavings are *reproducible*: "errors which occur
+during time-sliced round-robin scheduling may not be reproducible".
+This module makes that property checkable: extract the schedule (the
+ordered list of dispatch decisions) from a traced run and diff two
+schedules, reporting the first divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.debug.trace import Tracer
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One dispatch decision."""
+
+    time: int
+    thread: str
+
+    def __str__(self) -> str:
+        return "@%d->%s" % (self.time, self.thread)
+
+
+def extract_schedule(tracer: Tracer) -> List[ScheduleStep]:
+    """The ordered dispatch decisions of a traced run."""
+    return [
+        ScheduleStep(record.time, record["thread"])
+        for record in tracer.of_kind("dispatch")
+    ]
+
+
+@dataclass
+class ScheduleDiff:
+    """Result of comparing two schedules."""
+
+    identical: bool
+    first_divergence: Optional[int]  # step index, None if identical
+    detail: str
+
+    def __bool__(self) -> bool:
+        return self.identical
+
+
+def compare_schedules(
+    a: List[ScheduleStep], b: List[ScheduleStep],
+    compare_times: bool = True,
+) -> ScheduleDiff:
+    """Diff two schedules; reports the first step where they part.
+
+    ``compare_times=False`` compares only the *order* of threads (for
+    runs whose workloads differ slightly in cost but should interleave
+    identically).
+    """
+    for index, (step_a, step_b) in enumerate(zip(a, b)):
+        same = step_a.thread == step_b.thread and (
+            not compare_times or step_a.time == step_b.time
+        )
+        if not same:
+            return ScheduleDiff(
+                identical=False,
+                first_divergence=index,
+                detail="step %d: %s vs %s" % (index, step_a, step_b),
+            )
+    if len(a) != len(b):
+        shorter = min(len(a), len(b))
+        return ScheduleDiff(
+            identical=False,
+            first_divergence=shorter,
+            detail="lengths differ: %d vs %d steps" % (len(a), len(b)),
+        )
+    return ScheduleDiff(identical=True, first_divergence=None,
+                        detail="identical (%d steps)" % len(a))
+
+
+def schedules_identical(tracer_a: Tracer, tracer_b: Tracer) -> bool:
+    """Convenience: did two traced runs schedule identically?"""
+    return bool(
+        compare_schedules(
+            extract_schedule(tracer_a), extract_schedule(tracer_b)
+        )
+    )

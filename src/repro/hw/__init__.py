@@ -1,0 +1,45 @@
+"""Simulated SPARC-like hardware substrate.
+
+The paper's library runs on Sun SPARC hardware (a SPARC 1+ and a SPARC
+IPX).  This package provides the hardware model the reproduction runs on:
+
+- :mod:`repro.hw.clock` -- a virtual cycle clock, the time base for every
+  measurement in the repository.
+- :mod:`repro.hw.costs` -- per-CPU-model cycle cost tables (the
+  calibration surface described in DESIGN.md section 5).
+- :mod:`repro.hw.registers` -- SPARC register windows with overflow /
+  underflow traps and the ``ST_FLUSH_WINDOWS`` trap used by context
+  switches.
+- :mod:`repro.hw.atomic` -- ``ldstub`` (test-and-set), compare-and-swap,
+  and restartable atomic sequences (Figure 4 of the paper).
+- :mod:`repro.hw.memory` -- an ``sbrk``-backed heap and thread stacks
+  with overflow detection.
+"""
+
+from repro.hw.atomic import (
+    AtomicCell,
+    RestartableSequence,
+    compare_and_swap,
+    ldstub,
+)
+from repro.hw.clock import VirtualClock
+from repro.hw.costs import SPARC_1PLUS, SPARC_IPX, CostModel, cost_model
+from repro.hw.memory import Heap, MemoryError_, Stack, StackOverflow
+from repro.hw.registers import RegisterWindows
+
+__all__ = [
+    "AtomicCell",
+    "CostModel",
+    "Heap",
+    "MemoryError_",
+    "RegisterWindows",
+    "RestartableSequence",
+    "SPARC_1PLUS",
+    "SPARC_IPX",
+    "Stack",
+    "StackOverflow",
+    "VirtualClock",
+    "compare_and_swap",
+    "cost_model",
+    "ldstub",
+]

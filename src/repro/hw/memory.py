@@ -1,0 +1,192 @@
+"""Simulated memory: an ``sbrk``-backed heap and thread stacks.
+
+The paper notes that thread creation/termination "involves allocation /
+deallocation of heap space which sporadically may result in kernel calls
+to ``sbrk``" and that allocation accounts for ~70 % of creation time --
+motivating the TCB/stack pool (see :mod:`repro.core.pool` and the
+pool-ablation benchmark).  This module models that cost structure: the
+heap hands out blocks from an arena; when the arena is exhausted it
+calls the (simulated, expensive) ``sbrk`` syscall to grow.
+
+Stacks model a stack pointer with a redzone so the library can detect
+overflow of a thread's stack -- the failure the paper's "no unlimited
+stack growth" design objective protects against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.hw import costs
+from repro.hw.clock import VirtualClock
+from repro.hw.costs import CostModel
+
+
+class MemoryError_(Exception):
+    """Out of simulated memory."""
+
+
+class StackOverflow(Exception):
+    """A simulated thread stack grew past its redzone."""
+
+
+class Heap:
+    """A bump-with-freelist heap over an ``sbrk``-grown arena.
+
+    Parameters
+    ----------
+    clock, model:
+        Charge allocation costs.
+    arena:
+        Initial arena size in bytes.
+    limit:
+        Hard ceiling on total arena size (``sbrk`` fails past this).
+    sbrk:
+        Callback performing the simulated ``sbrk`` syscall (charged by
+        the UNIX kernel); receives the grow amount.  When None, growth
+        is charged locally at syscall cost.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        model: CostModel,
+        arena: int = 1 << 20,
+        limit: int = 1 << 28,
+        sbrk: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self._clock = clock
+        self._model = model
+        self._arena = arena
+        self._limit = limit
+        self._brk = 0  # high-water mark inside the arena
+        self._free: Dict[int, list] = {}  # size -> [addresses]
+        self._sizes: Dict[int, int] = {}  # address -> size
+        self._next_addr = 0x1000
+        self._sbrk = sbrk
+        self.sbrk_calls = 0
+        self.allocated_bytes = 0
+
+    @property
+    def arena_size(self) -> int:
+        return self._arena
+
+    @property
+    def live_bytes(self) -> int:
+        return self.allocated_bytes
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns a simulated address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive: %r" % size)
+        self._clock.advance(self._model.cost(costs.HEAP_ALLOC))
+        bucket = self._free.get(size)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            while self._brk + size > self._arena:
+                self._grow(max(size, self._arena))
+            self._brk += size
+            addr = self._next_addr
+            self._next_addr += size
+        self._sizes[addr] = size
+        self.allocated_bytes += size
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release a block previously returned by :meth:`malloc`."""
+        self._clock.advance(self._model.cost(costs.HEAP_FREE))
+        try:
+            size = self._sizes.pop(addr)
+        except KeyError:
+            raise MemoryError_("free of unallocated address %#x" % addr)
+        self.allocated_bytes -= size
+        self._free.setdefault(size, []).append(addr)
+
+    def _grow(self, amount: int) -> None:
+        if self._arena + amount > self._limit:
+            raise MemoryError_(
+                "heap limit exceeded: %d + %d > %d"
+                % (self._arena, amount, self._limit)
+            )
+        self.sbrk_calls += 1
+        if self._sbrk is not None:
+            self._sbrk(amount)
+        else:
+            self._clock.advance(self._model.cost(costs.SYSCALL))
+            self._clock.advance(self._model.cost(costs.SBRK_WORK))
+        self._arena += amount
+
+
+class Stack:
+    """A downward-growing thread stack with a redzone.
+
+    Frame pushes move the stack pointer down; crossing into the redzone
+    raises :class:`StackOverflow`.  The Pthreads library sizes these
+    from the thread attribute's ``stacksize``.
+    """
+
+    def __init__(self, base: int, size: int, redzone: int = 256) -> None:
+        if size <= redzone:
+            raise ValueError(
+                "stack size %d not larger than redzone %d" % (size, redzone)
+            )
+        self.base = base  # numerically highest address
+        self.size = size
+        self.redzone = redzone
+        self.sp = base  # current stack pointer
+        self.high_water = 0  # deepest usage seen, in bytes
+
+    @property
+    def used(self) -> int:
+        return self.base - self.sp
+
+    @property
+    def remaining(self) -> int:
+        return self.size - self.redzone - self.used
+
+    def push(self, nbytes: int, redzone_ok: bool = False) -> int:
+        """Push a frame of ``nbytes``; returns the new stack pointer.
+
+        ``redzone_ok`` lets signal-wrapper frames borrow the redzone
+        (the library's stand-in for a signal stack), so a handler can
+        still run after user code exhausted its stack.
+        """
+        if nbytes < 0:
+            raise ValueError("frame size must be >= 0: %r" % nbytes)
+        new_sp = self.sp - nbytes
+        limit = self.size if redzone_ok else self.size - self.redzone
+        if self.base - new_sp > limit:
+            raise StackOverflow(
+                "stack overflow: frame of %d bytes leaves sp %d bytes past "
+                "%s (size=%d)"
+                % (
+                    nbytes,
+                    self.base - new_sp,
+                    "the stack end" if redzone_ok else "the redzone",
+                    self.size,
+                )
+            )
+        self.sp = new_sp
+        self.high_water = max(self.high_water, self.used)
+        return self.sp
+
+    def pop(self, nbytes: int) -> int:
+        """Pop a frame of ``nbytes``; returns the new stack pointer."""
+        new_sp = self.sp + nbytes
+        if new_sp > self.base:
+            raise MemoryError_("stack pop past base")
+        self.sp = new_sp
+        return self.sp
+
+    def reset(self) -> None:
+        """Reset to empty (used when recycling a pooled stack)."""
+        self.sp = self.base
+        self.high_water = 0
+
+    def __repr__(self) -> str:
+        return "Stack(base=%#x, size=%d, used=%d)" % (
+            self.base,
+            self.size,
+            self.used,
+        )

@@ -1,0 +1,17 @@
+"""Scheduling policies, including the paper's perverted debugging set."""
+
+from repro.sched.perverted import (
+    MutexSwitchPolicy,
+    RandomSwitchPolicy,
+    RoundRobinOrderedSwitchPolicy,
+    make_policy,
+)
+from repro.sched.policies import SchedulingPolicy
+
+__all__ = [
+    "MutexSwitchPolicy",
+    "RandomSwitchPolicy",
+    "RoundRobinOrderedSwitchPolicy",
+    "SchedulingPolicy",
+    "make_policy",
+]

@@ -1,0 +1,38 @@
+"""Scheduling policy hooks.
+
+The library's default behaviour (priority-driven, FIFO within a level,
+optional round-robin slicing) needs no policy object at all.  A policy
+plugs extra behaviour into three points:
+
+- :meth:`on_kernel_exit` -- every time the library kernel is left;
+- :meth:`on_mutex_acquired` -- every successful mutex lock;
+- :meth:`select` -- may override which ready thread runs next.
+
+The perverted debugging policies (:mod:`repro.sched.perverted`) use
+these hooks to force context switches at the paper's chosen points.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import PthreadsRuntime
+    from repro.core.tcb import Tcb
+
+
+class SchedulingPolicy:
+    """Base policy: plain priority scheduling (all hooks no-ops)."""
+
+    name = "default"
+
+    def on_kernel_exit(self, runtime: "PthreadsRuntime") -> None:
+        """Called from ``LibKernel.leave`` before the dispatcher check."""
+
+    def on_mutex_acquired(self, runtime: "PthreadsRuntime") -> None:
+        """Called after every successful mutex lock."""
+
+    def select(self, runtime: "PthreadsRuntime") -> Optional["Tcb"]:
+        """Override the dispatcher's pick.  Return a thread from the
+        ready queue (do not remove it), or None for the default."""
+        return None

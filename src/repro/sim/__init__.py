@@ -1,0 +1,33 @@
+"""Discrete-event execution engine.
+
+The engine runs *simulated programs*: Python generator functions that
+yield :mod:`ops <repro.sim.ops>` (compute bursts, library calls, UNIX
+syscalls, nested calls).  A program's call stack is a stack of
+:class:`~repro.sim.frames.Frame` objects; asynchronous events (timers,
+signals, I/O completions) are queued against the virtual clock and fire
+at instruction boundaries, splitting compute bursts exactly where a
+hardware interrupt would land.
+
+The Pthreads library (:mod:`repro.core`) supplies the scheduler and the
+semantics; this package supplies the mechanics.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.frames import Frame, FrameStack, ProgramCrash
+from repro.sim.ops import Invoke, LibCall, SysCall, Work
+from repro.sim.rng import DeterministicRng
+from repro.sim.world import World
+
+__all__ = [
+    "DeterministicRng",
+    "Event",
+    "EventQueue",
+    "Frame",
+    "FrameStack",
+    "Invoke",
+    "LibCall",
+    "ProgramCrash",
+    "SysCall",
+    "Work",
+    "World",
+]

@@ -1,0 +1,95 @@
+"""The virtual-time event queue.
+
+Events are the simulator's asynchrony: interval-timer expirations,
+signals sent from outside the process, and I/O completions.  Each event
+carries an absolute virtual time (in cycles) and an action callback.
+Events with equal timestamps fire in scheduling order (a stable sequence
+number breaks ties), which keeps every run deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Action = Callable[[], None]
+
+
+class Event:
+    """A scheduled action; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "action", "name", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, action: Action, name: str) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.name = name
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else (
+            "cancelled" if self.cancelled else "pending"
+        )
+        return "Event(%s @%d, %s)" % (self.name, self.time, state)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        self._drop_cancelled()
+        return len(self._heap)
+
+    def schedule(self, time: int, action: Action, name: str = "event") -> Event:
+        """Schedule ``action`` at absolute cycle ``time``."""
+        if time < 0:
+            raise ValueError("event time must be >= 0: %r" % time)
+        event = Event(time, next(self._seq), action, name)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def next_time(self) -> Optional[int]:
+        """Virtual time of the earliest pending event, or None."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop_due(self, now: int) -> Optional[Event]:
+        """Pop the earliest event with ``time <= now``, or None."""
+        self._drop_cancelled()
+        if self._heap and self._heap[0][0] <= now:
+            event = heapq.heappop(self._heap)[2]
+            event.fired = True
+            return event
+        return None
+
+    def fire_due(self, now: int) -> int:
+        """Fire every event due at or before ``now``; returns the count.
+
+        Actions may schedule further events; those fire too if they are
+        also due (a timer rearming itself in the past would otherwise
+        stall time).
+        """
+        fired = 0
+        while True:
+            event = self.pop_due(now)
+            if event is None:
+                return fired
+            event.action()
+            fired += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)

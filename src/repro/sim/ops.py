@@ -1,0 +1,78 @@
+"""Operations yielded by simulated programs.
+
+A simulated program is a Python generator; each ``yield`` hands the
+executor one *op* and suspends the program at that instruction boundary.
+The executor charges virtual time, performs the op, and resumes the
+program with the op's result.
+
+Ops are plain immutable descriptors.  User code never constructs them
+directly -- the :class:`repro.core.api.PT` facade builds them, e.g.::
+
+    def body(pt):
+        yield pt.work(500)              # Work: 500 cycles of computation
+        err = yield pt.mutex_lock(m)    # LibCall into the Pthreads library
+        pid = yield pt.unix.getpid()    # SysCall into the UNIX kernel
+        v = yield pt.call(helper, 3)    # Invoke: nested simulated frame
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Work:
+    """Burn ``cycles`` of CPU time.  Preemptible: an asynchronous event
+    due mid-burst splits the burst at the event's virtual instant."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("work cycles must be >= 0: %r" % (self.cycles,))
+
+
+@dataclass(frozen=True)
+class LibCall:
+    """Call a Pthreads library entry point by name.
+
+    The result sent back into the program is whatever the library call
+    returns (an error number for most POSIX calls, a value for
+    ``pthread_self`` and friends).
+    """
+
+    name: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SysCall:
+    """Call the simulated UNIX kernel directly (bypassing the library).
+
+    Used by benchmarks (``getpid`` timing) and by programs that want raw
+    UNIX behaviour for comparison.
+    """
+
+    name: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """Push a nested simulated frame running ``fn(pt, *args)``.
+
+    Models a function call on the simulated stack: charges a register-
+    window ``save`` and ``frame_bytes`` of stack, and sends the callee's
+    return value back when it returns.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    frame_bytes: int = 96
+
+
+Op = (Work, LibCall, SysCall, Invoke)

@@ -1,0 +1,51 @@
+"""Seeded randomness for workloads and the random-switch policy.
+
+The paper observes that "varying the initialization of random number
+generators for the random switch policy ... proved to be a simple but
+powerful way to influence the ordering of threads during execution".
+All randomness in the reproduction flows through this wrapper so a run
+is fully determined by its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """A seeded pseudo random number generator."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def coin(self) -> bool:
+        """The "next binary random number" of the random-switch policy."""
+        return self._rng.random() < 0.5
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self._rng.randrange(len(items))]
+
+    def shuffled(self, items: Sequence[T]) -> List[T]:
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def expovariate(self, mean: float) -> float:
+        """Exponential variate with the given mean (for I/O latencies)."""
+        if mean <= 0:
+            raise ValueError("mean must be positive: %r" % mean)
+        return self._rng.expovariate(1.0 / mean)
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Derive an independent stream (stable across runs)."""
+        return DeterministicRng((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)

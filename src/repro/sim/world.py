@@ -1,0 +1,166 @@
+"""The simulated world: one machine's clock, CPU model, and event queue.
+
+Every run of the reproduction happens inside a :class:`World`.  The
+world owns the virtual clock, the CPU cost model (which SPARC we are
+pretending to be), the register-window file, the asynchronous event
+queue, the deterministic RNG, and a trace sink.  The UNIX kernel and the
+Pthreads library are built on top of one world.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.hw.clock import VirtualClock
+from repro.hw.costs import SPARC_IPX, CostModel, cost_model
+from repro.hw.registers import RegisterWindows
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import DeterministicRng
+
+
+class DeadlockError(Exception):
+    """No runnable activity and no pending events: time cannot advance."""
+
+
+class World:
+    """A single simulated machine.
+
+    Parameters
+    ----------
+    model:
+        CPU cost model or its name ("sparc-1+" / "sparc-ipx").
+        Defaults to the SPARC IPX, the faster machine of Table 2.
+    seed:
+        Seed for the world's deterministic RNG.
+    trace:
+        Optional trace sink with an ``emit(kind, **fields)`` method
+        (see :class:`repro.debug.trace.Tracer`).
+    """
+
+    def __init__(
+        self,
+        model: Union[str, CostModel] = SPARC_IPX,
+        seed: int = 0,
+        trace: Optional[object] = None,
+    ) -> None:
+        if isinstance(model, str):
+            model = cost_model(model)
+        self.model = model
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.rng = DeterministicRng(seed)
+        self.windows = RegisterWindows(self.clock, model)
+        self.trace = trace
+        self._defer_depth = 0
+        self._firing = False
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in cycles."""
+        return self.clock.cycles
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self.model.us(self.clock.cycles)
+
+    def us(self, cycles: int) -> float:
+        return self.model.us(cycles)
+
+    def cycles_for_us(self, us: float) -> int:
+        return self.model.cycles_for_us(us)
+
+    # -- spending cycles ---------------------------------------------------
+
+    def spend(self, key: str, times: int = 1, fire: bool = True) -> None:
+        """Charge the cost of primitive ``key`` (``times`` occurrences).
+
+        By default due events fire after the charge, so asynchronous
+        signals land inside library code sections -- which is what
+        exercises the paper's defer-signals-while-in-kernel machinery.
+        """
+        self.clock.advance(self.model.cost(key) * times)
+        if fire:
+            self.fire_due()
+
+    def spend_cycles(self, cycles: int, fire: bool = True) -> None:
+        """Charge a raw cycle amount."""
+        self.clock.advance(cycles)
+        if fire:
+            self.fire_due()
+
+    # -- events ------------------------------------------------------------
+
+    def schedule_at(self, time: int, action, name: str = "event") -> Event:
+        """Schedule ``action`` at absolute cycle ``time``."""
+        return self.events.schedule(max(time, self.now), action, name)
+
+    def schedule_in(self, cycles: int, action, name: str = "event") -> Event:
+        """Schedule ``action`` ``cycles`` from now."""
+        if cycles < 0:
+            raise ValueError("cannot schedule in the past: %r" % cycles)
+        return self.events.schedule(self.now + cycles, action, name)
+
+    def fire_due(self) -> int:
+        """Fire every event due at the current instant.
+
+        A no-op inside an :meth:`atomic` section; the events fire at
+        the first ``fire_due`` after the section ends.  Also
+        non-reentrant: an event action whose work makes further events
+        due does not recurse -- the enclosing drain loop picks them up
+        (otherwise a timer with a period shorter than its handler would
+        recurse without bound).
+        """
+        if self._defer_depth or self._firing:
+            return 0
+        self._firing = True
+        try:
+            return self.events.fire_due(self.now)
+        finally:
+            self._firing = False
+
+    @contextmanager
+    def atomic(self) -> Iterator[None]:
+        """Suppress event firing for the duration (context-switch code).
+
+        Models the short uninterruptible stretch of a real context
+        switch: time still advances, but deliveries land after the
+        switch completes -- interrupting the *new* thread, as on the
+        real machine.
+        """
+        self._defer_depth += 1
+        try:
+            yield
+        finally:
+            self._defer_depth -= 1
+
+    def next_event_time(self) -> Optional[int]:
+        return self.events.next_time()
+
+    def advance_to_next_event(self) -> None:
+        """Idle the CPU until the next event, then fire it.
+
+        Raises :class:`DeadlockError` when nothing is pending -- the
+        simulated machine would sit idle forever.
+        """
+        when = self.events.next_time()
+        if when is None:
+            raise DeadlockError(
+                "system is idle with no pending events at t=%d cycles"
+                % self.now
+            )
+        self.clock.advance_to(max(when, self.now))
+        self.fire_due()
+
+    # -- tracing -------------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Emit a trace record if tracing is enabled."""
+        if self.trace is not None:
+            self.trace.emit(kind, **fields)
+
+    def __repr__(self) -> str:
+        return "World(model=%s, t=%d cycles)" % (self.model.name, self.now)

@@ -1,0 +1,75 @@
+"""The simulated UNIX (4.3 BSD-ish) kernel.
+
+The paper's library sits on "about 20 UNIX services".  This package
+provides those services with the same interface shape and -- crucially
+for the evaluation -- the same cost structure: every syscall charges
+kernel enter/exit overhead, signal delivery charges the slow UNIX signal
+path, and process context switches are far more expensive than the
+library's thread switches.
+
+Modules:
+
+- :mod:`repro.unix.sigset` -- signal numbers and signal sets.
+- :mod:`repro.unix.kernel` -- the kernel object: syscall dispatch and
+  accounting, process table.
+- :mod:`repro.unix.signals` -- per-process signal state: ``sigaction``,
+  ``sigsetmask``, ``kill``, pending sets, delivery.
+- :mod:`repro.unix.timers` -- ``setitimer`` interval timers.
+- :mod:`repro.unix.process` -- a miniature process abstraction and
+  round-robin process scheduler (used by the process-switch and UNIX
+  signal-handler rows of Table 2).
+- :mod:`repro.unix.io` -- an asynchronous I/O device raising ``SIGIO``
+  completions attributed to the requesting thread.
+"""
+
+from repro.unix.kernel import UnixKernel
+from repro.unix.process import UnixProcess, UnixScheduler
+from repro.unix.sigset import (
+    NSIG,
+    SIG_DFL,
+    SIG_IGN,
+    SIGALRM,
+    SIGCANCEL,
+    SIGFPE,
+    SIGHUP,
+    SIGILL,
+    SIGINT,
+    SIGIO,
+    SIGKILL,
+    SIGSEGV,
+    SIGSTOP,
+    SIGTERM,
+    SIGUSR1,
+    SIGUSR2,
+    SIGVTALRM,
+    SigSet,
+    signal_name,
+)
+from repro.unix.signals import SigAction, SigCause
+
+__all__ = [
+    "NSIG",
+    "SIGALRM",
+    "SIGCANCEL",
+    "SIGFPE",
+    "SIGHUP",
+    "SIGILL",
+    "SIGINT",
+    "SIGIO",
+    "SIGKILL",
+    "SIGSEGV",
+    "SIGSTOP",
+    "SIGTERM",
+    "SIGUSR1",
+    "SIGUSR2",
+    "SIGVTALRM",
+    "SIG_DFL",
+    "SIG_IGN",
+    "SigAction",
+    "SigCause",
+    "SigSet",
+    "UnixKernel",
+    "UnixProcess",
+    "UnixScheduler",
+    "signal_name",
+]

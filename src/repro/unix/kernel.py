@@ -1,0 +1,241 @@
+"""The UNIX kernel object: syscall dispatch, processes, signal delivery.
+
+Every service charges the (expensive) kernel enter/exit overhead plus
+its in-kernel work, and is counted in :attr:`UnixKernel.syscall_counts`
+-- the paper's "few operating system calls" objective is verified
+against these counters (see ``tests/integration/test_syscall_budget``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.hw import costs
+from repro.hw.memory import Heap
+from repro.sim.world import World
+from repro.unix.sigset import (
+    SIGCHLD,
+    SIGCONT,
+    SIGIO,
+    SIGURG,
+    SIGWINCH,
+    SigSet,
+    check_signal,
+)
+from repro.unix.signals import (
+    DefaultActionTerminate,
+    InterruptFrame,
+    ProcessSignals,
+    SigAction,
+    SigCause,
+)
+
+#: Signals whose default action is to be discarded (BSD).
+_DEFAULT_IGNORED = frozenset(
+    {SIGCHLD, SIGURG, SIGWINCH, SIGIO, SIGCONT}
+)
+
+
+class UnixKernel:
+    """One machine's UNIX kernel.
+
+    Owns the process table and implements the syscall surface the
+    Pthreads library needs (the paper's "about 20 UNIX services").
+    """
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.processes: Dict[int, "UnixProcessLike"] = {}
+        self._next_pid = 100
+        self.syscall_counts: Counter = Counter()
+        #: Set by the mini process scheduler; a process receives posted
+        #: signals immediately only while it is current (or marked
+        #: ``auto_deliver``, as the single Pthreads process is).
+        self.current_proc: Optional["UnixProcessLike"] = None
+
+    # -- process table -------------------------------------------------------
+
+    def register(self, proc: "UnixProcessLike") -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        self.processes[pid] = proc
+        proc.pid = pid
+        return pid
+
+    def find(self, pid: int) -> "UnixProcessLike":
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise ProcessLookupError("no such process: %d" % pid) from None
+
+    # -- syscall plumbing ------------------------------------------------------
+
+    def _enter(self, name: str, work_key: Optional[str] = None) -> None:
+        """Charge kernel enter/exit overhead plus in-kernel work."""
+        self.syscall_counts[name] += 1
+        self.world.spend(costs.SYSCALL, fire=False)
+        if work_key is not None:
+            self.world.spend(work_key, fire=False)
+        self.world.fire_due()
+
+    @property
+    def total_syscalls(self) -> int:
+        return sum(self.syscall_counts.values())
+
+    # -- the services ------------------------------------------------------------
+
+    def getpid(self, proc: "UnixProcessLike") -> int:
+        """The paper's "enter and exit UNIX kernel" yardstick."""
+        self._enter("getpid", costs.GETPID_WORK)
+        return proc.pid
+
+    def sigaction(
+        self, proc: "UnixProcessLike", sig: int, action: SigAction
+    ) -> SigAction:
+        check_signal(sig)
+        self._enter("sigaction", costs.SIGACTION_WORK)
+        return proc.signals.set_action(sig, action)
+
+    def sigsetmask(self, proc: "UnixProcessLike", mask: SigSet) -> SigSet:
+        """Replace the process signal mask; may release pending signals."""
+        self._enter("sigsetmask", costs.SIGSETMASK_WORK)
+        old = proc.signals.set_mask(mask)
+        self._deliver_if_current(proc)
+        return old
+
+    def sigblock(self, proc: "UnixProcessLike", signals: SigSet) -> SigSet:
+        self._enter("sigblock", costs.SIGSETMASK_WORK)
+        return proc.signals.block(signals)
+
+    def sigpending(self, proc: "UnixProcessLike") -> SigSet:
+        self._enter("sigpending", costs.SIGSETMASK_WORK)
+        return proc.signals.pending_set()
+
+    def kill(
+        self,
+        target: "UnixProcessLike",
+        sig: int,
+        cause: Optional[SigCause] = None,
+    ) -> None:
+        """Generate ``sig`` for ``target`` (also models external senders)."""
+        check_signal(sig)
+        self._enter("kill", costs.KILL_WORK)
+        self.post_signal(target, sig, cause or SigCause(kind="external"))
+
+    def sbrk(self, proc: "UnixProcessLike", amount: int) -> None:
+        self._enter("sbrk", costs.SBRK_WORK)
+        del proc, amount  # accounting only; the Heap tracks sizes
+
+    def make_heap(self, proc: "UnixProcessLike", **kwargs: Any) -> Heap:
+        """A heap whose growth goes through this kernel's ``sbrk``."""
+        return Heap(
+            self.world.clock,
+            self.world.model,
+            sbrk=lambda amount: self.sbrk(proc, amount),
+            **kwargs,
+        )
+
+    # -- signal generation & delivery ----------------------------------------------
+
+    def post_signal(
+        self, proc: "UnixProcessLike", sig: int, cause: SigCause
+    ) -> None:
+        """Mark a signal pending and deliver it if the process is current.
+
+        This is the non-syscall entry used by timers, devices, and other
+        in-kernel sources.
+        """
+        proc.signals.post(sig, cause)
+        self._deliver_if_current(proc)
+
+    def _deliver_if_current(self, proc: "UnixProcessLike") -> None:
+        if getattr(proc, "auto_deliver", False) or proc is self.current_proc:
+            self.deliver_signals(proc)
+
+    def deliver_signals(self, proc: "UnixProcessLike") -> int:
+        """Deliver every deliverable pending signal to ``proc``.
+
+        Returns the number delivered.  Raises
+        :class:`DefaultActionTerminate` when a default-action signal
+        kills the process.
+        """
+        delivered = 0
+        while True:
+            item = proc.signals.take_deliverable()
+            if item is None:
+                return delivered
+            sig, cause = item
+            action = proc.signals.get_action(sig)
+            if action.is_ignore():
+                continue
+            if action.is_default():
+                if sig in _DEFAULT_IGNORED:
+                    continue
+                raise DefaultActionTerminate(sig)
+            # Push the interrupt frame: the kernel blocks the signal
+            # itself plus the action's mask for the handler's duration.
+            self.world.spend(costs.UNIX_SIGNAL_DELIVER, fire=False)
+            saved = proc.signals.mask.copy()
+            extra = SigSet([sig]) | action.mask
+            proc.signals.mask = saved | extra
+            frame = InterruptFrame(sig=sig, cause=cause, saved_mask=saved)
+            delivered += 1
+            if action.manual_return:
+                # Pthreads universal handler: the library performs the
+                # sigreturn when the interrupted thread resumes.
+                proc.interrupt_frames.append(frame)
+                action.handler(sig, cause)
+            else:
+                action.handler(sig, cause)
+                self.sigreturn_inline(proc, frame)
+
+    def sigreturn_inline(
+        self, proc: "UnixProcessLike", frame: InterruptFrame
+    ) -> None:
+        """Ordinary handler return: restore mask and global state."""
+        self.world.spend(costs.UNIX_SIGRETURN, fire=False)
+        proc.signals.mask = frame.saved_mask
+        self.world.fire_due()
+
+    def sigreturn_frame(
+        self, proc: "UnixProcessLike", frame: InterruptFrame
+    ) -> None:
+        """Return from a specific interrupt frame held by the library.
+
+        The Pthreads dispatcher parks interrupt frames on the
+        interrupted thread's TCB and returns through them only when
+        that thread is redispatched; this is the charge-and-restore for
+        that deferred path.
+        """
+        self.world.spend(costs.UNIX_SIGRETURN, fire=False)
+        proc.signals.mask = frame.saved_mask
+        self.world.fire_due()
+
+    def sigreturn(self, proc: "UnixProcessLike") -> InterruptFrame:
+        """Manual sigreturn for the universal handler's deferred path.
+
+        Pops the most recent interrupt frame, charges the return path,
+        and restores the mask saved at delivery.
+        """
+        if not proc.interrupt_frames:
+            raise RuntimeError("sigreturn with no pending interrupt frame")
+        frame = proc.interrupt_frames.pop()
+        self.world.spend(costs.UNIX_SIGRETURN, fire=False)
+        proc.signals.mask = frame.saved_mask
+        self.world.fire_due()
+        return frame
+
+
+class UnixProcessLike:
+    """Structural interface of things the kernel treats as processes.
+
+    Concrete implementations: :class:`repro.unix.process.UnixProcess`
+    (the mini multi-process world) and the Pthreads library's host
+    process (:class:`repro.core.runtime.HostProcess`).
+    """
+
+    pid: int = -1
+    signals: ProcessSignals
+    interrupt_frames: List[InterruptFrame]
+    auto_deliver: bool = False

@@ -1,0 +1,185 @@
+"""Per-process UNIX signal state and delivery.
+
+This models 4.3 BSD semantics, including the detail the paper's design
+fights against: the kernel keeps *one* pending slot per signal number,
+so a signal that arrives while the same signal is both pending and
+masked is **lost**.  That is why the library "blocks signals for the
+shortest interval possible" and uses exactly two ``sigsetmask`` calls
+per received signal; the ``lost_signals`` counter makes the hazard
+observable.
+
+Handlers come in two flavours:
+
+- ordinary handlers (``manual_return=False``): the kernel charges the
+  full deliver + sigreturn path around the callback, as for any C
+  handler;
+- the Pthreads *universal handler* (``manual_return=True``): the
+  kernel pushes an :class:`InterruptFrame` and leaves the return path
+  to the library, because the library may dispatch a different thread
+  and only execute the ``sigreturn`` when the interrupted thread is
+  resumed (paper, "The Dispatcher").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.unix.sigset import (
+    SIG_DFL,
+    SIG_IGN,
+    SigSet,
+    check_signal,
+    signal_name,
+)
+
+Handler = Union[str, Callable[[int, "SigCause"], None]]
+
+
+@dataclass(frozen=True)
+class SigCause:
+    """Why a signal was generated -- drives the paper's delivery model.
+
+    ``kind`` is one of:
+
+    - ``"directed"``: aimed at a specific thread (``pthread_kill``);
+    - ``"synchronous"``: a fault caused by the running thread;
+    - ``"timer"``: an interval-timer expiration (``thread`` = armer);
+    - ``"io"``: an I/O completion (``thread`` = requester);
+    - ``"external"``: sent from outside the process (``kill``);
+    - ``"cancel"``: the library-internal cancellation request.
+    """
+
+    kind: str = "external"
+    thread: Optional[Any] = None
+    code: int = 0
+    data: Optional[Any] = None
+
+    VALID_KINDS = frozenset(
+        {"directed", "synchronous", "timer", "io", "external", "cancel"}
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError("invalid signal cause kind: %r" % (self.kind,))
+
+
+@dataclass
+class SigAction:
+    """Disposition installed by ``sigaction``."""
+
+    handler: Handler = SIG_DFL
+    mask: SigSet = field(default_factory=SigSet)
+    manual_return: bool = False
+
+    def is_default(self) -> bool:
+        return self.handler == SIG_DFL
+
+    def is_ignore(self) -> bool:
+        return self.handler == SIG_IGN
+
+
+@dataclass
+class InterruptFrame:
+    """The frame UNIX pushes on the user stack to run a handler.
+
+    For ``manual_return`` handlers the library holds on to this and
+    performs the ``sigreturn`` (restoring ``saved_mask`` and the global
+    register state) only when the interrupted thread resumes.
+    """
+
+    sig: int
+    cause: SigCause
+    saved_mask: SigSet
+
+
+class DefaultActionTerminate(Exception):
+    """A signal's default action terminated the (simulated) process."""
+
+    def __init__(self, sig: int) -> None:
+        super().__init__(
+            "process terminated by default action of %s" % signal_name(sig)
+        )
+        self.sig = sig
+
+
+class ProcessSignals:
+    """Signal state of one UNIX process."""
+
+    def __init__(self) -> None:
+        self.mask = SigSet()
+        self.actions: Dict[int, SigAction] = {}
+        # BSD keeps one pending slot per signal; extra arrivals are lost.
+        self._pending: Dict[int, SigCause] = {}
+        self._pending_order: List[int] = []
+        self.lost_signals = 0
+        self.delivered = 0
+
+    # -- installation -------------------------------------------------------
+
+    def set_action(self, sig: int, action: SigAction) -> SigAction:
+        """Install a disposition; returns the previous one."""
+        check_signal(sig)
+        previous = self.actions.get(sig, SigAction())
+        self.actions[sig] = action
+        return previous
+
+    def get_action(self, sig: int) -> SigAction:
+        check_signal(sig)
+        return self.actions.get(sig, SigAction())
+
+    # -- masking ------------------------------------------------------------
+
+    def set_mask(self, mask: SigSet) -> SigSet:
+        """Replace the process mask (``sigsetmask``); returns the old."""
+        old = self.mask
+        self.mask = mask.copy()
+        return old
+
+    def block(self, signals: SigSet) -> SigSet:
+        """Add signals to the mask (``sigblock``); returns the old mask."""
+        old = self.mask
+        self.mask = self.mask | signals
+        return old
+
+    # -- generation -----------------------------------------------------------
+
+    def post(self, sig: int, cause: SigCause) -> bool:
+        """Mark a signal pending.  Returns False if it was lost
+        (already pending -- the BSD single-slot rule)."""
+        check_signal(sig)
+        if sig in self._pending:
+            self.lost_signals += 1
+            return False
+        self._pending[sig] = cause
+        self._pending_order.append(sig)
+        return True
+
+    def pending_set(self) -> SigSet:
+        """Currently pending signals (``sigpending``)."""
+        return SigSet(self._pending.keys())
+
+    def has_deliverable(self) -> bool:
+        return any(sig not in self.mask for sig in self._pending)
+
+    def take_deliverable(self) -> Optional[Any]:
+        """Pop the oldest pending, unmasked signal as ``(sig, cause)``."""
+        for index, sig in enumerate(self._pending_order):
+            if sig not in self.mask:
+                del self._pending_order[index]
+                cause = self._pending.pop(sig)
+                self.delivered += 1
+                return sig, cause
+        return None
+
+    def discard_pending(self, sig: int) -> None:
+        check_signal(sig)
+        if sig in self._pending:
+            del self._pending[sig]
+            self._pending_order.remove(sig)
+
+    def __repr__(self) -> str:
+        return "ProcessSignals(mask=%r, pending=%r)" % (
+            self.mask,
+            sorted(self._pending),
+        )

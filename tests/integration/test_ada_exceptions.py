@@ -1,0 +1,135 @@
+"""Ada exceptions: propagation across frames and from signals.
+
+The signal path exercises the paper's fake-call redirect feature: a
+synchronous signal's handler redirects to a raise routine so the
+exception propagates from the faulting statement.
+"""
+
+from repro.ada import AdaRuntime
+from repro.ada.exceptions import (
+    ConstraintError,
+    ProgramError,
+    StorageError,
+    signal_exception_handler,
+)
+from repro.unix.sigset import SIGFPE, SIGILL, SIGSEGV
+
+
+def _run(env_body):
+    art = AdaRuntime()
+    art.main_task(env_body)
+    art.run()
+    return art
+
+
+def test_exception_crosses_simulated_frames():
+    out = {}
+
+    def deep(pt, n):
+        if n == 0:
+            raise ConstraintError("bottom")
+        yield pt.call(deep, n - 1)
+
+    def env(ada):
+        try:
+            yield ada.pt.call(deep, 5)
+        except ConstraintError as exc:
+            out["caught"] = "bottom" in str(exc)
+
+    _run(env)
+    assert out["caught"]
+
+
+def test_handler_block_try_except_at_yield():
+    out = {}
+
+    def failing(pt):
+        yield pt.work(1)
+        raise ProgramError()
+
+    def env(ada):
+        try:
+            yield ada.pt.call(failing)
+        except ProgramError:
+            out["handled"] = True
+        out["continued"] = True
+        yield ada.pt.work(1)
+
+    _run(env)
+    assert out == {"handled": True, "continued": True}
+
+
+def test_sigfpe_becomes_constraint_error():
+    out = {}
+
+    def env(ada):
+        try:
+            yield ada.pt.raise_fault(SIGFPE)
+            out["fell_through"] = True
+        except ConstraintError:
+            out["caught"] = True
+
+    _run(env)
+    assert out == {"caught": True}
+
+
+def test_sigsegv_becomes_storage_error():
+    out = {}
+
+    def env(ada):
+        try:
+            yield ada.pt.raise_fault(SIGSEGV)
+        except StorageError:
+            out["caught"] = True
+
+    _run(env)
+    assert out == {"caught": True}
+
+
+def test_sigill_becomes_program_error():
+    out = {}
+
+    def env(ada):
+        try:
+            yield ada.pt.raise_fault(SIGILL)
+        except ProgramError:
+            out["caught"] = True
+
+    _run(env)
+    assert out == {"caught": True}
+
+
+def test_fault_in_nested_frame_unwinds_to_outer_handler():
+    out = {}
+
+    def inner(pt):
+        yield pt.raise_fault(SIGFPE)
+        out["inner_survived"] = True
+
+    def env(ada):
+        try:
+            yield ada.pt.call(inner)
+        except ConstraintError:
+            out["outer_caught"] = True
+
+    _run(env)
+    assert out == {"outer_caught": True}
+
+
+def test_fault_recovery_continues_execution():
+    """After catching a signal-mapped exception the task keeps going --
+    the interrupted frame was restored, per the paper's mechanism."""
+    results = []
+
+    def env(ada):
+        for i in range(3):
+            try:
+                if i == 1:
+                    yield ada.pt.raise_fault(SIGFPE)
+                results.append(("ok", i))
+            except ConstraintError:
+                results.append(("recovered", i))
+            yield ada.pt.work(100)
+
+    _run(env)
+    assert results == [("ok", 0), ("recovered", 1), ("ok", 2)]

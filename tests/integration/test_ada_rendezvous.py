@@ -1,0 +1,303 @@
+"""Ada rendezvous: entry calls, accepts, selective wait, timed calls."""
+
+from repro.ada import AdaRuntime
+from repro.ada.exceptions import ConstraintError, TaskingError
+
+
+def _run(env_body):
+    art = AdaRuntime()
+    art.main_task(env_body)
+    art.run()
+    return art
+
+
+def test_simple_rendezvous_passes_args():
+    out = {}
+
+    def server(ada):
+        args = yield ada.accept("put")
+        out["got"] = args
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.entry_call(s, "put", 1, 2)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["got"] == (1, 2)
+
+
+def test_extended_rendezvous_returns_handler_result():
+    out = {}
+
+    def server(ada):
+        def double(pt, x):
+            yield pt.work(10)
+            return x * 2
+
+        out["acceptor_saw"] = yield ada.accept("compute", double)
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        out["caller_got"] = yield ada.entry_call(s, "compute", 21)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out == {"caller_got": 42, "acceptor_saw": 42}
+
+
+def test_caller_blocks_until_accept():
+    log = []
+
+    def server(ada):
+        yield ada.delay(0.002)
+        log.append("accepting")
+        yield ada.accept("e")
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        log.append("calling")
+        yield ada.entry_call(s, "e")
+        log.append("returned")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert log == ["calling", "accepting", "returned"]
+
+
+def test_acceptor_blocks_until_call():
+    log = []
+
+    def server(ada):
+        log.append("waiting")
+        yield ada.accept("e")
+        log.append("rendezvous")
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.002)
+        log.append("calling")
+        yield ada.entry_call(s, "e")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert log == ["waiting", "calling", "rendezvous"]
+
+
+def test_entry_queue_is_fifo_per_entry():
+    served = []
+
+    def server(ada):
+        for _ in range(3):
+            def note(pt, tag):
+                served.append(tag)
+                yield pt.work(1)
+
+            yield ada.accept("e", note)
+
+    def caller(ada, s, tag):
+        yield ada.entry_call(s, "e", tag)
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        for tag in ("a", "b", "c"):
+            yield ada.spawn(caller, s, tag, name="caller-%s" % tag)
+            yield ada.delay(0.001)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert served == ["a", "b", "c"]
+
+
+def test_selective_wait_else_part():
+    out = {}
+
+    def server(ada):
+        kind, name, value = yield ada.select(
+            {"e": None}, else_part=True
+        )
+        out["first"] = kind
+        # Now a call is queued; select must take it.
+        yield ada.delay(0.002)
+        kind, name, value = yield ada.select({"e": None}, else_part=True)
+        out["second"] = (kind, name)
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        yield ada.entry_call(s, "e")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["first"] == "else"
+    assert out["second"] == ("accept", "e")
+
+
+def test_selective_wait_delay_alternative():
+    out = {}
+
+    def server(ada):
+        kind, name, value = yield ada.select(
+            {"never": None}, delay_seconds=0.001
+        )
+        out["kind"] = kind
+
+    def env(ada):
+        yield ada.spawn(server, name="server")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["kind"] == "delay"
+
+
+def test_selective_wait_multiple_entries():
+    served = []
+
+    def server(ada):
+        for _ in range(2):
+            def note(pt, tag):
+                served.append(tag)
+                yield pt.work(1)
+
+            yield ada.select({"a": note, "b": note})
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        yield ada.entry_call(s, "b", "called-b")
+        yield ada.entry_call(s, "a", "called-a")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert sorted(served) == ["called-a", "called-b"]
+
+
+def test_timed_entry_call_times_out_and_withdraws():
+    out = {}
+
+    def server(ada):
+        yield ada.delay(0.01)  # too slow
+        kind, _, __ = yield ada.select({"e": None}, else_part=True)
+        out["late_select"] = kind
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        ok, result = yield ada.timed_entry_call(s, "e", 0.001)
+        out["ok"] = ok
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["ok"] is False
+    # The withdrawn call must have left the queue: the server's later
+    # select finds nothing.
+    assert out["late_select"] == "else"
+
+
+def test_timed_entry_call_succeeds_when_accepted_in_time():
+    out = {}
+
+    def server(ada):
+        def handler(pt):
+            yield pt.work(1)
+            return "served"
+
+        yield ada.accept("e", handler)
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        ok, result = yield ada.timed_entry_call(s, "e", 1.0)
+        out["r"] = (ok, result)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["r"] == (True, "served")
+
+
+def test_exception_in_rendezvous_propagates_to_both_tasks():
+    out = {}
+
+    def server(ada):
+        def bad(pt):
+            yield pt.work(1)
+            raise ConstraintError("in rendezvous")
+
+        try:
+            yield ada.accept("e", bad)
+        except ConstraintError:
+            out["acceptor"] = True
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        try:
+            yield ada.entry_call(s, "e")
+        except ConstraintError:
+            out["caller"] = True
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out == {"acceptor": True, "caller": True}
+
+
+def test_conditional_entry_call_else_when_not_ready():
+    out = {}
+
+    def busy_server(ada):
+        yield ada.delay(0.005)  # not accepting yet
+        yield ada.accept("e")
+
+    def env(ada):
+        s = yield ada.spawn(busy_server, name="server")
+        yield ada.delay(0.001)
+        ok, _ = yield ada.conditional_entry_call(s, "e")
+        out["first"] = ok
+        # Make the rendezvous happen so the server terminates.
+        yield ada.entry_call(s, "e")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["first"] is False
+
+
+def test_conditional_entry_call_proceeds_when_acceptor_waits():
+    out = {}
+
+    def server(ada):
+        def handler(pt):
+            yield pt.work(5)
+            return "served"
+
+        yield ada.accept("e", handler)
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)  # server reaches its accept
+        ok, result = yield ada.conditional_entry_call(s, "e")
+        out["r"] = (ok, result)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out["r"] == (True, "served")
+
+
+def test_conditional_entry_call_respects_offered_set():
+    out = {}
+
+    def server(ada):
+        # Selective wait offering only entry "a".
+        kind, name, value = yield ada.select({"a": None})
+        out["accepted"] = (kind, name)
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        ok_b, _ = yield ada.conditional_entry_call(s, "b")
+        out["b"] = ok_b  # not offered: refused
+        ok_a, _ = yield ada.conditional_entry_call(s, "a")
+        out["a"] = ok_a
+        yield ada.await_dependents()
+
+    _run(env)
+    assert out == {"b": False, "a": True, "accepted": ("accept", "a")}

@@ -1,0 +1,151 @@
+"""Ada tasking basics: spawn, masters, delays, abort."""
+
+import pytest
+
+from repro.ada import AdaRuntime, TaskAborted
+from repro.ada.tasks import AdaTask
+from repro.core.config import PTHREAD_CANCELED
+
+
+def _run(env_body, **kwargs):
+    art = AdaRuntime(**kwargs)
+    art.main_task(env_body)
+    art.run()
+    return art
+
+
+def test_spawn_and_result():
+    out = {}
+
+    def worker(ada, n):
+        yield ada.pt.work(100)
+        return n * 3
+
+    def env(ada):
+        t = yield ada.spawn(worker, 14)
+        yield ada.await_dependents()
+        out["result"] = t.result
+
+    _run(env)
+    assert out["result"] == 42
+
+
+def test_master_awaits_dependents_implicitly():
+    """A task body completing does not finish the task until its
+    dependents complete (the master rule, applied by the shell)."""
+    log = []
+
+    def slow_child(ada):
+        yield ada.delay(0.001)
+        log.append("child-done")
+
+    def parent(ada):
+        yield ada.spawn(slow_child, name="child")
+        log.append("parent-body-done")
+        # no explicit await: the shell must wait anyway
+
+    def env(ada):
+        p = yield ada.spawn(parent, name="parent")
+        yield ada.pt.join(p.tcb)
+        log.append("parent-joined")
+
+    _run(env)
+    assert log == ["parent-body-done", "child-done", "parent-joined"]
+
+
+def test_delay_advances_time():
+    out = {}
+
+    def env(ada):
+        start = ada.pt.runtime.world.now_us
+        yield ada.delay(0.002)  # 2 ms
+        out["elapsed"] = ada.pt.runtime.world.now_us - start
+
+    _run(env)
+    assert out["elapsed"] >= 2_000
+
+
+def test_abort_kills_task_and_its_dependents():
+    log = []
+
+    def grandchild(ada):
+        yield ada.delay(10.0)
+        log.append("grandchild-finished")  # must not happen
+
+    def child(ada):
+        yield ada.spawn(grandchild, name="grandchild")
+        yield ada.delay(10.0)
+        log.append("child-finished")  # must not happen
+
+    def env(ada):
+        c = yield ada.spawn(child, name="child")
+        yield ada.delay(0.001)
+        yield ada.abort(c)
+        err, value = yield ada.pt.join(c.tcb)
+        log.append(("aborted", value is PTHREAD_CANCELED))
+
+    art = _run(env)
+    assert ("aborted", True) in log
+    assert "child-finished" not in log
+    assert "grandchild-finished" not in log
+    # Every thread is gone: the runtime wound down cleanly.
+    assert not art.rt.live_threads()
+
+
+def test_aborted_task_is_completed_for_callers():
+    from repro.ada.exceptions import TaskingError
+
+    out = {}
+
+    def server(ada):
+        yield ada.delay(10.0)  # never accepts
+
+    def env(ada):
+        s = yield ada.spawn(server, name="server")
+        yield ada.delay(0.001)
+        yield ada.abort(s)
+        yield ada.delay(0.001)
+        try:
+            yield ada.entry_call(s, "ping")
+            out["raised"] = False
+        except TaskingError:
+            out["raised"] = True
+
+    _run(env)
+    assert out["raised"]
+
+
+def test_task_priorities_map_to_thread_priorities():
+    order = []
+
+    def worker(ada, tag):
+        yield ada.pt.work(1_000)
+        order.append(tag)
+
+    def env(ada):
+        yield ada.spawn(worker, "low", priority=10, name="low")
+        yield ada.spawn(worker, "high", priority=90, name="high")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert order == ["high", "low"]
+
+
+def test_unhandled_exception_completes_task_silently():
+    """Ada: an unhandled exception in a task body completes the task;
+    it does not propagate to other tasks."""
+    from repro.ada.exceptions import ConstraintError
+
+    out = {}
+
+    def bad(ada):
+        yield ada.pt.work(1)
+        raise ConstraintError("boom")
+
+    def env(ada):
+        t = yield ada.spawn(bad, name="bad")
+        yield ada.pt.join(t.tcb)
+        out["env_survived"] = True
+
+    _run(env)
+    assert out["env_survived"]

@@ -1,0 +1,183 @@
+"""A miniature tasking validation suite (ACVC-flavoured).
+
+The paper reports the Ada runtime on Pthreads "passes validation tests
+for tasking".  These scenarios are modelled on the classic ACVC
+tasking-chapter shapes: producer/consumer through a buffer task,
+server families, dependent-termination order, abort during rendezvous,
+and delay accuracy.
+"""
+
+from repro.ada import AdaRuntime
+from repro.ada.exceptions import TaskingError
+
+
+def _run(env_body):
+    art = AdaRuntime()
+    art.main_task(env_body)
+    art.run()
+    return art
+
+
+def test_c9_buffer_task_producer_consumer():
+    """A bounded buffer implemented as a server task with selective
+    wait -- the canonical tasking validation program."""
+    consumed = []
+
+    def buffer_task(ada):
+        queue = []
+        done = [False]
+        while not (done[0] and not queue):
+            accepts = {}
+
+            def put(pt, item):
+                queue.append(item)
+                yield pt.work(1)
+
+            def stop(pt):
+                done[0] = True
+                yield pt.work(1)
+
+            if len(queue) < 3:
+                accepts["put"] = put
+                accepts["stop"] = stop
+            if queue:
+                def get(pt):
+                    yield pt.work(1)
+                    return queue.pop(0)
+
+                accepts["get"] = get
+            kind, name, value = yield ada.select(accepts)
+        return "buffer-done"
+
+    def producer(ada, buf):
+        for i in range(6):
+            yield ada.entry_call(buf, "put", i)
+        yield ada.entry_call(buf, "stop")
+
+    def consumer(ada, buf):
+        for _ in range(6):
+            item = yield ada.entry_call(buf, "get")
+            consumed.append(item)
+
+    def env(ada):
+        buf = yield ada.spawn(buffer_task, name="buffer")
+        yield ada.spawn(producer, buf, name="producer")
+        yield ada.spawn(consumer, buf, name="consumer")
+        yield ada.await_dependents()
+
+    _run(env)
+    assert consumed == list(range(6))
+
+
+def test_c9_server_family_round_robin():
+    """Several clients rendezvous with one server; every call is
+    served exactly once."""
+    served = []
+
+    def server(ada, n):
+        for _ in range(n):
+            def note(pt, who):
+                served.append(who)
+                yield pt.work(10)
+
+            yield ada.accept("request", note)
+
+    def client(ada, srv, who):
+        yield ada.entry_call(srv, "request", who)
+
+    def env(ada):
+        srv = yield ada.spawn(server, 5, name="server")
+        for i in range(5):
+            yield ada.spawn(client, srv, i, name="client-%d" % i)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert sorted(served) == [0, 1, 2, 3, 4]
+
+
+def test_c9_dependent_termination_order():
+    """A master completes only after all dependents, transitively."""
+    order = []
+
+    def leaf(ada, tag, delay_s):
+        yield ada.delay(delay_s)
+        order.append(tag)
+
+    def mid(ada):
+        yield ada.spawn(leaf, "leaf-slow", 0.004, name="leaf-slow")
+        yield ada.spawn(leaf, "leaf-fast", 0.001, name="leaf-fast")
+        order.append("mid-body")
+
+    def env(ada):
+        m = yield ada.spawn(mid, name="mid")
+        yield ada.pt.join(m.tcb)
+        order.append("mid-gone")
+
+    _run(env)
+    assert order == ["mid-body", "leaf-fast", "leaf-slow", "mid-gone"]
+
+
+def test_c9_abort_during_entry_wait_releases_caller():
+    out = {}
+
+    def dead_server(ada):
+        yield ada.delay(10.0)
+
+    def caller(ada, srv):
+        try:
+            yield ada.entry_call(srv, "never")
+            out["returned"] = True
+        except TaskingError:
+            out["tasking_error"] = True
+
+    def env(ada):
+        srv = yield ada.spawn(dead_server, name="server")
+        c = yield ada.spawn(caller, srv, name="caller")
+        yield ada.delay(0.002)
+        yield ada.abort(srv)
+        yield ada.pt.join(c.tcb)
+
+    _run(env)
+    assert out == {"tasking_error": True}
+
+
+def test_c9_delay_is_lower_bound():
+    """delay suspends for *at least* the given time (Ada RM 9.6)."""
+    out = {}
+
+    def env(ada):
+        world = ada.pt.runtime.world
+        for request in (0.001, 0.0025, 0.004):
+            start = world.now_us
+            yield ada.delay(request)
+            out[request] = world.now_us - start
+
+    _run(env)
+    for request, got in out.items():
+        assert got >= request * 1e6
+
+
+def test_c9_tasks_share_global_state_safely_via_rendezvous():
+    """State mutated only inside accept bodies needs no extra locks."""
+    state = {"total": 0}
+
+    def adder_server(ada, expected_calls):
+        for _ in range(expected_calls):
+            def add(pt, n):
+                state["total"] += n
+                yield pt.work(5)
+
+            yield ada.accept("add", add)
+
+    def worker(ada, srv, amount):
+        for _ in range(4):
+            yield ada.entry_call(srv, "add", amount)
+
+    def env(ada):
+        srv = yield ada.spawn(adder_server, 12, name="adder")
+        for i in range(3):
+            yield ada.spawn(worker, srv, i + 1, name="w%d" % i)
+        yield ada.await_dependents()
+
+    _run(env)
+    assert state["total"] == 4 * (1 + 2 + 3)

@@ -1,0 +1,117 @@
+"""Cancellation landing inside the composed primitives.
+
+The compositions (semaphores, rwlocks, barriers) must keep their state
+consistent when a participant is cancelled mid-wait: semaphores and
+rwlocks are cancellation points with cleanup handlers; barrier waits
+defer cancellation (POSIX: not a cancellation point).
+"""
+
+from repro.core.config import PTHREAD_CANCELED
+from repro.core.errors import OK
+from tests.conftest import run_program
+
+
+def test_cancelled_sem_waiter_leaves_semaphore_usable():
+    out = {}
+
+    def waiter(pt, sem):
+        yield pt.sem_wait(sem)  # blocks forever; cancelled here
+        out["not_reached"] = True
+
+    def main(pt):
+        sem = yield pt.sem_init(0)
+        t = yield pt.create(waiter, sem, name="victim")
+        yield pt.delay_us(200)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        out["cancelled"] = value is PTHREAD_CANCELED
+        # The semaphore must be fully usable afterwards.
+        out["count_intact"] = (yield pt.sem_getvalue(sem)) == 0
+        yield pt.sem_post(sem)
+        out["post_then_wait"] = OK == (yield pt.sem_trywait(sem))
+        out["mutex_free"] = sem.mutex.owner is None
+
+    run_program(main, priority=90)
+    assert out == {
+        "cancelled": True,
+        "count_intact": True,
+        "post_then_wait": True,
+        "mutex_free": True,
+    }
+
+
+def test_cancelled_writer_unblocks_waiting_readers():
+    """A queued writer's cancellation must withdraw its claim, or
+    writer preference starves every later reader forever."""
+    log = []
+
+    def holder(pt, rw):
+        yield pt.rwlock_rdlock(rw)
+        yield pt.delay_us(2_000)
+        yield pt.rwlock_unlock(rw)
+
+    def writer(pt, rw):
+        yield pt.rwlock_wrlock(rw)  # blocks behind the reader
+        log.append("writer-through")
+        yield pt.rwlock_unlock(rw)
+
+    def late_reader(pt, rw):
+        yield pt.rwlock_rdlock(rw)  # blocked by writer preference
+        log.append("reader-through")
+        yield pt.rwlock_unlock(rw)
+
+    def main(pt):
+        rw = yield pt.rwlock_init()
+        h = yield pt.create(holder, rw, name="holder")
+        yield pt.delay_us(100)
+        w = yield pt.create(writer, rw, name="writer")
+        yield pt.delay_us(100)
+        r = yield pt.create(late_reader, rw, name="late-reader")
+        yield pt.delay_us(100)
+        yield pt.cancel(w)  # cancel the queued writer
+        yield pt.join(w)
+        yield pt.join(h)
+        yield pt.join(r)
+        assert rw.waiting_writers == 0
+        assert rw.active_writer is None and rw.active_readers == 0
+
+    run_program(main, priority=90)
+    assert log == ["reader-through"]  # writer never ran; reader freed
+
+
+def test_barrier_wait_defers_cancellation():
+    """A cancel aimed at a barrier-blocked thread pends; the barrier
+    completes for everyone, then the victim dies at the deferred
+    interruption point."""
+    log = []
+
+    def party(pt, barrier, tag):
+        r = yield pt.barrier_wait(barrier)
+        log.append((tag, "released"))
+        yield pt.work(1_000)
+        log.append((tag, "survived"))
+
+    def main(pt):
+        barrier = yield pt.barrier_init(3)
+        a = yield pt.create(party, barrier, "a", name="a")
+        b = yield pt.create(party, barrier, "b", name="b")
+        yield pt.delay_us(200)  # both block at the barrier
+        yield pt.cancel(a)  # pends: barrier wait is not a cancel point
+        yield pt.work(1_000)
+        # If the cancel had taken 'a' out of the barrier, this third
+        # arrival could never release the party of three.
+        yield pt.barrier_wait(barrier)
+        err, value = yield pt.join(a)
+        log.append(("a-cancelled", value is PTHREAD_CANCELED))
+        yield pt.join(b)
+        log.append(("cycles", barrier.cycles_completed))
+
+    run_program(main, priority=90)
+    # The barrier tripped exactly once with all three participants --
+    # the deferred cancel did not strand the party.
+    assert ("cycles", 1) in log
+    assert ("b", "released") in log and ("b", "survived") in log
+    # 'a' died at the deferred interruption point on the way out of
+    # barrier_wait, before returning to user code.
+    assert ("a", "released") not in log
+    assert ("a-cancelled", True) in log

@@ -1,0 +1,258 @@
+"""Thread cancellation: the paper's Table 1 action matrix and the
+interruption-point rules."""
+
+from repro.core import config as cfg
+from repro.core.config import (
+    PTHREAD_CANCELED,
+    PTHREAD_INTR_ASYNCHRONOUS,
+    PTHREAD_INTR_CONTROLLED,
+    PTHREAD_INTR_DISABLE,
+    PTHREAD_INTR_ENABLE,
+)
+from repro.core.errors import OK
+from tests.conftest import run_program
+
+
+def test_disabled_pends_until_enabled():
+    """Table 1 row 1: disabled -> SIGCANCEL pends until enabled."""
+    log = []
+
+    def victim(pt):
+        yield pt.setintr(PTHREAD_INTR_DISABLE)
+        yield pt.setintrtype(PTHREAD_INTR_ASYNCHRONOUS)
+        yield pt.work(20_000)
+        log.append("survived-while-disabled")
+        yield pt.setintr(PTHREAD_INTR_ENABLE)  # acts here (async type)
+        log.append("not-reached")
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        yield pt.work(1_000)  # victim is lower priority: still pending
+        err, value = yield pt.join(t)
+        log.append(("exit", value is PTHREAD_CANCELED))
+
+    run_program(main, priority=90)
+    assert "survived-while-disabled" in log
+    assert "not-reached" not in log
+    assert ("exit", True) in log
+
+
+def test_controlled_pends_until_interruption_point():
+    """Table 1 row 2: enabled+controlled -> pends until an
+    interruption point is reached."""
+    log = []
+
+    def victim(pt):
+        yield pt.work(20_000)  # cancel arrives here: keeps running
+        log.append("finished-work")
+        yield pt.testintr()  # explicit interruption point: dies here
+        log.append("not-reached")
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        log.append(value is PTHREAD_CANCELED)
+
+    run_program(main, priority=90)
+    assert log == ["finished-work", True]
+
+
+def test_asynchronous_acts_immediately():
+    """Table 1 row 3: enabled+asynchronous -> acted upon immediately."""
+    log = []
+
+    def victim(pt):
+        yield pt.setintrtype(PTHREAD_INTR_ASYNCHRONOUS)
+        yield pt.work(1_000_000)  # killed mid-burst
+        log.append("not-reached")
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        log.append(value is PTHREAD_CANCELED)
+
+    run_program(main, priority=90)
+    assert log == [True]
+
+
+def test_blocked_in_cond_wait_is_an_interruption_point():
+    held = {}
+
+    def cleanup(pt, arg):
+        mutex, me = arg
+        # POSIX: the mutex is reacquired before cleanup handlers run.
+        held["in_cleanup"] = mutex.owner is me
+        yield pt.mutex_unlock(mutex)
+
+    def victim(pt, m, cv):
+        me = yield pt.self_id()
+        yield pt.mutex_lock(m)
+        yield pt.cleanup_push(cleanup, (m, me))
+        yield pt.cond_wait(cv, m)
+        held["not_reached"] = True
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        t = yield pt.create(victim, m, cv, name="victim")
+        yield pt.delay_us(200)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        held["cancelled"] = value is PTHREAD_CANCELED
+        held["mutex_free"] = m.owner is None
+
+    run_program(main, priority=90)
+    assert held == {
+        "in_cleanup": True,
+        "cancelled": True,
+        "mutex_free": True,
+    }
+
+
+def test_mutex_wait_is_not_an_interruption_point():
+    """The paper: "a thread cannot be cancelled while in controlled
+    interruptibility when it suspends due to mutex contention"."""
+    log = []
+
+    def victim(pt, m):
+        yield pt.mutex_lock(m)  # blocks; cancel pends here
+        log.append("got-mutex")
+        yield pt.mutex_unlock(m)
+        yield pt.testintr()  # first interruption point after
+        log.append("not-reached")
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        t = yield pt.create(victim, m, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        yield pt.work(2_000)
+        yield pt.mutex_unlock(m)
+        err, value = yield pt.join(t)
+        log.append(value is PTHREAD_CANCELED)
+
+    run_program(main, priority=90)
+    assert log == ["got-mutex", True]
+
+
+def test_cancel_at_interruption_point_entry():
+    """A pending controlled cancel fires when the thread *enters* an
+    interruption point, before blocking."""
+    log = []
+
+    def victim(pt):
+        yield pt.work(10_000)
+        log.append("pre-sleep")
+        yield pt.delay_us(1_000_000)  # never actually sleeps
+        log.append("not-reached")
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        log.append(value is PTHREAD_CANCELED)
+
+    run_program(main, priority=90)
+    assert log == ["pre-sleep", True]
+
+
+def test_cancelled_thread_runs_cleanup_handlers_in_lifo_order():
+    log = []
+
+    def cleanup(pt, tag):
+        log.append(tag)
+        yield pt.work(1)
+
+    def victim(pt):
+        yield pt.cleanup_push(cleanup, "first-pushed")
+        yield pt.cleanup_push(cleanup, "second-pushed")
+        yield pt.work(20_000)  # the cancel arrives during this burst
+        yield pt.testintr()
+        log.append("not-reached")
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        yield pt.join(t)
+
+    run_program(main, priority=90)
+    assert log == ["second-pushed", "first-pushed"]
+
+
+def test_setintr_setintrtype_report_old_values():
+    out = {}
+
+    def main(pt):
+        err, old = yield pt.setintr(PTHREAD_INTR_DISABLE)
+        out["old_state"] = old
+        err, old = yield pt.setintrtype(PTHREAD_INTR_ASYNCHRONOUS)
+        out["old_type"] = old
+        err, old = yield pt.setintr(PTHREAD_INTR_ENABLE)
+        out["old_state2"] = old
+
+    run_program(main)
+    assert out == {
+        "old_state": PTHREAD_INTR_ENABLE,
+        "old_type": PTHREAD_INTR_CONTROLLED,
+        "old_state2": PTHREAD_INTR_DISABLE,
+    }
+
+
+def test_testintr_without_pending_cancel_is_noop():
+    out = {}
+
+    def main(pt):
+        out["r"] = yield pt.testintr()
+        out["alive"] = True
+
+    run_program(main)
+    assert out == {"r": OK, "alive": True}
+
+
+def test_cancellation_masks_other_signals_during_exit():
+    """Acting on cancellation disables all other signals for the dying
+    thread (the paper's rule)."""
+    log = []
+
+    def handler(pt, sig):
+        log.append("handler-ran")
+        yield pt.work(1)
+
+    def cleanup(pt, arg):
+        # Signal sent during cleanup must NOT interrupt the dying
+        # thread.
+        yield pt.work(40_000)
+        log.append("cleanup-done")
+
+    def victim(pt):
+        yield pt.cleanup_push(cleanup, None)
+        yield pt.work(20_000)
+        yield pt.testintr()
+
+    def main(pt):
+        from repro.unix.sigset import SIGUSR1
+
+        yield pt.sigaction(SIGUSR1, handler)
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        # Let the victim reach its interruption point and start dying
+        # inside the (long) cleanup handler, then signal it.
+        yield pt.delay_us(700)
+        assert t.exiting or t.state.value == "ready"
+        yield pt.kill(t, SIGUSR1)  # lands while it is dying
+        yield pt.join(t)
+
+    run_program(main, priority=90)
+    assert "cleanup-done" in log
+    assert "handler-ran" not in log

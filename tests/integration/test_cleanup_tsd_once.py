@@ -1,0 +1,324 @@
+"""Cleanup handlers, thread-specific data, and pthread_once."""
+
+from repro.core.config import PTHREAD_KEYS_MAX
+from repro.core.errors import EINVAL, ENOMEM, OK
+from repro.core.once import Once
+from tests.conftest import run_program
+
+
+class TestCleanup:
+    def test_pop_without_execute(self):
+        log = []
+
+        def handler(pt, arg):
+            log.append(arg)
+            yield pt.work(1)
+
+        def main(pt):
+            yield pt.cleanup_push(handler, "a")
+            yield pt.cleanup_pop(execute=False)
+            yield pt.work(10)
+
+        run_program(main)
+        assert log == []
+
+    def test_pop_with_execute_runs_inline(self):
+        log = []
+
+        def handler(pt, arg):
+            log.append(arg)
+            yield pt.work(1)
+
+        def main(pt):
+            yield pt.cleanup_push(handler, "ran")
+            yield pt.cleanup_pop(execute=True)
+            log.append("after-pop")
+
+        run_program(main)
+        assert log == ["ran", "after-pop"]
+
+    def test_remaining_handlers_run_at_exit_lifo(self):
+        log = []
+
+        def handler(pt, arg):
+            log.append(arg)
+            yield pt.work(1)
+
+        def child(pt):
+            yield pt.cleanup_push(handler, 1)
+            yield pt.cleanup_push(handler, 2)
+            yield pt.exit("v")
+
+        def main(pt):
+            t = yield pt.create(child)
+            err, value = yield pt.join(t)
+            log.append(value)
+
+        run_program(main)
+        assert log == [2, 1, "v"]
+
+    def test_pop_empty_stack(self):
+        out = {}
+
+        def main(pt):
+            out["err"] = yield pt.cleanup_pop()
+
+        run_program(main)
+        assert out["err"] == EINVAL
+
+    def test_push_non_callable(self):
+        out = {}
+
+        def main(pt):
+            out["err"] = yield pt.cleanup_push("not-callable")
+
+        run_program(main)
+        assert out["err"] == EINVAL
+
+
+class TestTsd:
+    def test_set_get_roundtrip(self):
+        out = {}
+
+        def main(pt):
+            err, key = yield pt.key_create()
+            yield pt.setspecific(key, {"x": 1})
+            out["value"] = yield pt.getspecific(key)
+
+        run_program(main)
+        assert out["value"] == {"x": 1}
+
+    def test_values_are_per_thread(self):
+        out = {}
+
+        def child(pt, key):
+            out["child_initial"] = yield pt.getspecific(key)
+            yield pt.setspecific(key, "child-value")
+            out["child_after"] = yield pt.getspecific(key)
+
+        def main(pt):
+            err, key = yield pt.key_create()
+            yield pt.setspecific(key, "main-value")
+            t = yield pt.create(child, key)
+            yield pt.join(t)
+            out["main_still"] = yield pt.getspecific(key)
+
+        run_program(main)
+        assert out == {
+            "child_initial": None,
+            "child_after": "child-value",
+            "main_still": "main-value",
+        }
+
+    def test_destructor_runs_at_exit_with_value(self):
+        log = []
+
+        def destructor(pt, value):
+            log.append(("destroyed", value))
+            yield pt.work(1)
+
+        def child(pt, key):
+            yield pt.setspecific(key, "resource")
+            yield pt.work(1)
+
+        def main(pt):
+            err, key = yield pt.key_create(destructor)
+            t = yield pt.create(child, key)
+            yield pt.join(t)
+
+        run_program(main)
+        assert log == [("destroyed", "resource")]
+
+    def test_destructor_setting_another_key_triggers_second_pass(self):
+        log = []
+        keys = {}
+
+        def dtor_a(pt, value):
+            log.append("a")
+            # Re-arm key B from inside A's destructor.
+            yield pt.setspecific(keys["b"], "again")
+
+        def dtor_b(pt, value):
+            log.append("b")
+            yield pt.work(1)
+
+        def child(pt):
+            yield pt.setspecific(keys["a"], "x")
+            yield pt.work(1)
+
+        def main(pt):
+            err, keys["a"] = yield pt.key_create(dtor_a)
+            err, keys["b"] = yield pt.key_create(dtor_b)
+            t = yield pt.create(child)
+            yield pt.join(t)
+
+        run_program(main)
+        assert log == ["a", "b"]
+
+    def test_key_delete_and_bad_keys(self):
+        out = {}
+
+        def main(pt):
+            err, key = yield pt.key_create()
+            out["del"] = yield pt.key_delete(key)
+            out["set_dead"] = yield pt.setspecific(key, 1)
+            out["del_again"] = yield pt.key_delete(key)
+
+        run_program(main)
+        assert out == {
+            "del": OK,
+            "set_dead": EINVAL,
+            "del_again": EINVAL,
+        }
+
+    def test_key_exhaustion(self):
+        out = {}
+
+        def main(pt):
+            last = OK
+            for _ in range(PTHREAD_KEYS_MAX + 1):
+                last, _key = yield pt.key_create()
+            out["last"] = last
+
+        run_program(main)
+        assert out["last"] == ENOMEM
+
+
+class TestOnce:
+    def test_init_runs_exactly_once(self):
+        ran = []
+
+        def init(pt):
+            ran.append(1)
+            yield pt.work(10)
+
+        def caller(pt, once):
+            yield pt.once(once, init)
+
+        def main(pt):
+            once = Once()
+            threads = []
+            for _ in range(5):
+                threads.append((yield pt.create(caller, once)))
+            yield pt.once(once, init)
+            for t in threads:
+                yield pt.join(t)
+
+        run_program(main)
+        assert ran == [1]
+
+    def test_latecomers_blocked_until_init_finishes(self):
+        log = []
+
+        def init(pt):
+            log.append("init-start")
+            yield pt.work(50_000)
+            log.append("init-end")
+
+        def racer(pt, once, tag):
+            yield pt.once(once, init)
+            log.append(tag)
+
+        def main(pt):
+            once = Once()
+            a = yield pt.create(racer, once, "a")
+            b = yield pt.create(racer, once, "b")
+            yield pt.join(a)
+            yield pt.join(b)
+
+        run_program(main)
+        assert log.index("init-end") < log.index("a")
+        assert log.index("init-end") < log.index("b")
+
+
+class TestOnceFailure:
+    def test_failed_init_releases_waiters_with_eagain(self):
+        from repro.core.errors import EAGAIN
+        from repro.sim.frames import SimException
+
+        class Boom(SimException):
+            pass
+
+        out = {}
+
+        def bad_init(pt):
+            # Long enough that the waiter blocks on the once first.
+            yield pt.delay_us(300)
+            raise Boom()
+
+        def waiter(pt, once):
+            out["waiter"] = yield pt.once(once, bad_init)
+
+        def main(pt):
+            once = Once()
+            t = yield pt.create(waiter, once)
+            try:
+                yield pt.once(once, bad_init)
+            except Boom:
+                out["initiator_saw"] = True
+            yield pt.join(t)
+            out["resettable"] = not once.done and not once.running
+
+        run_program(main)
+        assert out == {
+            "initiator_saw": True,
+            "waiter": EAGAIN,
+            "resettable": True,
+        }
+
+    def test_retry_after_failure_succeeds(self):
+        from repro.sim.frames import SimException
+
+        class Boom(SimException):
+            pass
+
+        ran = []
+
+        def flaky_init(pt):
+            yield pt.work(1)
+            if not ran:
+                ran.append("failed")
+                raise Boom()
+            ran.append("succeeded")
+
+        def good_init(pt):
+            ran.append("succeeded")
+            yield pt.work(1)
+
+        def main(pt):
+            once = Once()
+            try:
+                yield pt.once(once, flaky_init)
+            except Boom:
+                pass
+            r = yield pt.once(once, good_init)
+            assert r == OK
+            assert once.done
+
+        run_program(main)
+        assert ran == ["failed", "succeeded"]
+
+    def test_cancelled_initiator_resets_once(self):
+        out = {}
+
+        def slow_init(pt):
+            yield pt.delay_us(1_000_000)
+
+        def initiator(pt, once):
+            yield pt.once(once, slow_init)
+
+        def waiter(pt, once):
+            out["waiter"] = yield pt.once(once, slow_init)
+
+        def main(pt):
+            once = Once()
+            t = yield pt.create(initiator, once, name="initiator")
+            w = yield pt.create(waiter, once, name="waiter")
+            yield pt.delay_us(200)
+            yield pt.cancel(t)  # dies at the delay interruption point
+            yield pt.join(t)
+            yield pt.join(w)
+            out["reset"] = not once.running
+
+        run_program(main)
+        assert out["reset"]

@@ -1,0 +1,266 @@
+"""Condition variables: atomic wait, wakeup order, timeouts, broadcast."""
+
+from repro.core.attr import ThreadAttr
+from repro.core.errors import EBUSY, EINVAL, EPERM, ETIMEDOUT, OK
+from tests.conftest import run_program
+
+
+def test_wait_requires_held_mutex():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        out["err"] = yield pt.cond_wait(cv, m)
+
+    run_program(main)
+    assert out["err"] == EPERM
+
+
+def test_signal_wakes_one_waiter_with_mutex_held():
+    out = {}
+
+    def waiter(pt, m, cv, shared):
+        yield pt.mutex_lock(m)
+        while not shared["flag"]:
+            yield pt.cond_wait(cv, m)
+        # The mutex must be held on return.
+        out["held_on_wake"] = m.owner is (yield pt.self_id())
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        shared = {"flag": False}
+        t = yield pt.create(waiter, m, cv, shared)
+        yield pt.delay_us(100)
+        yield pt.mutex_lock(m)
+        shared["flag"] = True
+        yield pt.cond_signal(cv)
+        yield pt.mutex_unlock(m)
+        yield pt.join(t)
+
+    run_program(main)
+    assert out["held_on_wake"]
+
+
+def test_signal_with_no_waiters_is_lost():
+    """Condition variables are stateless: a signal with nobody waiting
+    does nothing (unlike a semaphore V)."""
+    out = {"woke": False}
+
+    def waiter(pt, m, cv):
+        yield pt.mutex_lock(m)
+        err = yield pt.cond_timedwait(cv, m, 300.0)
+        out["err"] = err
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        yield pt.cond_signal(cv)  # nobody waiting: lost
+        t = yield pt.create(waiter, m, cv)
+        yield pt.join(t)
+
+    run_program(main)
+    assert out["err"] == ETIMEDOUT
+
+
+def test_highest_priority_waiter_wakes_first():
+    order = []
+
+    def waiter(pt, m, cv, tag):
+        yield pt.mutex_lock(m)
+        yield pt.cond_wait(cv, m)
+        order.append(tag)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        yield pt.create(waiter, m, cv, "low", attr=ThreadAttr(priority=10))
+        yield pt.create(waiter, m, cv, "high", attr=ThreadAttr(priority=90))
+        yield pt.delay_us(200)  # both block
+        yield pt.cond_signal(cv)
+        yield pt.cond_signal(cv)
+        yield pt.delay_us(500)
+
+    run_program(main, priority=100)
+    assert order == ["high", "low"]
+
+
+def test_broadcast_wakes_everyone():
+    woke = []
+
+    def waiter(pt, m, cv, tag):
+        yield pt.mutex_lock(m)
+        yield pt.cond_wait(cv, m)
+        woke.append(tag)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        for i in range(4):
+            yield pt.create(waiter, m, cv, i)
+        yield pt.delay_us(200)
+        yield pt.cond_broadcast(cv)
+        yield pt.delay_us(1000)
+
+    run_program(main, priority=100)
+    assert sorted(woke) == [0, 1, 2, 3]
+
+
+def test_broadcast_wakers_serialize_on_the_mutex():
+    """Woken threads reacquire the mutex one at a time."""
+    state = {"inside": 0, "overlap": False}
+
+    def waiter(pt, m, cv):
+        yield pt.mutex_lock(m)
+        yield pt.cond_wait(cv, m)
+        state["inside"] += 1
+        if state["inside"] > 1:
+            state["overlap"] = True
+        yield pt.work(100)
+        state["inside"] -= 1
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        for i in range(3):
+            yield pt.create(waiter, m, cv)
+        yield pt.delay_us(200)
+        yield pt.cond_broadcast(cv)
+        yield pt.delay_us(2000)
+
+    run_program(main, priority=100)
+    assert not state["overlap"]
+
+
+def test_timedwait_timeout_reacquires_mutex():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        yield pt.mutex_lock(m)
+        err = yield pt.cond_timedwait(cv, m, 100.0)
+        out["err"] = err
+        out["held"] = m.owner is (yield pt.self_id())
+        yield pt.mutex_unlock(m)
+
+    run_program(main)
+    assert out["err"] == ETIMEDOUT
+    assert out["held"]
+
+
+def test_timedwait_signal_beats_timeout():
+    out = {}
+
+    def waiter(pt, m, cv):
+        yield pt.mutex_lock(m)
+        out["err"] = yield pt.cond_timedwait(cv, m, 10_000.0)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        t = yield pt.create(waiter, m, cv)
+        yield pt.delay_us(100)
+        yield pt.cond_signal(cv)
+        yield pt.join(t)
+
+    rt = run_program(main)
+    assert out["err"] == OK
+    # The cancelled timeout must not fire later.
+    assert rt.timer_ops.pending_count == 0
+
+
+def test_bad_timeouts_and_destroy():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        yield pt.mutex_lock(m)
+        out["bad"] = yield pt.cond_timedwait(cv, m, 0)
+        yield pt.mutex_unlock(m)
+        out["destroy"] = yield pt.cond_destroy(cv)
+        out["again"] = yield pt.cond_destroy(cv)
+        out["wait_dead"] = yield pt.cond_wait(cv, m)
+
+    run_program(main)
+    assert out == {
+        "bad": EINVAL,
+        "destroy": OK,
+        "again": EINVAL,
+        "wait_dead": EINVAL,
+    }
+
+
+def test_destroy_with_waiters_is_busy():
+    out = {}
+
+    def waiter(pt, m, cv):
+        yield pt.mutex_lock(m)
+        yield pt.cond_wait(cv, m)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        yield pt.create(waiter, m, cv)
+        yield pt.delay_us(100)
+        out["busy"] = yield pt.cond_destroy(cv)
+        yield pt.cond_signal(cv)
+        yield pt.delay_us(300)
+
+    run_program(main, priority=100)
+    assert out["busy"] == EBUSY
+
+
+def test_signal_beats_timeout_even_while_queued_on_the_mutex():
+    """A signalled timed-waiter parked on the mutex queue past its
+    deadline still returns OK: the signal cancelled the timeout."""
+    out = {}
+
+    def waiter(pt, m, cv):
+        yield pt.mutex_lock(m)
+        out["err"] = yield pt.cond_timedwait(cv, m, 1_000.0)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        t = yield pt.create(waiter, m, cv, name="w")
+        yield pt.delay_us(200)  # waiter is inside the timed wait
+        yield pt.mutex_lock(m)  # hold the mutex across the signal
+        yield pt.cond_signal(cv)  # waiter moves to the mutex queue
+        yield pt.delay_us(1_500)  # its deadline passes while queued
+        yield pt.mutex_unlock(m)
+        yield pt.join(t)
+
+    rt = run_program(main, priority=90)
+    assert out["err"] == OK
+    assert rt.timer_ops.pending_count == 0
+
+
+def test_direct_sigcancel_kill_acts_as_cancellation():
+    from repro.core.config import PTHREAD_CANCELED
+    from repro.unix.sigset import SIGCANCEL
+
+    out = {}
+
+    def victim(pt):
+        yield pt.delay_us(1_000_000)
+
+    def main(pt):
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.kill(t, SIGCANCEL)
+        err, value = yield pt.join(t)
+        out["cancelled"] = value is PTHREAD_CANCELED
+
+    run_program(main)
+    assert out["cancelled"]

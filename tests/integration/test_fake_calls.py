@@ -1,0 +1,253 @@
+"""Fake calls: wrapper semantics, interrupted waits, redirect.
+
+The paper's Figure 3 mechanism: the handler runs on the target
+thread's own stack at its priority; a handler interrupting a
+conditional wait sees the mutex reacquired; the handler may redirect
+control after it returns.
+"""
+
+from repro.core.errors import EINTR, EINVAL, OK
+from repro.unix.sigset import SIGUSR1, SigSet
+from tests.conftest import run_program
+
+
+def test_handler_runs_at_target_priority_not_senders():
+    """The sender is high priority; the handler must not run until the
+    low-priority target is dispatched."""
+    log = []
+
+    def handler(pt, sig):
+        log.append("handler")
+        yield pt.work(1)
+
+    def victim(pt):
+        yield pt.work(10_000)
+        log.append("victim-done")
+
+    def busy(pt):
+        yield pt.work(30_000)
+        log.append("busy-done")
+
+    def main(pt):
+        from repro.core.attr import ThreadAttr
+
+        yield pt.sigaction(SIGUSR1, handler)
+        v = yield pt.create(victim, attr=ThreadAttr(priority=10), name="v")
+        b = yield pt.create(busy, attr=ThreadAttr(priority=50), name="b")
+        yield pt.kill(v, SIGUSR1)
+        log.append("sent")
+        yield pt.join(b)
+        yield pt.join(v)
+
+    run_program(main, priority=90)
+    # The medium-priority thread finishes before the low-priority
+    # victim's handler gets the CPU.
+    assert log.index("sent") < log.index("busy-done") < log.index("handler")
+
+
+def test_handler_interrupting_cond_wait_reacquires_mutex():
+    observed = {}
+
+    def handler(pt, sig):
+        me = yield pt.self_id()
+        mutex = observed["mutex"]
+        observed["held_in_handler"] = mutex.owner is me
+
+    def waiter(pt, m, cv):
+        observed["mutex"] = m
+        yield pt.mutex_lock(m)
+        err = yield pt.cond_wait(cv, m)
+        observed["wait_err"] = err
+        me = yield pt.self_id()
+        observed["held_after"] = m.owner is me
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        t = yield pt.create(waiter, m, cv, name="waiter")
+        yield pt.delay_us(200)
+        yield pt.kill(t, SIGUSR1)
+        yield pt.join(t)
+
+    run_program(main, priority=90)
+    assert observed["held_in_handler"]
+    assert observed["wait_err"] == EINTR
+    assert observed["held_after"]
+
+
+def test_handler_interrupting_delay_returns_eintr():
+    out = {}
+
+    def handler(pt, sig):
+        yield pt.work(1)
+
+    def sleeper(pt):
+        out["err"] = yield pt.delay_us(1_000_000)
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        t = yield pt.create(sleeper, name="sleeper")
+        yield pt.delay_us(100)
+        yield pt.kill(t, SIGUSR1)
+        yield pt.join(t)
+
+    run_program(main)
+    assert out["err"] == EINTR
+
+
+def test_mutex_wait_is_not_interrupted_by_handlers():
+    """The paper: mutex waits stay deterministic; the signal pends
+    until the thread leaves the wait."""
+    log = []
+
+    def handler(pt, sig):
+        log.append("handler")
+        yield pt.work(1)
+
+    def contender(pt, m):
+        yield pt.mutex_lock(m)
+        log.append("locked")
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        t = yield pt.create(contender, m, name="contender")
+        yield pt.delay_us(100)  # contender blocks on the mutex
+        yield pt.kill(t, SIGUSR1)
+        yield pt.work(1_000)
+        assert log == []  # still parked: wait not interrupted
+        yield pt.mutex_unlock(m)
+        yield pt.join(t)
+
+    run_program(main, priority=90)
+    # The handler runs when the thread wakes, before "locked".
+    assert log == ["handler", "locked"]
+
+
+def test_redirect_diverts_control_after_handler():
+    log = []
+
+    def diverted(pt, tag):
+        log.append(("diverted", tag))
+        yield pt.work(1)
+
+    def handler(pt, sig):
+        log.append("handler")
+        yield pt.sig_redirect(diverted, "x")
+
+    def main(pt):
+        me = yield pt.self_id()
+        yield pt.sigaction(SIGUSR1, handler)
+        yield pt.kill(me, SIGUSR1)
+        log.append("back")
+
+    run_program(main)
+    assert log == ["handler", ("diverted", "x"), "back"]
+
+
+def test_redirect_outside_handler_rejected():
+    out = {}
+
+    def noop(pt):
+        yield pt.work(1)
+
+    def main(pt):
+        out["err"] = yield pt.sig_redirect(noop)
+
+    run_program(main)
+    assert out["err"] == EINVAL
+
+
+def test_nested_handlers_mask_prevents_recursion():
+    """While the handler for SIGUSR1 runs, SIGUSR1 is masked: a second
+    kill pends and runs only after the first handler returns."""
+    log = []
+
+    def handler(pt, sig):
+        log.append("enter")
+        if len(log) == 1:
+            me = yield pt.self_id()
+            yield pt.kill(me, SIGUSR1)  # re-kill self inside handler
+            log.append("sent-nested")
+        yield pt.work(10)
+        log.append("exit")
+
+    def main(pt):
+        me = yield pt.self_id()
+        yield pt.sigaction(SIGUSR1, handler)
+        yield pt.kill(me, SIGUSR1)
+        log.append("main-back")
+
+    run_program(main)
+    first_exit = log.index("exit")
+    assert "enter" in log[first_exit:]  # second run happened after
+    assert log.count("enter") == 2
+
+
+def test_cancel_while_handler_running_tears_down_cleanly():
+    """Cancelling a thread whose signal handler is mid-flight must
+    unwind the wrapper without corrupting the runtime (regression:
+    the wrapper used to yield during generator close)."""
+    from repro.core.config import PTHREAD_CANCELED
+
+    log = []
+
+    def handler(pt, sig):
+        log.append("handler-start")
+        yield pt.delay_us(5_000)
+        log.append("handler-end")
+
+    def victim(pt):
+        yield pt.work(100_000)
+        log.append("victim-end")
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        t = yield pt.create(victim, name="victim")
+        yield pt.delay_us(100)
+        yield pt.kill(t, SIGUSR1)
+        yield pt.delay_us(500)  # handler now sleeping
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        log.append(value is PTHREAD_CANCELED)
+
+    rt = run_program(main, priority=90)
+    assert log == ["handler-start", True]
+    assert rt.terminated_by is None
+    assert not rt.kern.kernel_flag
+
+
+def test_sim_exception_escaping_handler_reaches_interrupted_frame():
+    """A handler raising a SimException propagates to the code the
+    signal interrupted -- after errno/mask restoration."""
+    from repro.sim.frames import SimException
+    from repro.unix.sigset import SigSet
+
+    class HandlerBoom(SimException):
+        pass
+
+    out = {}
+
+    def handler(pt, sig):
+        yield pt.work(1)
+        raise HandlerBoom()
+
+    def main(pt):
+        me = yield pt.self_id()
+        yield pt.sigaction(SIGUSR1, handler)
+        yield pt.set_errno(5)
+        try:
+            yield pt.kill(me, SIGUSR1)
+            yield pt.work(10)
+            out["fell_through"] = True
+        except HandlerBoom:
+            out["caught"] = True
+        out["errno"] = yield pt.get_errno()
+        out["mask_clear"] = me.sigmask == SigSet()
+
+    run_program(main)
+    assert out == {"caught": True, "errno": 5, "mask_clear": True}

@@ -1,0 +1,233 @@
+"""setjmp/longjmp blocks, thread delays, and thread-level I/O."""
+
+import pytest
+
+from repro.core.errors import EINVAL, OK
+from tests.conftest import make_runtime, run_program
+
+
+class TestJmp:
+    def test_normal_completion_returns_false_and_value(self):
+        out = {}
+
+        def body(pt, x):
+            yield pt.work(10)
+            return x * 2
+
+        def main(pt):
+            buf = yield pt.jmp_buf()
+            out["r"] = yield pt.setjmp_block(buf, body, 21)
+
+        run_program(main)
+        assert out["r"] == (False, 42)
+
+    def test_longjmp_unwinds_with_value(self):
+        out = {}
+        log = []
+
+        def inner(pt, buf):
+            log.append("inner")
+            yield pt.longjmp(buf, "jumped!")
+            log.append("not-reached")
+
+        def body(pt, buf):
+            log.append("body")
+            yield pt.call(inner, buf)
+            log.append("also-not-reached")
+
+        def main(pt):
+            buf = yield pt.jmp_buf()
+            out["r"] = yield pt.setjmp_block(buf, body, buf)
+            log.append("after")
+
+        run_program(main)
+        assert out["r"] == (True, "jumped!")
+        assert log == ["body", "inner", "after"]
+
+    def test_longjmp_runs_finally_blocks_on_unwind(self):
+        cleaned = []
+
+        def body(pt, buf):
+            try:
+                yield pt.longjmp(buf, 1)
+            finally:
+                cleaned.append(True)
+
+        def main(pt):
+            buf = yield pt.jmp_buf()
+            yield pt.setjmp_block(buf, body, buf)
+
+        run_program(main)
+        assert cleaned == [True]
+
+    def test_longjmp_to_dead_buffer_rejected(self):
+        out = {}
+
+        def body(pt):
+            yield pt.work(1)
+
+        def main(pt):
+            buf = yield pt.jmp_buf()
+            yield pt.setjmp_block(buf, body)
+            out["err"] = yield pt.longjmp(buf, 1)
+
+        run_program(main)
+        assert out["err"] == EINVAL
+
+    def test_longjmp_across_threads_rejected(self):
+        out = {}
+
+        def body(pt, buf, hold):
+            yield pt.delay_us(500)
+
+        def other(pt, buf):
+            out["err"] = yield pt.longjmp(buf, 1)
+
+        def main(pt):
+            buf = yield pt.jmp_buf()
+
+            def blocking_body(pt2):
+                t = yield pt2.create(other, buf)
+                yield pt2.join(t)
+
+            yield pt.setjmp_block(buf, blocking_body)
+
+        run_program(main)
+        assert out["err"] == EINVAL
+
+    def test_nested_blocks_unwind_to_the_right_one(self):
+        out = {}
+
+        def level2(pt, buf1, buf2):
+            yield pt.longjmp(buf1, "outer")
+
+        def level1(pt, buf1, buf2):
+            r = yield pt.setjmp_block(buf2, level2, buf1, buf2)
+            out["inner_saw"] = r
+            return "inner-normal"
+
+        def main(pt):
+            buf1 = yield pt.jmp_buf()
+            buf2 = yield pt.jmp_buf()
+            out["outer"] = yield pt.setjmp_block(buf1, level1, buf1, buf2)
+
+        run_program(main)
+        assert out["outer"] == (True, "outer")
+        assert "inner_saw" not in out  # inner block was unwound
+
+
+class TestDelay:
+    def test_delay_advances_virtual_time(self):
+        out = {}
+
+        def main(pt):
+            start = pt.runtime.world.now_us
+            yield pt.delay_us(5_000)
+            out["elapsed"] = pt.runtime.world.now_us - start
+
+        run_program(main)
+        assert out["elapsed"] >= 5_000
+
+    def test_bad_delay(self):
+        out = {}
+
+        def main(pt):
+            out["err"] = yield pt.delay_us(0)
+
+        run_program(main)
+        assert out["err"] == EINVAL
+
+    def test_many_sleepers_share_one_unix_timer(self):
+        """The library multiplexes one setitimer across all delays."""
+
+        def sleeper(pt, us):
+            yield pt.delay_us(us)
+
+        def main(pt):
+            threads = []
+            for i in range(8):
+                threads.append(
+                    (yield pt.create(sleeper, 1_000 + 137 * i))
+                )
+            for t in threads:
+                yield pt.join(t)
+
+        rt = run_program(main)
+        # One alarm per distinct wake instant at most -- never one
+        # syscall per sleeper per tick.
+        assert rt.timer_ops.alarms_taken <= 9
+        assert rt.timer_ops.pending_count == 0
+
+    def test_sleep_ordering(self):
+        order = []
+
+        def sleeper(pt, us, tag):
+            yield pt.delay_us(us)
+            order.append(tag)
+
+        def main(pt):
+            a = yield pt.create(sleeper, 3_000, "late")
+            b = yield pt.create(sleeper, 1_000, "early")
+            yield pt.join(a)
+            yield pt.join(b)
+
+        run_program(main)
+        assert order == ["early", "late"]
+
+
+class TestIo:
+    def test_read_blocks_thread_not_process(self):
+        log = []
+
+        def reader(pt):
+            log.append("issue")
+            err, nbytes = yield pt.read(3, 4096)
+            log.append(("done", err, nbytes))
+
+        def busy(pt):
+            yield pt.work(2_000)
+            log.append("busy-ran-during-io")
+
+        def main(pt):
+            rt = pt.runtime
+            assert "disk0" in rt.io_devices
+            r = yield pt.create(reader, name="reader")
+            b = yield pt.create(busy, name="busy")
+            yield pt.join(r)
+            yield pt.join(b)
+
+        rt = make_runtime()
+        rt.add_io_device("disk0", latency_us=500.0)
+        rt.main(main)
+        rt.run()
+        # The busy thread ran while the reader's I/O was in flight.
+        assert log.index("issue") < log.index("busy-ran-during-io")
+        assert ("done", OK, 4096) in log
+
+    def test_completion_wakes_only_the_requester(self):
+        log = []
+
+        def reader(pt, tag, nbytes):
+            err, got = yield pt.read(1, nbytes)
+            log.append((tag, got))
+
+        def main(pt):
+            a = yield pt.create(reader, "a", 100)
+            b = yield pt.create(reader, "b", 200)
+            yield pt.join(a)
+            yield pt.join(b)
+
+        rt = make_runtime()
+        rt.add_io_device("disk0", latency_us=300.0)
+        rt.main(main)
+        rt.run()
+        assert sorted(log) == [("a", 100), ("b", 200)]
+
+    def test_unknown_device(self):
+        out = {}
+
+        def main(pt):
+            out["r"] = yield pt.read(1, 10, device="tape9")
+
+        run_program(main)
+        assert out["r"] == (EINVAL, 0)

@@ -1,0 +1,130 @@
+"""Lifecycle edges: main exiting early, join chains, self-detach."""
+
+from repro.core.attr import ThreadAttr
+from repro.core.errors import OK
+from tests.conftest import run_program
+
+
+def test_process_outlives_the_main_thread():
+    """POSIX: pthread_exit from main terminates only that thread; the
+    process runs until the last thread exits."""
+    log = []
+
+    def straggler(pt):
+        yield pt.delay_us(2_000)
+        log.append("straggler-done")
+
+    def main(pt):
+        yield pt.create(straggler, name="straggler")
+        log.append("main-exiting")
+        yield pt.exit("main-gone")
+        log.append("unreachable")
+
+    rt = run_program(main)
+    assert log == ["main-exiting", "straggler-done"]
+    assert rt.terminated_by is None
+
+
+def test_join_chain_unwinds_in_order():
+    order = []
+
+    def c(pt):
+        yield pt.delay_us(500)
+        order.append("c")
+        return "vc"
+
+    def b(pt, tc):
+        err, v = yield pt.join(tc)
+        order.append(("b-joined", v))
+        return "vb"
+
+    def a(pt, tb):
+        err, v = yield pt.join(tb)
+        order.append(("a-joined", v))
+        return "va"
+
+    def main(pt):
+        tc = yield pt.create(c, name="c")
+        tb = yield pt.create(b, tc, name="b")
+        ta = yield pt.create(a, tb, name="a")
+        err, v = yield pt.join(ta)
+        order.append(("main-joined", v))
+
+    run_program(main)
+    assert order == [
+        "c",
+        ("b-joined", "vc"),
+        ("a-joined", "vb"),
+        ("main-joined", "va"),
+    ]
+
+
+def test_self_detach_then_exit_reclaims():
+    def child(pt):
+        me = yield pt.self_id()
+        err = yield pt.detach(me)
+        assert err == OK
+        yield pt.work(100)
+
+    def main(pt):
+        t = yield pt.create(child, name="kid")
+        yield pt.delay_us(1_000)
+        assert t.reclaimed
+
+    run_program(main)
+
+
+def test_many_generations_of_threads():
+    """Threads creating threads creating threads: the pool and the
+    scheduler handle deep family trees."""
+    counts = {"leaves": 0}
+
+    def node(pt, depth):
+        if depth == 0:
+            counts["leaves"] += 1
+            return 1
+        kids = []
+        for _ in range(2):
+            kids.append((yield pt.create(node, depth - 1)))
+        total = 0
+        for kid in kids:
+            err, v = yield pt.join(kid)
+            total += v
+        return total
+
+    def main(pt):
+        t = yield pt.create(node, 4)
+        err, total = yield pt.join(t)
+        assert total == 16
+
+    rt = run_program(main, pool_size=4)
+    assert counts["leaves"] == 16
+    # Every TCB came from the pool or the heap, and reclaimed entries
+    # flowed back into the (full-most-of-the-time) pool at least once.
+    assert rt.pool.hits + rt.pool.misses == 32  # 31 nodes + main
+    assert rt.pool.returns >= 1
+
+
+def test_priorities_span_full_range():
+    order = []
+
+    def worker(pt, tag):
+        order.append(tag)
+        yield pt.work(1)
+
+    def main(pt):
+        from repro.core.config import (
+            PTHREAD_MAX_PRIORITY,
+            PTHREAD_MIN_PRIORITY,
+        )
+
+        yield pt.create(
+            worker, "min", attr=ThreadAttr(priority=PTHREAD_MIN_PRIORITY)
+        )
+        yield pt.create(
+            worker, "max", attr=ThreadAttr(priority=PTHREAD_MAX_PRIORITY)
+        )
+        yield pt.work(1)
+
+    run_program(main, priority=64)
+    assert order == ["max", "min"]

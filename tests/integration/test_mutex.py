@@ -1,0 +1,219 @@
+"""Mutex semantics: exclusion, ownership, errors, priority handover."""
+
+from repro.core.attr import MutexAttr, ThreadAttr
+from repro.core.errors import EBUSY, EDEADLK, EINVAL, EPERM, OK
+from tests.conftest import run_program
+
+
+def test_mutual_exclusion_under_contention():
+    """Critical sections never overlap even with many contenders."""
+    state = {"inside": 0, "max_inside": 0, "entries": 0}
+
+    def worker(pt, m):
+        for _ in range(5):
+            yield pt.mutex_lock(m)
+            state["inside"] += 1
+            state["max_inside"] = max(state["max_inside"], state["inside"])
+            state["entries"] += 1
+            yield pt.work(200)  # preemptible inside the section
+            state["inside"] -= 1
+            yield pt.mutex_unlock(m)
+            yield pt.yield_()
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        threads = []
+        for i in range(4):
+            threads.append((yield pt.create(worker, m, name="w%d" % i)))
+        for t in threads:
+            yield pt.join(t)
+
+    run_program(main, timeslice_us=1_000.0)  # aggressive slicing
+    assert state["max_inside"] == 1
+    assert state["entries"] == 20
+
+
+def test_owner_recorded_while_locked():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        me = yield pt.self_id()
+        yield pt.mutex_lock(m)
+        out["owner"] = m.owner is me
+        yield pt.mutex_unlock(m)
+        out["cleared"] = m.owner is None
+
+    run_program(main)
+    assert out == {"owner": True, "cleared": True}
+
+
+def test_relock_by_owner_is_deadlock_error():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        out["err"] = yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    run_program(main)
+    assert out["err"] == EDEADLK
+
+
+def test_unlock_by_non_owner_rejected():
+    out = {}
+
+    def intruder(pt, m):
+        out["err"] = yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        t = yield pt.create(intruder, m)
+        yield pt.join(t)
+        yield pt.mutex_unlock(m)
+
+    run_program(main)
+    assert out["err"] == EPERM
+
+
+def test_trylock():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        out["free"] = yield pt.mutex_trylock(m)
+        out["busy_self"] = yield pt.mutex_trylock(m)
+        yield pt.mutex_unlock(m)
+
+    def holder_scenario(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+
+        def other(pt2, mm):
+            out["busy_other"] = yield pt2.mutex_trylock(mm)
+
+        t = yield pt.create(other, m)
+        yield pt.join(t)
+        yield pt.mutex_unlock(m)
+
+    run_program(main)
+    run_program(holder_scenario)
+    assert out["free"] == OK
+    assert out["busy_self"] == EDEADLK
+    assert out["busy_other"] == EBUSY
+
+
+def test_highest_priority_waiter_acquires_first():
+    order = []
+
+    def waiter(pt, m, tag):
+        yield pt.mutex_lock(m)
+        order.append(tag)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        yield pt.create(waiter, m, "low", attr=ThreadAttr(priority=10))
+        yield pt.create(waiter, m, "high", attr=ThreadAttr(priority=90))
+        yield pt.create(waiter, m, "mid", attr=ThreadAttr(priority=50))
+        yield pt.delay_us(100)  # let them all block on the mutex
+        yield pt.mutex_unlock(m)
+        yield pt.delay_us(500)
+
+    run_program(main, priority=100)
+    assert order == ["high", "mid", "low"]
+
+
+def test_destroy_semantics():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        out["busy"] = yield pt.mutex_destroy(m)
+        yield pt.mutex_unlock(m)
+        out["ok"] = yield pt.mutex_destroy(m)
+        out["twice"] = yield pt.mutex_destroy(m)
+        out["lock_dead"] = yield pt.mutex_lock(m)
+
+    run_program(main)
+    assert out == {
+        "busy": EBUSY,
+        "ok": OK,
+        "twice": EINVAL,
+        "lock_dead": EINVAL,
+    }
+
+
+def test_fast_path_does_not_enter_library_kernel():
+    """The paper's point: an uncontended lock is a seven-instruction
+    atomic sequence, not a kernel entry."""
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        before = pt.runtime.kern.enters
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+        out["enters"] = pt.runtime.kern.enters - before
+
+    run_program(main)
+    assert out["enters"] == 0
+
+
+def test_contended_lock_enters_kernel():
+    out = {}
+
+    def contender(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        t = yield pt.create(contender, m, attr=ThreadAttr(priority=90))
+        yield pt.delay_us(100)
+        before = pt.runtime.kern.enters
+        yield pt.mutex_unlock(m)
+        out["enters"] = pt.runtime.kern.enters - before
+        yield pt.join(t)
+
+    run_program(main)
+    assert out["enters"] >= 1
+
+
+def test_lock_sequence_restart_preserves_ownership_invariant():
+    """Figure 4's property: a locked mutex always has an owner, even if
+    the atomic sequence is interrupted mid-way (fault injection)."""
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        # Interrupt the first attempt between ldstub and the owner
+        # store: the sequence rolls forward (the ldstub already
+        # committed), so the mutex ends up locked *with* its owner.
+        m.lock_sequence.interrupt_hook = (
+            lambda attempt, step: attempt == 0 and step == 5
+        )
+        yield pt.mutex_lock(m)
+        out["locked"] = m.locked
+        out["owner_set"] = m.owner is not None
+        out["rolls"] = m.lock_sequence.roll_forwards
+        yield pt.mutex_unlock(m)
+        # Interrupt before the ldstub: a genuine restart.
+        m.lock_sequence.interrupt_hook = (
+            lambda attempt, step: attempt == 0 and step == 0
+        )
+        yield pt.mutex_lock(m)
+        out["restarts"] = m.lock_sequence.restarts
+        out["owner_after_restart"] = m.owner is not None
+        yield pt.mutex_unlock(m)
+
+    run_program(main)
+    assert out["locked"] and out["owner_set"]
+    assert out["rolls"] == 1
+    assert out["restarts"] == 1
+    assert out["owner_after_restart"]

@@ -1,0 +1,151 @@
+"""Perverted scheduling: forced switches expose latent races.
+
+The canonical victim: a check-then-act update of shared data whose
+critical section is *not* protected by a mutex.  Under FIFO the racy
+window never interleaves; under the perverted policies it does.
+"""
+
+from repro.core import config as cfg
+from repro.sched.perverted import (
+    MutexSwitchPolicy,
+    RandomSwitchPolicy,
+    RoundRobinOrderedSwitchPolicy,
+    make_policy,
+)
+from tests.conftest import run_program
+
+
+def _racy_program(pt_unused=None):
+    """Builds the racy workload; returns (main, shared)."""
+    shared = {"counter": 0, "lost": 0}
+
+    def racer(pt, m):
+        from repro.core.signals import SIG_BLOCK
+        from repro.unix.sigset import SigSet
+
+        for _ in range(6):
+            # BUG: the value is read *before* the critical section and
+            # written back after it -- the lock protects nothing.  The
+            # library calls inside the window are where a perverted
+            # policy forces a switch (and where a multiprocessor would
+            # genuinely interleave).
+            snapshot = shared["counter"]
+            yield pt.mutex_lock(m)
+            yield pt.sigmask(SIG_BLOCK, SigSet())  # benign kernel entry
+            yield pt.mutex_unlock(m)
+            yield pt.work(50)
+            shared["counter"] = snapshot + 1
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        threads = []
+        for i in range(3):
+            threads.append((yield pt.create(racer, m, name="r%d" % i)))
+        for t in threads:
+            yield pt.join(t)
+        shared["lost"] = 18 - shared["counter"]
+
+    return main, shared
+
+
+def test_fifo_hides_the_race():
+    main, shared = _racy_program()
+    run_program(main)
+    assert shared["lost"] == 0  # runs to completion, bug invisible
+
+
+def test_mutex_switch_policy_exposes_the_race():
+    main, shared = _racy_program()
+    run_program(main, policy=MutexSwitchPolicy())
+    assert shared["lost"] > 0
+
+
+def test_rr_ordered_switch_policy_exposes_the_race():
+    main, shared = _racy_program()
+    run_program(main, policy=RoundRobinOrderedSwitchPolicy())
+    assert shared["lost"] > 0
+
+
+def test_random_switch_policy_exposes_the_race_for_some_seed():
+    detections = 0
+    for seed in range(6):
+        main, shared = _racy_program()
+        run_program(main, policy=RandomSwitchPolicy(seed=seed), seed=seed)
+        if shared["lost"] > 0:
+            detections += 1
+    assert detections > 0
+
+
+def test_varying_seed_varies_the_interleaving():
+    """The paper: varying RNG initialisation "proved to be a simple but
+    powerful way to influence the ordering of threads"."""
+    orders = set()
+    for seed in range(8):
+        order = []
+
+        def worker(pt, tag):
+            yield pt.yield_()
+            order.append(tag)
+            yield pt.yield_()
+            order.append(tag)
+
+        def main(pt):
+            ts = []
+            for tag in "abc":
+                ts.append((yield pt.create(worker, tag)))
+            for t in ts:
+                yield pt.join(t)
+
+        run_program(main, policy=RandomSwitchPolicy(seed=seed), seed=seed)
+        orders.add(tuple(order))
+    assert len(orders) > 1
+
+
+def test_correctly_locked_program_survives_every_policy():
+    """A properly synchronised program gives the same answer under all
+    perverted policies -- they must not *introduce* wrong behaviour."""
+    for policy_name in (
+        cfg.SCHED_FIFO,
+        cfg.SCHED_MUTEX_SWITCH,
+        cfg.SCHED_RR_ORDERED,
+        cfg.SCHED_RANDOM,
+    ):
+        shared = {"counter": 0}
+
+        def worker(pt, m):
+            for _ in range(5):
+                yield pt.mutex_lock(m)
+                snapshot = shared["counter"]
+                yield pt.work(50)
+                shared["counter"] = snapshot + 1
+                yield pt.mutex_unlock(m)
+
+        def main(pt):
+            m = yield pt.mutex_init()
+            ts = []
+            for i in range(3):
+                ts.append((yield pt.create(worker, m)))
+            for t in ts:
+                yield pt.join(t)
+
+        run_program(main, policy=make_policy(policy_name, seed=3))
+        assert shared["counter"] == 15, policy_name
+
+
+def test_forced_switch_counters():
+    main, shared = _racy_program()
+    policy = MutexSwitchPolicy()
+    run_program(main, policy=policy)
+    assert policy.forced_switches > 0
+
+
+def test_make_policy_factory():
+    import pytest
+
+    assert isinstance(make_policy(cfg.SCHED_MUTEX_SWITCH), MutexSwitchPolicy)
+    assert isinstance(
+        make_policy(cfg.SCHED_RR_ORDERED), RoundRobinOrderedSwitchPolicy
+    )
+    assert isinstance(make_policy(cfg.SCHED_RANDOM, 5), RandomSwitchPolicy)
+    with pytest.raises(ValueError):
+        make_policy("unknown")

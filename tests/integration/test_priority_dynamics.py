@@ -1,0 +1,136 @@
+"""Dynamic priority changes interacting with waits and protocols."""
+
+from repro.core import config as cfg
+from repro.core.attr import MutexAttr, ThreadAttr
+from repro.core.errors import EINVAL
+from tests.conftest import run_program
+
+
+def test_raising_a_blocked_waiters_priority_reorders_the_queue():
+    """setprio on a thread blocked on a mutex must move it ahead of
+    formerly higher waiters (the wait queues are priority queues)."""
+    order = []
+
+    def waiter(pt, m, tag):
+        yield pt.mutex_lock(m)
+        order.append(tag)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        yield pt.mutex_lock(m)
+        lo = yield pt.create(waiter, m, "lo", attr=ThreadAttr(priority=20))
+        hi = yield pt.create(waiter, m, "hi", attr=ThreadAttr(priority=60))
+        yield pt.delay_us(200)  # both block on the mutex
+        yield pt.setprio(lo, 90)  # boost the low waiter past the high
+        yield pt.mutex_unlock(m)
+        yield pt.join(lo)
+        yield pt.join(hi)
+
+    run_program(main, priority=100)
+    assert order == ["lo", "hi"]
+
+
+def test_lowering_a_cond_waiters_priority_reorders_wakeup():
+    order = []
+
+    def waiter(pt, m, cv, tag):
+        yield pt.mutex_lock(m)
+        yield pt.cond_wait(cv, m)
+        order.append(tag)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        a = yield pt.create(waiter, m, cv, "a", attr=ThreadAttr(priority=70))
+        b = yield pt.create(waiter, m, cv, "b", attr=ThreadAttr(priority=40))
+        yield pt.delay_us(200)
+        yield pt.setprio(a, 10)  # a drops below b
+        yield pt.cond_signal(cv)  # must wake b now
+        yield pt.cond_signal(cv)
+        yield pt.delay_us(500)
+
+    run_program(main, priority=100)
+    assert order == ["b", "a"]
+
+
+def test_setprio_does_not_strip_protocol_boost():
+    """Changing the base priority of a boosted holder recomputes the
+    effective priority from base + boosts, not base alone."""
+    seen = {}
+
+    def holder(pt, m):
+        me = yield pt.self_id()
+        yield pt.mutex_lock(m)
+        yield pt.work(20_000)
+        seen["mid"] = me.effective_priority
+        yield pt.work(20_000)
+        yield pt.mutex_unlock(m)
+        seen["end"] = me.effective_priority
+
+    def contender(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init(MutexAttr(protocol=cfg.PRIO_INHERIT))
+        h = yield pt.create(holder, m, attr=ThreadAttr(priority=10),
+                            name="holder")
+        yield pt.delay_us(100)
+        c = yield pt.create(contender, m, attr=ThreadAttr(priority=80),
+                            name="contender")
+        yield pt.delay_us(100)
+        # Change the holder's base while it is inherit-boosted to 80.
+        yield pt.setprio(h, 30)
+        yield pt.join(h)
+        yield pt.join(c)
+
+    run_program(main, priority=100)
+    assert seen["mid"] == 80  # boost survives the base change
+    assert seen["end"] == 30  # new base visible after unlock
+
+
+def test_trylock_respects_the_ceiling():
+    out = {}
+
+    def main(pt):
+        m = yield pt.mutex_init(
+            MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=30)
+        )
+        out["err"] = yield pt.mutex_trylock(m)
+
+    run_program(main, priority=60)
+    assert out["err"] == EINVAL
+
+
+def test_exit_time_cleanup_handler_raising_still_runs_the_rest():
+    """A cleanup handler that dies must not swallow the remaining
+    handlers -- the exit machinery restarts with what is left."""
+    from repro.sim.frames import SimException
+
+    class Boom(SimException):
+        pass
+
+    log = []
+
+    def good(pt, arg):
+        log.append(arg)
+        yield pt.work(1)
+
+    def bad(pt, arg):
+        yield pt.work(1)
+        raise Boom()
+
+    def child(pt):
+        yield pt.cleanup_push(good, "outer")
+        yield pt.cleanup_push(bad, "boom")
+        yield pt.cleanup_push(good, "inner")
+        yield pt.exit("v")
+
+    def main(pt):
+        t = yield pt.create(child)
+        yield pt.join(t)
+
+    run_program(main)
+    assert log == ["inner", "outer"]

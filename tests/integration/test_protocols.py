@@ -1,0 +1,305 @@
+"""Priority-inversion protocols: Figure 5, Table 3 properties, Table 4.
+
+The Figure 5 scenario: low-priority P1 locks a mutex; high-priority P3
+preempts and contends; medium-priority P2 is ready.  Without a protocol
+P2 starves P3 (inversion).  With inheritance or ceiling, P3 gets the
+mutex before P2 runs.
+"""
+
+import pytest
+
+from repro.core import config as cfg
+from repro.core.attr import MutexAttr, ThreadAttr
+from repro.core.errors import EINVAL, OK
+from repro.debug.inspector import Timeline
+from repro.debug.trace import Tracer
+from tests.conftest import make_runtime, run_program
+
+
+def _figure5(protocol, ceiling=90, config_kwargs=None):
+    """Run the Figure 5 scenario; returns (events, runtime, tracer)."""
+    events = []
+    tracer = Tracer()
+
+    def p1(pt, m):
+        yield pt.mutex_lock(m)
+        events.append("p1-locked")
+        yield pt.work(40_000)
+        yield pt.mutex_unlock(m)
+        yield pt.work(1_000)
+        events.append("p1-done")
+
+    def p2(pt):
+        yield pt.work(20_000)
+        events.append("p2-done")
+
+    def p3(pt, m):
+        events.append("p3-start")
+        yield pt.mutex_lock(m)
+        events.append("p3-locked")
+        yield pt.work(1_000)
+        yield pt.mutex_unlock(m)
+        events.append("p3-done")
+
+    def main(pt):
+        attr = MutexAttr(protocol=protocol, prioceiling=ceiling)
+        m = yield pt.mutex_init(attr)
+        t1 = yield pt.create(p1, m, attr=ThreadAttr(priority=10), name="P1")
+        yield pt.delay_us(50)  # P1 grabs the mutex
+        t3 = yield pt.create(p3, m, attr=ThreadAttr(priority=90), name="P3")
+        t2 = yield pt.create(p2, attr=ThreadAttr(priority=50), name="P2")
+        for t in (t1, t2, t3):
+            yield pt.join(t)
+
+    rt = run_program(
+        main, priority=120, trace=tracer, **(config_kwargs or {})
+    )
+    return events, rt, tracer
+
+
+class TestFigure5:
+    def test_no_protocol_inverts(self):
+        events, _, __ = _figure5(cfg.PRIO_NONE)
+        assert events.index("p2-done") < events.index("p3-locked")
+
+    def test_inheritance_prevents_inversion(self):
+        events, _, __ = _figure5(cfg.PRIO_INHERIT)
+        assert events.index("p3-locked") < events.index("p2-done")
+
+    def test_ceiling_prevents_inversion(self):
+        events, _, __ = _figure5(cfg.PRIO_PROTECT)
+        assert events.index("p3-locked") < events.index("p2-done")
+
+    def test_p2_never_runs_while_p3_blocked_under_inheritance(self):
+        events, rt, tracer = _figure5(cfg.PRIO_INHERIT)
+        timeline = Timeline(tracer, end_time=rt.world.now)
+        block = tracer.first("mutex-contention", thread="P3")
+        wake = tracer.first("mutex-transfer", to="P3")
+        assert block and wake
+        assert not timeline.ran_during("P2", block.time, wake.time)
+
+    def test_ceiling_needs_fewer_context_switches(self):
+        """The paper: "this protocol tends to require fewer context
+        switches than the inheritance protocol"."""
+        _, rt_inherit, __ = _figure5(cfg.PRIO_INHERIT)
+        _, rt_ceiling, __ = _figure5(cfg.PRIO_PROTECT)
+        assert (
+            rt_ceiling.dispatcher.context_switches
+            <= rt_inherit.dispatcher.context_switches
+        )
+
+
+class TestInheritance:
+    def test_owner_boosted_while_contended_and_restored(self):
+        prios = {}
+
+        def holder(pt, m, me_box):
+            me = yield pt.self_id()
+            me_box.append(me)
+            yield pt.mutex_lock(m)
+            yield pt.work(20_000)
+            prios["during"] = me.effective_priority
+            yield pt.mutex_unlock(m)
+            prios["after"] = me.effective_priority
+
+        def contender(pt, m):
+            yield pt.mutex_lock(m)
+            yield pt.mutex_unlock(m)
+
+        def main(pt):
+            m = yield pt.mutex_init(MutexAttr(protocol=cfg.PRIO_INHERIT))
+            box = []
+            h = yield pt.create(
+                holder, m, box, attr=ThreadAttr(priority=10), name="holder"
+            )
+            yield pt.delay_us(50)
+            c = yield pt.create(
+                contender, m, attr=ThreadAttr(priority=80), name="cont"
+            )
+            yield pt.join(h)
+            yield pt.join(c)
+
+        run_program(main, priority=100)
+        assert prios["during"] == 80
+        assert prios["after"] == 10
+
+    def test_transitive_inheritance_chain(self):
+        """T-high blocks on m2 held by T-mid which blocks on m1 held by
+        T-low: T-low inherits T-high's priority through the chain."""
+        seen = {}
+
+        def low(pt, m1):
+            me = yield pt.self_id()
+            yield pt.mutex_lock(m1)
+            yield pt.work(200_000)  # long critical section (~5 ms)
+            seen["low_prio"] = me.effective_priority
+            yield pt.mutex_unlock(m1)
+
+        def mid(pt, m1, m2):
+            yield pt.mutex_lock(m2)
+            yield pt.work(5_000)
+            yield pt.mutex_lock(m1)  # blocks on low
+            yield pt.mutex_unlock(m1)
+            yield pt.mutex_unlock(m2)
+
+        def high(pt, m2):
+            yield pt.mutex_lock(m2)  # blocks on mid
+            yield pt.mutex_unlock(m2)
+
+        def main(pt):
+            attr = MutexAttr(protocol=cfg.PRIO_INHERIT)
+            m1 = yield pt.mutex_init(attr)
+            m2 = yield pt.mutex_init(attr)
+            t_low = yield pt.create(
+                low, m1, attr=ThreadAttr(priority=10), name="low"
+            )
+            yield pt.delay_us(1_000)  # low enters its critical section
+            t_mid = yield pt.create(
+                mid, m1, m2, attr=ThreadAttr(priority=40), name="mid"
+            )
+            yield pt.delay_us(1_000)  # mid holds m2, blocks on m1
+            t_high = yield pt.create(
+                high, m2, attr=ThreadAttr(priority=90), name="high"
+            )
+            for t in (t_low, t_mid, t_high):
+                yield pt.join(t)
+
+        run_program(main, priority=100)
+        assert seen["low_prio"] == 90
+
+
+class TestCeiling:
+    def test_lock_boosts_to_ceiling_immediately(self):
+        seen = {}
+
+        def locker(pt, m):
+            me = yield pt.self_id()
+            yield pt.mutex_lock(m)
+            seen["during"] = me.effective_priority
+            yield pt.mutex_unlock(m)
+            seen["after"] = me.effective_priority
+
+        def main(pt):
+            m = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=77)
+            )
+            t = yield pt.create(locker, m, attr=ThreadAttr(priority=20))
+            yield pt.join(t)
+
+        run_program(main)
+        assert seen == {"during": 77, "after": 20}
+
+    def test_ceiling_violation_is_einval(self):
+        out = {}
+
+        def main(pt):
+            m = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=30)
+            )
+            out["err"] = yield pt.mutex_lock(m)
+
+        run_program(main, priority=50)
+        assert out["err"] == EINVAL
+
+    def test_set_get_prioceiling(self):
+        out = {}
+
+        def main(pt):
+            m = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=60)
+            )
+            out["get"] = yield pt.mutex_getprioceiling(m)
+            err, old = yield pt.mutex_setprioceiling(m, 80)
+            out["set"] = (err, old)
+            out["get2"] = yield pt.mutex_getprioceiling(m)
+
+        run_program(main)
+        assert out == {"get": 60, "set": (OK, 60), "get2": 80}
+
+    def test_nested_ceilings_restore_in_lifo_order(self):
+        levels = []
+
+        def main(pt):
+            me = yield pt.self_id()
+            m1 = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=60)
+            )
+            m2 = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_PROTECT, prioceiling=90)
+            )
+            yield pt.mutex_lock(m1)
+            levels.append(me.effective_priority)
+            yield pt.mutex_lock(m2)
+            levels.append(me.effective_priority)
+            yield pt.mutex_unlock(m2)
+            levels.append(me.effective_priority)
+            yield pt.mutex_unlock(m1)
+            levels.append(me.effective_priority)
+
+        run_program(main, priority=20)
+        assert levels == [60, 90, 60, 20]
+
+
+class TestTable4Mixing:
+    """The paper's Table 4: nesting an inheritance mutex inside a
+    ceiling mutex makes the two unlock strategies diverge at step 4."""
+
+    def _run(self, mode):
+        trace = []
+
+        def pi_thread(pt, inht, ceil, m_ready):
+            me = yield pt.self_id()
+            yield pt.mutex_lock(inht)  # step 1
+            trace.append(("step1", me.effective_priority))
+            yield pt.mutex_lock(ceil)  # step 2: ceiling 1... scaled to 40
+            trace.append(("step2", me.effective_priority))
+            yield pt.work(30_000)  # contender arrives: step 3
+            trace.append(("step3", me.effective_priority))
+            yield pt.mutex_unlock(ceil)  # step 4: divergence point
+            trace.append(("step4", me.effective_priority))
+            yield pt.mutex_unlock(inht)  # step 5
+            trace.append(("step5", me.effective_priority))
+
+        def contender(pt, inht):
+            yield pt.mutex_lock(inht)
+            yield pt.mutex_unlock(inht)
+
+        def main(pt):
+            inht = yield pt.mutex_init(
+                MutexAttr(protocol=cfg.PRIO_INHERIT, name="inht")
+            )
+            ceil = yield pt.mutex_init(
+                MutexAttr(
+                    protocol=cfg.PRIO_PROTECT, prioceiling=40, name="ceil"
+                )
+            )
+            t = yield pt.create(
+                pi_thread, inht, ceil, None,
+                attr=ThreadAttr(priority=10), name="Pi",
+            )
+            yield pt.delay_us(100)  # Pi holds both mutexes
+            c = yield pt.create(
+                contender, inht, attr=ThreadAttr(priority=70), name="C"
+            )
+            yield pt.join(t)
+            yield pt.join(c)
+
+        run_program(main, priority=100, mixed_protocol_unlock=mode)
+        return dict(trace)
+
+    def test_linear_search_keeps_inheritance_boost(self):
+        """The paper's recommendation: a linear search at unlock keeps
+        the priority at the contender's level until step 5."""
+        trace = self._run("linear-search")
+        assert trace["step1"] == 10
+        assert trace["step2"] == 40  # ceiling boost
+        assert trace["step3"] == 70  # inheritance on top
+        assert trace["step4"] == 70  # boost survives the ceiling pop
+        assert trace["step5"] == 10
+
+    def test_pure_stack_pop_loses_the_boost(self):
+        """Pure SRP popping restores the pre-ceiling level, silently
+        dropping the inheritance boost -- the paper's Pc column."""
+        trace = self._run("stack")
+        assert trace["step3"] == 70
+        assert trace["step4"] == 10  # divergence: boost lost

@@ -1,0 +1,71 @@
+"""Schedule extraction and comparison (the reproducibility property)."""
+
+from repro.debug.replay import (
+    compare_schedules,
+    extract_schedule,
+    schedules_identical,
+)
+from repro.debug.trace import Tracer
+from repro.sched.perverted import RandomSwitchPolicy
+from tests.conftest import make_runtime
+
+
+def _traced_run(seed, policy_seed, work=500):
+    tracer = Tracer()
+    rt = make_runtime(
+        seed=seed, policy=RandomSwitchPolicy(seed=policy_seed), trace=tracer
+    )
+
+    def worker(pt, n):
+        for _ in range(4):
+            yield pt.work(n)
+            yield pt.yield_()
+
+    def main(pt):
+        ts = []
+        for i in range(3):
+            ts.append((yield pt.create(worker, work + i)))
+        for t in ts:
+            yield pt.join(t)
+
+    rt.main(main)
+    rt.run()
+    return tracer
+
+
+def test_same_seed_gives_identical_schedule():
+    a = _traced_run(seed=4, policy_seed=9)
+    b = _traced_run(seed=4, policy_seed=9)
+    assert schedules_identical(a, b)
+    diff = compare_schedules(extract_schedule(a), extract_schedule(b))
+    assert diff.identical and diff.first_divergence is None
+
+
+def test_different_policy_seed_diverges_with_located_step():
+    a = _traced_run(seed=4, policy_seed=1)
+    b = _traced_run(seed=4, policy_seed=2)
+    diff = compare_schedules(extract_schedule(a), extract_schedule(b))
+    if not diff.identical:  # overwhelmingly likely
+        assert diff.first_divergence is not None
+        assert "step" in diff.detail or "lengths" in diff.detail
+
+
+def test_order_only_comparison_ignores_timing():
+    a = _traced_run(seed=4, policy_seed=9, work=500)
+    b = _traced_run(seed=4, policy_seed=9, work=700)  # costlier work
+    sched_a, sched_b = extract_schedule(a), extract_schedule(b)
+    strict = compare_schedules(sched_a, sched_b, compare_times=True)
+    loose = compare_schedules(sched_a, sched_b, compare_times=False)
+    assert not strict.identical  # times shifted
+    assert loose.identical  # but the interleaving is the same
+
+
+def test_length_mismatch_reported():
+    from repro.debug.replay import ScheduleStep
+
+    a = [ScheduleStep(0, "x")]
+    b = [ScheduleStep(0, "x"), ScheduleStep(5, "y")]
+    diff = compare_schedules(a, b)
+    assert not diff.identical
+    assert diff.first_divergence == 1
+    assert "lengths differ" in diff.detail

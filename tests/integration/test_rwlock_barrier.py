@@ -1,0 +1,189 @@
+"""Reader-writer locks and barriers (compositions over the primitives)."""
+
+from repro.core.barrier import BARRIER_SERIAL_THREAD
+from repro.core.errors import EPERM, OK
+from tests.conftest import run_program
+
+
+class TestRwLock:
+    def test_readers_share(self):
+        state = {"concurrent": 0, "max_concurrent": 0}
+
+        def reader(pt, rw):
+            yield pt.rwlock_rdlock(rw)
+            state["concurrent"] += 1
+            state["max_concurrent"] = max(
+                state["max_concurrent"], state["concurrent"]
+            )
+            yield pt.delay_us(500)  # overlap window
+            state["concurrent"] -= 1
+            yield pt.rwlock_unlock(rw)
+
+        def main(pt):
+            rw = yield pt.rwlock_init()
+            threads = []
+            for i in range(4):
+                threads.append((yield pt.create(reader, rw)))
+            for t in threads:
+                yield pt.join(t)
+
+        run_program(main)
+        assert state["max_concurrent"] == 4
+
+    def test_writer_excludes_everyone(self):
+        state = {"writer_in": False, "violation": False}
+
+        def writer(pt, rw):
+            yield pt.rwlock_wrlock(rw)
+            state["writer_in"] = True
+            yield pt.work(10_000)
+            state["writer_in"] = False
+            yield pt.rwlock_unlock(rw)
+
+        def reader(pt, rw):
+            yield pt.rwlock_rdlock(rw)
+            if state["writer_in"]:
+                state["violation"] = True
+            yield pt.work(1_000)
+            yield pt.rwlock_unlock(rw)
+
+        def main(pt):
+            rw = yield pt.rwlock_init()
+            w = yield pt.create(writer, rw)
+            readers = []
+            for i in range(3):
+                readers.append((yield pt.create(reader, rw)))
+            yield pt.join(w)
+            for t in readers:
+                yield pt.join(t)
+
+        run_program(main, timeslice_us=1_000.0)
+        assert not state["violation"]
+
+    def test_writer_preference_blocks_new_readers(self):
+        order = []
+
+        def long_reader(pt, rw):
+            yield pt.rwlock_rdlock(rw)
+            order.append("reader1-in")
+            yield pt.delay_us(2_000)
+            yield pt.rwlock_unlock(rw)
+
+        def writer(pt, rw):
+            yield pt.rwlock_wrlock(rw)
+            order.append("writer-in")
+            yield pt.work(100)
+            yield pt.rwlock_unlock(rw)
+
+        def late_reader(pt, rw):
+            yield pt.rwlock_rdlock(rw)
+            order.append("reader2-in")
+            yield pt.rwlock_unlock(rw)
+
+        def main(pt):
+            rw = yield pt.rwlock_init()
+            a = yield pt.create(long_reader, rw, name="r1")
+            yield pt.delay_us(200)
+            b = yield pt.create(writer, rw, name="w")
+            yield pt.delay_us(200)
+            c = yield pt.create(late_reader, rw, name="r2")
+            for t in (a, b, c):
+                yield pt.join(t)
+
+        run_program(main, priority=100)
+        # The late reader arrived while a writer was queued: the writer
+        # goes first.
+        assert order.index("writer-in") < order.index("reader2-in")
+
+    def test_unlock_without_hold_is_eperm(self):
+        out = {}
+
+        def main(pt):
+            rw = yield pt.rwlock_init()
+            out["err"] = yield pt.rwlock_unlock(rw)
+
+        run_program(main)
+        assert out["err"] == EPERM
+
+
+class TestBarrier:
+    def test_all_arrivals_released_together(self):
+        log = []
+
+        def worker(pt, barrier, tag):
+            yield pt.work(100 * (tag + 1))
+            log.append(("before", tag))
+            yield pt.barrier_wait(barrier)
+            log.append(("after", tag))
+
+        def main(pt):
+            barrier = yield pt.barrier_init(3)
+            threads = []
+            for i in range(3):
+                threads.append((yield pt.create(worker, barrier, i)))
+            for t in threads:
+                yield pt.join(t)
+
+        run_program(main)
+        befores = [i for i, e in enumerate(log) if e[0] == "before"]
+        afters = [i for i, e in enumerate(log) if e[0] == "after"]
+        assert max(befores) < min(afters)
+
+    def test_exactly_one_serial_thread_per_cycle(self):
+        results = []
+
+        def worker(pt, barrier):
+            for _ in range(3):  # three barrier cycles
+                r = yield pt.barrier_wait(barrier)
+                results.append(r)
+
+        def main(pt):
+            barrier = yield pt.barrier_init(4)
+            threads = []
+            for i in range(4):
+                threads.append((yield pt.create(worker, barrier)))
+            for t in threads:
+                yield pt.join(t)
+
+        run_program(main)
+        assert results.count(BARRIER_SERIAL_THREAD) == 3
+        assert results.count(0) == 9
+
+    def test_barrier_is_reusable_across_generations(self):
+        snapshots = []
+
+        def worker(pt, barrier, sums, column):
+            for step in range(4):
+                sums[column] += step
+                r = yield pt.barrier_wait(barrier)
+                if r == BARRIER_SERIAL_THREAD:
+                    # The releasing arrival snapshots the phase: every
+                    # column must have completed the same steps.
+                    snapshots.append(tuple(sums))
+                # Second barrier: nobody mutates until the snapshot is
+                # taken.
+                yield pt.barrier_wait(barrier)
+
+        def main(pt):
+            barrier = yield pt.barrier_init(3)
+            sums = [0, 0, 0]
+            threads = []
+            for i in range(3):
+                threads.append((yield pt.create(worker, barrier, sums, i)))
+            for t in threads:
+                yield pt.join(t)
+            assert barrier.cycles_completed == 8
+
+        run_program(main)
+        assert snapshots == [(0, 0, 0), (1, 1, 1), (3, 3, 3), (6, 6, 6)]
+
+    def test_bad_count(self):
+        from repro.core.errors import EINVAL
+
+        out = {}
+
+        def main(pt):
+            out["r"] = yield pt.barrier_init(0)
+
+        run_program(main)
+        assert out["r"] == EINVAL

@@ -1,0 +1,190 @@
+"""Priority scheduling: preemption, yield, FIFO order, time slicing."""
+
+from repro.core.attr import ThreadAttr
+from repro.core.config import SCHED_RR
+from repro.debug.trace import Tracer
+from repro.debug.inspector import Timeline
+from tests.conftest import run_program
+
+
+def test_higher_priority_preempts_on_wakeup():
+    log = []
+
+    def high(pt):
+        log.append("high-ran")
+        yield pt.work(10)
+
+    def main(pt):
+        yield pt.create(high, attr=ThreadAttr(priority=100), name="high")
+        # Creation of a higher-priority thread preempts us at kernel
+        # exit: "high-ran" is logged before we continue.
+        log.append("main-after-create")
+        yield pt.work(10)
+
+    run_program(main, priority=50)
+    assert log == ["high-ran", "main-after-create"]
+
+
+def test_equal_priority_does_not_preempt():
+    log = []
+
+    def peer(pt):
+        log.append("peer")
+        yield pt.work(10)
+
+    def main(pt):
+        yield pt.create(peer, name="peer")
+        log.append("main-continues")
+        yield pt.work(10)
+        yield pt.yield_()
+
+    run_program(main)
+    assert log[0] == "main-continues"
+
+
+def test_fifo_order_within_priority():
+    order = []
+
+    def worker(pt, tag):
+        order.append(tag)
+        yield pt.work(1)
+
+    def main(pt):
+        for tag in ("a", "b", "c"):
+            yield pt.create(worker, tag)
+        yield pt.yield_()
+
+    run_program(main)
+    assert order == ["a", "b", "c"]
+
+
+def test_yield_goes_to_tail_of_level():
+    order = []
+
+    def worker(pt, tag):
+        order.append(tag + "-1")
+        yield pt.yield_()
+        order.append(tag + "-2")
+
+    def main(pt):
+        yield pt.create(worker, "a")
+        yield pt.create(worker, "b")
+        yield pt.yield_()
+        yield pt.work(1)
+
+    run_program(main)
+    assert order[:2] == ["a-1", "b-1"]
+
+
+def test_strict_priority_order_of_completion():
+    done = []
+
+    def worker(pt, tag):
+        yield pt.work(100)
+        done.append(tag)
+
+    def main(pt):
+        yield pt.create(worker, "low", attr=ThreadAttr(priority=10))
+        yield pt.create(worker, "high", attr=ThreadAttr(priority=90))
+        yield pt.create(worker, "mid", attr=ThreadAttr(priority=50))
+        yield pt.work(1)
+
+    run_program(main, priority=100)
+    assert done == ["high", "mid", "low"]
+
+
+def test_setprio_reorders_ready_thread():
+    done = []
+
+    def worker(pt, tag):
+        yield pt.work(100)
+        done.append(tag)
+
+    def main(pt):
+        a = yield pt.create(worker, "a", attr=ThreadAttr(priority=10))
+        yield pt.create(worker, "b", attr=ThreadAttr(priority=20))
+        yield pt.setprio(a, 30)  # lift a above b
+        yield pt.work(1)
+
+    run_program(main, priority=100)
+    assert done == ["a", "b"]
+
+
+def test_lowering_own_priority_yields_cpu():
+    log = []
+
+    def other(pt):
+        log.append("other")
+        yield pt.work(1)
+
+    def main(pt):
+        yield pt.create(other, attr=ThreadAttr(priority=60), name="other")
+        log.append("before-drop")
+        me = yield pt.self_id()
+        yield pt.setprio(me, 10)  # drop below "other"
+        log.append("after-drop")
+        yield pt.work(1)
+
+    run_program(main, priority=80)
+    assert log == ["before-drop", "other", "after-drop"]
+
+
+def test_round_robin_time_slicing():
+    """Two RR threads slice the CPU; FIFO threads would run to
+    completion in creation order instead."""
+    tracer = Tracer()
+    attr = ThreadAttr(priority=50, policy=SCHED_RR)
+
+    def spinner(pt, burst):
+        for _ in range(6):
+            yield pt.work(burst)
+
+    def main(pt):
+        quantum_cycles = pt.runtime.world.cycles_for_us(20_000)
+        a = yield pt.create(spinner, quantum_cycles, attr=attr, name="rr-a")
+        b = yield pt.create(spinner, quantum_cycles, attr=attr, name="rr-b")
+        yield pt.join(a)
+        yield pt.join(b)
+
+    rt = run_program(main, trace=tracer, timeslice_us=20_000.0, priority=90)
+    timeline = Timeline(tracer, end_time=rt.world.now)
+    order = [s.thread for s in timeline.segments if s.thread.startswith("rr")]
+    # The two threads alternate rather than running back to back.
+    transitions = sum(
+        1 for x, y in zip(order, order[1:]) if x != y
+    )
+    assert transitions >= 3
+
+
+def test_fifo_threads_do_not_slice():
+    tracer = Tracer()
+
+    def spinner(pt, burst, tag, log):
+        yield pt.work(burst)
+        log.append(tag)
+
+    def main(pt):
+        log = []
+        burst = pt.runtime.world.cycles_for_us(100_000)
+        a = yield pt.create(spinner, burst, "a", log, name="fifo-a")
+        b = yield pt.create(spinner, burst, "b", log, name="fifo-b")
+        yield pt.join(a)
+        yield pt.join(b)
+        assert log == ["a", "b"]
+
+    run_program(main, trace=tracer, timeslice_us=20_000.0, priority=90)
+
+
+def test_timeline_accounts_all_cpu_time():
+    tracer = Tracer()
+
+    def worker(pt):
+        yield pt.work(5_000)
+
+    def main(pt):
+        t = yield pt.create(worker, name="w")
+        yield pt.join(t)
+
+    rt = run_program(main, trace=tracer)
+    timeline = Timeline(tracer, end_time=rt.world.now)
+    assert timeline.runtime_of("w") >= 5_000

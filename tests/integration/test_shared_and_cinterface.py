@@ -1,0 +1,163 @@
+"""Cross-process shared mutexes and the C-style interface."""
+
+import pytest
+
+from repro.core import cinterface as c
+from repro.core.errors import EDEADLK, OK
+from repro.core.shared import (
+    SharedArena,
+    SharedMutex,
+    WAKE_SIGNAL,
+    shared_mutex_lock,
+    shared_mutex_unlock,
+)
+from repro.sim.world import World
+from repro.unix import process as uproc
+from repro.unix.kernel import UnixKernel
+from repro.unix.signals import SigAction
+from tests.conftest import run_program
+
+
+class TestSharedMutex:
+    def _world(self):
+        world = World("sparc-ipx")
+        kernel = UnixKernel(world)
+        arena = SharedArena(world)
+        return world, kernel, arena
+
+    def test_two_processes_exclude_each_other(self):
+        world, kernel, arena = self._world()
+        mutex = SharedMutex(arena)
+        state = {"inside": 0, "violations": 0, "entries": 0}
+
+        def body(proc_holder):
+            proc = proc_holder[0]
+            for _ in range(3):
+                yield from shared_mutex_lock(mutex, proc)
+                state["inside"] += 1
+                if state["inside"] > 1:
+                    state["violations"] += 1
+                state["entries"] += 1
+                yield uproc.work(500)
+                state["inside"] -= 1
+                yield from shared_mutex_unlock(mutex, proc)
+                yield uproc.work(100)
+
+        holders = [[None], [None]]
+        procs = []
+        for i, holder in enumerate(holders):
+            proc = uproc.UnixProcess(
+                kernel, body, name="p%d" % i, args=(holder,)
+            )
+            holder[0] = proc
+            kernel.sigaction(
+                proc, WAKE_SIGNAL, SigAction(handler=lambda s, c: None)
+            )
+            arena.attach(proc)
+            procs.append(proc)
+
+        sched = uproc.UnixScheduler(world, kernel)
+        for proc in procs:
+            sched.add(proc)
+        # The scheduler must wake paused waiters on unlock kills.
+        sched.run()
+        assert state["violations"] == 0
+        assert state["entries"] == 6
+        assert not mutex.locked
+
+    def test_uncontended_shared_lock_needs_no_syscalls(self):
+        world, kernel, arena = self._world()
+        mutex = SharedMutex(arena)
+
+        def body(proc_holder):
+            proc = proc_holder[0]
+            yield from shared_mutex_lock(mutex, proc)
+            yield uproc.work(10)
+            yield from shared_mutex_unlock(mutex, proc)
+
+        holder = [None]
+        proc = uproc.UnixProcess(kernel, body, name="solo", args=(holder,))
+        holder[0] = proc
+        arena.attach(proc)
+        baseline = kernel.total_syscalls
+        sched = uproc.UnixScheduler(world, kernel)
+        sched.add(proc)
+        sched.run()
+        assert kernel.total_syscalls == baseline  # the paper's fast path
+
+    def test_unattached_process_rejected(self):
+        world, kernel, arena = self._world()
+        mutex = SharedMutex(arena)
+        proc = uproc.UnixProcess(kernel, None, name="stranger")
+        with pytest.raises(RuntimeError):
+            list(shared_mutex_lock(mutex, proc))
+
+    def test_unlock_by_non_owner_rejected(self):
+        world, kernel, arena = self._world()
+        mutex = SharedMutex(arena)
+        a = uproc.UnixProcess(kernel, None, name="a")
+        b = uproc.UnixProcess(kernel, None, name="b")
+        arena.attach(a)
+        arena.attach(b)
+        list(shared_mutex_lock(mutex, a))
+        with pytest.raises(RuntimeError):
+            list(shared_mutex_unlock(mutex, b))
+
+
+class TestCInterface:
+    def test_full_c_style_program(self):
+        out = {}
+
+        def child(pt, n):
+            me = yield c.pthread_self(pt)
+            out["child_name"] = me.name
+            yield c.pthread_exit(pt, n * 2)
+
+        def main(pt):
+            m = yield c.pthread_mutex_init(pt)
+            cv = yield c.pthread_cond_init(pt)
+            assert (yield c.pthread_mutex_lock(pt, m)) == OK
+            assert (yield c.pthread_mutex_lock(pt, m)) == EDEADLK
+            assert (yield c.pthread_mutex_unlock(pt, m)) == OK
+            t = yield c.pthread_create(pt, child, 21, name="c-child")
+            err, value = yield c.pthread_join(pt, t)
+            out["join"] = (err, value)
+            err, key = yield c.pthread_key_create(pt)
+            yield c.pthread_setspecific(pt, key, "tsd")
+            out["tsd"] = yield c.pthread_getspecific(pt, key)
+            yield c.pthread_cond_destroy(pt, cv)
+            yield c.pthread_mutex_destroy(pt, m)
+
+        run_program(main)
+        assert out == {
+            "child_name": "c-child",
+            "join": (OK, 42),
+            "tsd": "tsd",
+        }
+
+    def test_c_style_cancellation_names(self):
+        from repro.core.config import (
+            PTHREAD_CANCELED,
+            PTHREAD_INTR_DISABLE,
+            PTHREAD_INTR_ENABLE,
+        )
+
+        log = []
+
+        def victim(pt):
+            yield c.pthread_setintr(pt, PTHREAD_INTR_DISABLE)
+            yield pt.work(20_000)
+            log.append("protected")
+            yield c.pthread_setintr(pt, PTHREAD_INTR_ENABLE)
+            yield c.pthread_testintr(pt)
+            log.append("unreached")
+
+        def main(pt):
+            t = yield c.pthread_create(pt, victim, name="victim")
+            yield pt.delay_us(100)
+            yield c.pthread_cancel(pt, t)
+            err, value = yield c.pthread_join(pt, t)
+            log.append(value is PTHREAD_CANCELED)
+
+        run_program(main, priority=90)
+        assert log == ["protected", True]

@@ -1,0 +1,219 @@
+"""sigwait, lazy threads, deadlock detection, stack overflow, faults."""
+
+import pytest
+
+from repro.core.attr import ThreadAttr
+from repro.core.errors import EINVAL, OK
+from repro.sim.world import DeadlockError
+from repro.unix.sigset import SIGUSR1, SIGUSR2, SigSet
+from tests.conftest import make_runtime, run_program
+
+
+class TestSigwait:
+    def test_sigwait_consumes_directed_signal(self):
+        out = {}
+
+        def waiter(pt):
+            out["r"] = yield pt.sigwait(SigSet([SIGUSR1, SIGUSR2]))
+
+        def main(pt):
+            t = yield pt.create(waiter, name="waiter")
+            yield pt.delay_us(100)
+            yield pt.kill(t, SIGUSR2)
+            yield pt.join(t)
+
+        run_program(main)
+        assert out["r"] == (OK, SIGUSR2)
+
+    def test_sigwait_returns_already_pending_signal(self):
+        out = {}
+
+        def main(pt):
+            me = yield pt.self_id()
+            from repro.core.signals import SIG_BLOCK
+
+            yield pt.sigmask(SIG_BLOCK, SigSet([SIGUSR1]))
+            yield pt.kill(me, SIGUSR1)  # pends on the thread
+            out["r"] = yield pt.sigwait(SigSet([SIGUSR1]))
+
+        run_program(main)
+        assert out["r"] == (OK, SIGUSR1)
+
+    def test_sigwait_empty_set_rejected(self):
+        out = {}
+
+        def main(pt):
+            out["r"] = yield pt.sigwait(SigSet())
+
+        run_program(main)
+        assert out["r"] == (EINVAL, 0)
+
+    def test_sigwait_catches_external_signal(self):
+        out = {}
+
+        def waiter(pt):
+            out["r"] = yield pt.sigwait(SigSet([SIGUSR1]))
+
+        def main(pt):
+            from repro.core.signals import SIG_BLOCK
+
+            yield pt.sigmask(SIG_BLOCK, SigSet([SIGUSR1]))
+            t = yield pt.create(waiter, name="waiter")
+            yield pt.join(t)
+
+        rt = make_runtime()
+        rt.main(main)
+        rt.world.schedule_in(
+            rt.world.cycles_for_us(1_000),
+            lambda: rt.unix.kill(rt.proc, SIGUSR1),
+            name="ext",
+        )
+        rt.run()
+        assert out["r"] == (OK, SIGUSR1)
+
+    def test_sigwait_set_is_remasked_on_return(self):
+        """Action rule 3: "signals specified in the call to sigwait are
+        masked for the thread" when it wakes."""
+        out = {}
+
+        def waiter(pt):
+            yield pt.sigwait(SigSet([SIGUSR1]))
+            me = yield pt.self_id()
+            out["masked_after"] = SIGUSR1 in me.sigmask
+
+        def main(pt):
+            t = yield pt.create(waiter, name="waiter")
+            yield pt.delay_us(100)
+            yield pt.kill(t, SIGUSR1)
+            yield pt.join(t)
+
+        run_program(main)
+        assert out["masked_after"]
+
+
+class TestLazyThreads:
+    def test_lazy_thread_allocates_nothing_until_needed(self):
+        def body(pt):
+            yield pt.work(1)
+
+        def main(pt):
+            t = yield pt.create(body, attr=ThreadAttr(lazy=True))
+            assert t.stack is None  # no resources yet
+            yield pt.work(10_000)
+            assert t.stack is None  # still dormant
+            err, _ = yield pt.join(t)  # synchronisation activates it
+            assert err == OK
+
+        run_program(main)
+
+    def test_explicit_activation(self):
+        log = []
+
+        def body(pt):
+            log.append("ran")
+            yield pt.work(1)
+
+        def main(pt):
+            t = yield pt.create(body, attr=ThreadAttr(lazy=True))
+            yield pt.activate(t)
+            yield pt.join(t)
+
+        run_program(main)
+        assert log == ["ran"]
+
+    def test_unactivated_lazy_thread_never_runs(self):
+        log = []
+
+        def body(pt):
+            log.append("ran")
+            yield pt.work(1)
+
+        def main(pt):
+            yield pt.create(body, attr=ThreadAttr(lazy=True))
+            yield pt.work(10_000)
+
+        run_program(main)
+        assert log == []
+
+
+class TestFailureModes:
+    def test_deadlock_detected_and_reported(self):
+        def a_body(pt, m1, m2):
+            yield pt.mutex_lock(m1)
+            yield pt.delay_us(100)
+            yield pt.mutex_lock(m2)
+
+        def b_body(pt, m1, m2):
+            yield pt.mutex_lock(m2)
+            yield pt.delay_us(100)
+            yield pt.mutex_lock(m1)
+
+        def main(pt):
+            m1 = yield pt.mutex_init()
+            m2 = yield pt.mutex_init()
+            ta = yield pt.create(a_body, m1, m2, name="A")
+            tb = yield pt.create(b_body, m1, m2, name="B")
+            yield pt.join(ta)
+            yield pt.join(tb)
+
+        with pytest.raises(DeadlockError) as info:
+            run_program(main)
+        message = str(info.value)
+        assert "mutex" in message
+
+    def test_stack_overflow_raises_synchronous_sigsegv(self):
+        """Runaway recursion faults; without a user action the default
+        action terminates the process -- with one, the thread recovers
+        (the Ada runtime maps this to STORAGE_ERROR)."""
+        from repro.unix.sigset import SIGSEGV
+
+        def recurse(pt, n):
+            if n == 0:
+                return 0
+            yield pt.call(recurse, n - 1)
+
+        def main(pt):
+            yield pt.call(recurse, 10_000)
+
+        rt = run_program(main)
+        assert rt.terminated_by == SIGSEGV
+
+    def test_ada_catches_storage_error_on_deep_recursion(self):
+        from repro.ada import AdaRuntime, STORAGE_ERROR
+
+        out = {}
+
+        def deep(pt, n):
+            yield pt.call(deep, n + 1)
+
+        def env(ada):
+            try:
+                yield ada.pt.call(deep, 0)
+            except STORAGE_ERROR:
+                out["caught"] = True
+            yield ada.pt.work(10)
+            out["continued"] = True
+
+        art = AdaRuntime()
+        art.main_task(env)
+        art.run()
+        assert out == {"caught": True, "continued": True}
+
+    def test_unhandled_fault_terminates_process(self):
+        from repro.unix.sigset import SIGSEGV
+
+        def main(pt):
+            yield pt.raise_fault(SIGSEGV)
+
+        rt = run_program(main)
+        assert rt.terminated_by == SIGSEGV
+
+    def test_python_bug_in_thread_code_is_a_program_crash(self):
+        from repro.sim.frames import ProgramCrash
+
+        def main(pt):
+            yield pt.work(1)
+            raise RuntimeError("user bug")
+
+        with pytest.raises(ProgramCrash):
+            run_program(main)

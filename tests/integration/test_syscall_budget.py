@@ -1,0 +1,111 @@
+"""The paper's "few operating system calls" objective, verified.
+
+The library should touch the UNIX kernel mostly at initialisation;
+steady-state thread operations (create/join/yield/mutex/cond) must be
+syscall-free, and signal handling must stay within its two-sigsetmask
+budget.
+"""
+
+from repro.unix.sigset import SIGUSR1
+from tests.conftest import make_runtime, run_program
+
+
+def test_thread_operations_make_no_syscalls():
+    rt = make_runtime()
+
+    def child(pt):
+        yield pt.work(100)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        for _ in range(5):
+            t = yield pt.create(child)
+            yield pt.mutex_lock(m)
+            yield pt.mutex_unlock(m)
+            yield pt.yield_()
+            yield pt.join(t)
+
+    baseline = rt.unix.total_syscalls  # init-time syscalls
+    rt.main(main)
+    rt.run()
+    assert rt.unix.total_syscalls == baseline
+
+
+def test_internal_signals_make_no_syscalls():
+    rt = make_runtime()
+    hits = []
+
+    def handler(pt, sig):
+        hits.append(sig)
+        yield pt.work(1)
+
+    def main(pt):
+        me = yield pt.self_id()
+        yield pt.sigaction(SIGUSR1, handler)
+        for _ in range(4):
+            yield pt.kill(me, SIGUSR1)
+
+    baseline = rt.unix.total_syscalls
+    rt.main(main)
+    rt.run()
+    assert len(hits) == 4
+    assert rt.unix.total_syscalls == baseline
+
+
+def test_initialisation_dominates_syscall_usage():
+    """Most UNIX services are used "for initialization of the Pthreads
+    library and a few other non-time-critical stages"."""
+    rt = make_runtime()
+    init_syscalls = rt.unix.total_syscalls
+    assert init_syscalls >= 25  # sigaction for every maskable signal
+
+    def main(pt):
+        t = yield pt.create(lambda pt2: (yield pt2.work(100)))
+        yield pt.join(t)
+
+    rt.main(main)
+    rt.run()
+    steady = rt.unix.total_syscalls - init_syscalls
+    assert steady <= init_syscalls * 0.2
+
+
+def test_delay_costs_bounded_syscalls():
+    """A sleeping thread needs setitimer arms, nothing more."""
+    rt = make_runtime()
+
+    def main(pt):
+        for _ in range(3):
+            yield pt.delay_us(500)
+
+    baseline = rt.unix.total_syscalls
+    rt.main(main)
+    rt.run()
+    spent = rt.unix.total_syscalls - baseline
+    # Per sleep: one setitimer arm; the wakeup is a signal (sigsetmask
+    # pair) -- so at most ~4 syscalls per delay.
+    assert spent <= 12
+
+
+def test_external_signal_budget_is_two_sigsetmask_plus_nothing():
+    rt = make_runtime()
+
+    def handler(pt, sig):
+        yield pt.work(1)
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        yield pt.work(200_000)
+
+    rt.main(main)
+    rt.world.schedule_in(
+        rt.world.cycles_for_us(1_000),
+        lambda: rt.unix.kill(rt.proc, SIGUSR1),
+        name="ext",
+    )
+    before_mask = rt.unix.syscall_counts["sigsetmask"]
+    before_total = rt.unix.total_syscalls
+    rt.run()
+    assert rt.unix.syscall_counts["sigsetmask"] - before_mask == 2
+    # The kill itself plus the two sigsetmask calls; nothing else.
+    assert rt.unix.total_syscalls - before_total == 3

@@ -1,0 +1,76 @@
+"""Property tests: heap accounting and event-queue ordering."""
+
+from hypothesis import given, strategies as st
+
+from repro.hw.costs import SPARC_IPX
+from repro.hw.clock import VirtualClock
+from repro.hw.memory import Heap
+from repro.sim.events import EventQueue
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=4096)),
+        max_size=60,
+    )
+)
+def test_heap_live_bytes_never_negative_and_exact(ops):
+    heap = Heap(VirtualClock(), SPARC_IPX)
+    live = {}
+    for do_free, size in ops:
+        if do_free and live:
+            addr = next(iter(live))
+            heap.free(addr)
+            del live[addr]
+        else:
+            addr = heap.malloc(size)
+            assert addr not in live  # no double-handing of live blocks
+            live[addr] = size
+        assert heap.live_bytes == sum(live.values())
+        assert heap.live_bytes >= 0
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50
+    )
+)
+def test_events_fire_in_time_then_fifo_order(times):
+    queue = EventQueue()
+    fired = []
+    for index, time in enumerate(times):
+        queue.schedule(
+            time, (lambda i=index, t=time: fired.append((t, i)))
+        )
+    queue.fire_due(10_001)
+    assert fired == sorted(fired)  # by (time, sequence)
+    assert len(fired) == len(times)
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=1_000), min_size=1, max_size=30
+    ),
+    st.integers(min_value=0, max_value=1_000),
+)
+def test_fire_due_respects_horizon(times, horizon):
+    queue = EventQueue()
+    fired = []
+    for time in times:
+        queue.schedule(time, (lambda t=time: fired.append(t)))
+    queue.fire_due(horizon)
+    assert all(t <= horizon for t in fired)
+    assert sorted(fired) == sorted(t for t in times if t <= horizon)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=20))
+def test_cancelled_events_never_fire(times):
+    queue = EventQueue()
+    fired = []
+    events = [
+        queue.schedule(t, (lambda t=t: fired.append(t))) for t in times
+    ]
+    for event in events[::2]:
+        event.cancel()
+    queue.fire_due(1_000)
+    assert len(fired) == len(events[1::2])

@@ -1,0 +1,110 @@
+"""Property tests: priority-protocol invariants under random nesting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import config as cfg
+from repro.core.attr import MutexAttr, ThreadAttr
+from tests.conftest import run_program
+
+protocol_lists = st.lists(
+    st.sampled_from([cfg.PRIO_NONE, cfg.PRIO_INHERIT, cfg.PRIO_PROTECT]),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    protocols=protocol_lists,
+    base_priority=st.integers(min_value=5, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_nested_lock_unlock_restores_base_priority(
+    protocols, base_priority, seed
+):
+    """Whatever mutexes a thread locks and releases (properly nested),
+    its effective priority (a) never drops below base while holding,
+    and (b) returns exactly to base when everything is released."""
+    observations = []
+
+    def worker(pt, mutexes):
+        me = yield pt.self_id()
+        for m in mutexes:
+            yield pt.mutex_lock(m)
+            observations.append(me.effective_priority >= me.base_priority)
+        yield pt.work(500)
+        for m in reversed(mutexes):
+            yield pt.mutex_unlock(m)
+        observations.append(("final", me.effective_priority))
+
+    def main(pt):
+        mutexes = []
+        for protocol in protocols:
+            mutexes.append(
+                (
+                    yield pt.mutex_init(
+                        MutexAttr(protocol=protocol, prioceiling=90)
+                    )
+                )
+            )
+        t = yield pt.create(
+            worker, mutexes, attr=ThreadAttr(priority=base_priority)
+        )
+        yield pt.join(t)
+
+    run_program(main, priority=100, seed=seed)
+    final = [o for o in observations if isinstance(o, tuple)][0]
+    assert final == ("final", base_priority)
+    assert all(o is True for o in observations if o is not final)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    contender_priorities=st.lists(
+        st.integers(min_value=30, max_value=100), min_size=1, max_size=4
+    ),
+    protocol=st.sampled_from([cfg.PRIO_INHERIT, cfg.PRIO_PROTECT]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_holder_never_below_highest_waiter(
+    contender_priorities, protocol, seed
+):
+    """Both protocols guarantee: while anyone waits on the mutex, the
+    holder's effective priority is at least the highest waiter's
+    (ceiling guarantees it statically, inheritance dynamically)."""
+    violations = []
+
+    def holder(pt, m, waiters_box):
+        me = yield pt.self_id()
+        yield pt.mutex_lock(m)
+        for _ in range(6):
+            yield pt.work(3_000)
+            top = m.waiters.highest_priority()
+            if top is not None and me.effective_priority < top:
+                violations.append((me.effective_priority, top))
+        yield pt.mutex_unlock(m)
+
+    def contender(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init(
+            MutexAttr(protocol=protocol, prioceiling=110)
+        )
+        box = []
+        h = yield pt.create(
+            holder, m, box, attr=ThreadAttr(priority=10), name="holder"
+        )
+        yield pt.delay_us(100)
+        for index, prio in enumerate(contender_priorities):
+            yield pt.create(
+                contender, m, attr=ThreadAttr(priority=prio),
+                name="c%d" % index,
+            )
+            yield pt.delay_us(60)
+        yield pt.join(h)
+        yield pt.delay_us(2_000)
+
+    run_program(main, priority=120, seed=seed)
+    assert violations == []

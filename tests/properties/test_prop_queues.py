@@ -1,0 +1,91 @@
+"""Property tests: the ready queue is a faithful priority multi-queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.queues import PrioWaitQueue, ReadyQueue
+from repro.core.tcb import Tcb
+
+
+def _threads(priorities):
+    out = []
+    for index, priority in enumerate(priorities):
+        tcb = Tcb(index, "t%d" % index)
+        tcb.base_priority = priority
+        tcb.effective_priority = priority
+        out.append(tcb)
+    return out
+
+
+priority_lists = st.lists(
+    st.integers(min_value=0, max_value=127), min_size=1, max_size=40
+)
+
+
+@given(priority_lists)
+def test_ready_dequeue_is_priority_then_fifo(priorities):
+    queue = ReadyQueue()
+    threads = _threads(priorities)
+    for tcb in threads:
+        queue.enqueue(tcb)
+    drained = []
+    while True:
+        tcb = queue.dequeue()
+        if tcb is None:
+            break
+        drained.append(tcb)
+    # Stable sort by descending priority gives exactly the same order.
+    expected = sorted(
+        threads, key=lambda t: -t.effective_priority
+    )
+    assert drained == expected
+
+
+@given(priority_lists)
+def test_ready_count_invariant(priorities):
+    queue = ReadyQueue()
+    threads = _threads(priorities)
+    for tcb in threads:
+        queue.enqueue(tcb)
+    assert len(queue) == len(threads)
+    removed = 0
+    for tcb in threads[::2]:
+        assert queue.remove(tcb)
+        removed += 1
+    assert len(queue) == len(threads) - removed
+
+
+@given(priority_lists)
+def test_wait_queue_pop_order_matches_stable_sort(priorities):
+    queue = PrioWaitQueue()
+    threads = _threads(priorities)
+    for tcb in threads:
+        queue.add(tcb)
+    drained = []
+    while queue:
+        drained.append(queue.pop_highest())
+    expected = sorted(threads, key=lambda t: -t.effective_priority)
+    assert drained == expected
+
+
+@given(priority_lists, st.integers(min_value=0, max_value=127))
+def test_wait_queue_resort_keeps_order_correct(priorities, new_priority):
+    queue = PrioWaitQueue()
+    threads = _threads(priorities)
+    for tcb in threads:
+        queue.add(tcb)
+    target = threads[0]
+    target.effective_priority = new_priority
+    queue.resort(target)
+    drained = []
+    while queue:
+        drained.append(queue.pop_highest().effective_priority)
+    assert drained == sorted(drained, reverse=True)
+
+
+@given(priority_lists)
+def test_peek_equals_next_dequeue(priorities):
+    queue = ReadyQueue()
+    for tcb in _threads(priorities):
+        queue.enqueue(tcb)
+    while queue:
+        assert queue.peek() is queue.dequeue()

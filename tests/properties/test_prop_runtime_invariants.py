@@ -1,0 +1,186 @@
+"""Property tests over whole random programs.
+
+Hypothesis generates small random multi-threaded workloads; we assert
+the library's core invariants hold for every interleaving the
+scheduler and policies produce:
+
+- mutual exclusion is never violated;
+- a locked mutex always has an owner;
+- counting semaphores never go negative and conserve permits;
+- every created joinable thread is join-able exactly once and the
+  virtual clock only moves forward.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attr import MutexAttr, ThreadAttr
+from repro.core import config as cfg
+from repro.sched.perverted import make_policy
+from tests.conftest import run_program
+
+policies = st.sampled_from(
+    [cfg.SCHED_FIFO, cfg.SCHED_MUTEX_SWITCH, cfg.SCHED_RR_ORDERED,
+     cfg.SCHED_RANDOM]
+)
+protocols = st.sampled_from([cfg.PRIO_NONE, cfg.PRIO_INHERIT,
+                             cfg.PRIO_PROTECT])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nthreads=st.integers(min_value=2, max_value=5),
+    iters=st.integers(min_value=1, max_value=4),
+    priorities=st.lists(
+        st.integers(min_value=1, max_value=100), min_size=5, max_size=5
+    ),
+    policy_name=policies,
+    protocol=protocols,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_mutual_exclusion_invariant(
+    nthreads, iters, priorities, policy_name, protocol, seed
+):
+    state = {"inside": 0, "violations": 0, "entries": 0}
+
+    def worker(pt, m, burst):
+        for _ in range(iters):
+            yield pt.mutex_lock(m)
+            state["inside"] += 1
+            if state["inside"] > 1:
+                state["violations"] += 1
+            state["entries"] += 1
+            yield pt.work(burst)
+            assert m.owner is not None  # locked implies owned
+            state["inside"] -= 1
+            yield pt.mutex_unlock(m)
+            yield pt.work(burst // 2 + 1)
+
+    def main(pt):
+        m = yield pt.mutex_init(
+            MutexAttr(protocol=protocol, prioceiling=110)
+        )
+        threads = []
+        for i in range(nthreads):
+            threads.append(
+                (
+                    yield pt.create(
+                        worker,
+                        m,
+                        50 + 37 * i,
+                        attr=ThreadAttr(priority=priorities[i]),
+                    )
+                )
+            )
+        for t in threads:
+            yield pt.join(t)
+
+    run_program(
+        main,
+        priority=110,
+        policy=make_policy(policy_name, seed=seed),
+        seed=seed,
+    )
+    assert state["violations"] == 0
+    assert state["entries"] == nthreads * iters
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    permits=st.integers(min_value=0, max_value=3),
+    nthreads=st.integers(min_value=1, max_value=4),
+    posts_each=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+    policy_name=policies,
+)
+def test_semaphore_conservation(
+    permits, nthreads, posts_each, seed, policy_name
+):
+    taken = {"count": 0}
+
+    def poster(pt, sem):
+        for _ in range(posts_each):
+            yield pt.sem_post(sem)
+            yield pt.work(20)
+
+    def taker(pt, sem, n):
+        for _ in range(n):
+            yield pt.sem_wait(sem)
+            taken["count"] += 1
+            assert sem.count >= 0
+
+    def main(pt):
+        sem = yield pt.sem_init(permits)
+        total = permits + nthreads * posts_each
+        t = yield pt.create(taker, sem, total)
+        posters = []
+        for _ in range(nthreads):
+            posters.append((yield pt.create(poster, sem)))
+        for p in posters:
+            yield pt.join(p)
+        yield pt.join(t)
+        assert sem.count == 0
+
+    run_program(main, policy=make_policy(policy_name, seed=seed), seed=seed)
+    assert taken["count"] == permits + nthreads * posts_each
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nthreads=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_every_joinable_thread_joins_once_and_time_moves_forward(
+    nthreads, seed
+):
+    def worker(pt, n):
+        yield pt.work(10 * n + 1)
+        return n
+
+    def main(pt):
+        world = pt.runtime.world
+        last = world.now
+        threads = []
+        for i in range(nthreads):
+            threads.append((yield pt.create(worker, i)))
+            assert world.now >= last
+            last = world.now
+        results = []
+        for t in threads:
+            err, value = yield pt.join(t)
+            results.append((err, value))
+        assert results == [(0, i) for i in range(nthreads)]
+
+    rt = run_program(main, seed=seed)
+    # All workers reclaimed; only main may remain.
+    assert all(
+        t.reclaimed or t.name == "main" for t in rt.threads.values()
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    waiters=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_broadcast_wakes_every_waiter_exactly_once(waiters, seed):
+    woke = []
+
+    def waiter(pt, m, cv, i):
+        yield pt.mutex_lock(m)
+        yield pt.cond_wait(cv, m)
+        woke.append(i)
+        yield pt.mutex_unlock(m)
+
+    def main(pt):
+        m = yield pt.mutex_init()
+        cv = yield pt.cond_init()
+        ts = []
+        for i in range(waiters):
+            ts.append((yield pt.create(waiter, m, cv, i)))
+        yield pt.delay_us(300)
+        yield pt.cond_broadcast(cv)
+        for t in ts:
+            yield pt.join(t)
+
+    run_program(main, priority=110, seed=seed)
+    assert sorted(woke) == list(range(waiters))

@@ -1,0 +1,68 @@
+"""Property tests: signal sets behave as sets over [1, NSIG)."""
+
+from hypothesis import given, strategies as st
+
+from repro.unix.sigset import NSIG, UNMASKABLE, SigSet
+
+maskable = st.integers(min_value=1, max_value=NSIG - 1).filter(
+    lambda s: s not in UNMASKABLE
+)
+sig_lists = st.lists(maskable, max_size=20)
+
+
+@given(sig_lists)
+def test_constructor_matches_adds(signals):
+    built = SigSet(signals)
+    added = SigSet()
+    for sig in signals:
+        added.add(sig)
+    assert built == added
+
+
+@given(sig_lists, sig_lists)
+def test_union_matches_python_sets(a, b):
+    union = SigSet(a) | SigSet(b)
+    assert union.signals() == set(a) | set(b)
+
+
+@given(sig_lists, sig_lists)
+def test_intersection_matches_python_sets(a, b):
+    inter = SigSet(a) & SigSet(b)
+    assert inter.signals() == set(a) & set(b)
+
+
+@given(sig_lists, sig_lists)
+def test_difference_matches_python_sets(a, b):
+    diff = SigSet(a) - SigSet(b)
+    assert diff.signals() == set(a) - set(b)
+
+
+@given(sig_lists)
+def test_copy_equal_but_independent(signals):
+    original = SigSet(signals)
+    clone = original.copy()
+    assert clone == original
+    for sig in list(clone):
+        clone.discard(sig)
+    assert original == SigSet(signals)
+
+
+@given(sig_lists, maskable)
+def test_add_discard_roundtrip(signals, sig):
+    s = SigSet(signals)
+    s.add(sig)
+    assert sig in s
+    s.discard(sig)
+    assert sig not in s
+
+
+@given(sig_lists)
+def test_len_matches_cardinality(signals):
+    assert len(SigSet(signals)) == len(set(signals))
+
+
+@given(sig_lists)
+def test_full_contains_everything_maskable(signals):
+    full = SigSet.full()
+    for sig in signals:
+        assert sig in full

@@ -1,0 +1,130 @@
+"""Unit tests: the PT facade, the dual-loop timer, and reporting."""
+
+import pytest
+
+from repro.bench.dualloop import DualLoopTimer, LOOP_OVERHEAD_CYCLES
+from repro.bench.reporting import format_table2
+from repro.bench.table2 import PAPER_TABLE2, ROWS_BY_KEY
+from repro.core.api import PT
+from repro.sim.ops import Invoke, LibCall, SysCall, Work
+from repro.sim.world import World
+from tests.conftest import make_runtime
+
+
+class TestPtFacade:
+    @pytest.fixture
+    def pt(self):
+        return PT(make_runtime())
+
+    def test_work_builds_work_op(self, pt):
+        op = pt.work(123)
+        assert isinstance(op, Work) and op.cycles == 123
+
+    def test_work_us_converts(self, pt):
+        op = pt.work_us(1.0)  # 1 us on the IPX = 40 cycles
+        assert op.cycles == 40
+
+    def test_charge_uses_model_cost(self, pt):
+        op = pt.charge("enter_kernel")
+        assert op.cycles == pt.runtime.world.model.cost("enter_kernel")
+
+    def test_call_builds_invoke(self, pt):
+        def fn(pt2):
+            yield pt2.work(1)
+
+        op = pt.call(fn, 1, key=2)
+        assert isinstance(op, Invoke)
+        assert op.fn is fn and op.args == (1,) and op.kwargs == {"key": 2}
+
+    def test_every_libcall_name_is_registered(self, pt):
+        """Each LibCall the facade can build must resolve to a library
+        entry point -- no dangling names."""
+        registry = pt.runtime.registry
+        samples = [
+            pt.create(lambda p: None), pt.join(None), pt.detach(None),
+            pt.exit(), pt.self_id(), pt.yield_(), pt.equal(None, None),
+            pt.setprio(None, 1), pt.getprio(None),
+            pt.setschedparam(None, None, 1), pt.getschedparam(None),
+            pt.activate(None), pt.mutex_init(), pt.mutex_destroy(None),
+            pt.mutex_lock(None), pt.mutex_trylock(None),
+            pt.mutex_unlock(None), pt.mutex_setprioceiling(None, 1),
+            pt.mutex_getprioceiling(None), pt.cond_init(),
+            pt.cond_destroy(None), pt.cond_wait(None, None),
+            pt.cond_timedwait(None, None, 1.0), pt.cond_signal(None),
+            pt.cond_broadcast(None), pt.sem_init(), pt.sem_destroy(None),
+            pt.sem_trywait(None), pt.sem_getvalue(None),
+            pt.sigaction(1, None), pt.sigmask("block"),
+            pt.kill(None, 1), pt.sigwait(None), pt.thread_sigpending(),
+            pt.sig_redirect(lambda p: None), pt.cancel(None),
+            pt.setintr("enable"), pt.setintrtype("controlled"),
+            pt.testintr(), pt.cleanup_push(lambda p, a: None),
+            pt.cleanup_pop(), pt.key_create(), pt.key_delete(1),
+            pt.setspecific(1, None), pt.getspecific(1),
+            pt.once(None, None), pt.delay_us(1.0),
+            pt.read(1, 1), pt.write(1, 1), pt.jmp_buf(),
+            pt.setjmp_block(None, None), pt.longjmp(None),
+            pt.rwlock_init(), pt.barrier_init(2),
+        ]
+        for op in samples:
+            if isinstance(op, LibCall):
+                assert op.name in registry, op.name
+
+    def test_unix_ops_are_syscalls(self, pt):
+        assert isinstance(pt.unix_getpid(), SysCall)
+        assert isinstance(pt.raise_fault(8), SysCall)
+
+    def test_sem_bodies_are_invokes(self, pt):
+        assert isinstance(pt.sem_wait(None), Invoke)
+        assert isinstance(pt.sem_post(None), Invoke)
+        assert isinstance(pt.rwlock_rdlock(None), Invoke)
+        assert isinstance(pt.barrier_wait(None), Invoke)
+
+    def test_work_rejects_negative(self, pt):
+        with pytest.raises(ValueError):
+            pt.work(-1)
+
+
+class TestDualLoop:
+    def test_interval_arithmetic(self):
+        world = World("sparc-ipx")
+        timer = DualLoopTimer(world)
+        timer.start()
+        world.spend_cycles(400)
+        timer.stop()
+        assert timer.total_cycles() == 400
+        assert timer.mean_us() == world.us(400)
+
+    def test_stop_without_start(self):
+        timer = DualLoopTimer(World("sparc-ipx"))
+        with pytest.raises(RuntimeError):
+            timer.stop()
+
+    def test_per_op_subtracts_loop_overhead(self):
+        world = World("sparc-ipx")
+        timer = DualLoopTimer(world)
+        ops = 10
+        timer.record_interval(0, 1000 + LOOP_OVERHEAD_CYCLES * ops)
+        assert timer.per_op_us(1, ops) == pytest.approx(
+            world.us(1000) / ops
+        )
+
+    def test_bad_interval(self):
+        timer = DualLoopTimer(World("sparc-ipx"))
+        with pytest.raises(ValueError):
+            timer.record_interval(10, 5)
+
+
+class TestReporting:
+    def test_format_includes_every_row_and_measured(self):
+        measured = {row.key: 1.0 for row in PAPER_TABLE2}
+        text = format_table2(measured, measured)
+        for row in PAPER_TABLE2:
+            assert row.label in text
+
+    def test_missing_measurements_render_dashes(self):
+        text = format_table2({}, {})
+        assert "-" in text
+
+    def test_rows_by_key_complete(self):
+        assert set(ROWS_BY_KEY) == {row.key for row in PAPER_TABLE2}
+        assert len(PAPER_TABLE2) == 12

@@ -1,0 +1,78 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.hw.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().cycles == 0
+
+
+def test_custom_start():
+    assert VirtualClock(start=100).cycles == 100
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(start=-1)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(10)
+    clock.advance(5)
+    assert clock.cycles == 15
+
+
+def test_advance_zero_is_noop():
+    clock = VirtualClock()
+    clock.advance(0)
+    assert clock.cycles == 0
+
+
+def test_advance_backwards_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_advance_to_absolute():
+    clock = VirtualClock()
+    clock.advance_to(42)
+    assert clock.cycles == 42
+
+
+def test_advance_to_past_rejected():
+    clock = VirtualClock()
+    clock.advance(10)
+    with pytest.raises(ValueError):
+        clock.advance_to(5)
+
+
+def test_watchers_see_before_and_after():
+    clock = VirtualClock()
+    seen = []
+    clock.add_watcher(lambda before, after: seen.append((before, after)))
+    clock.advance(3)
+    clock.advance(4)
+    assert seen == [(0, 3), (3, 7)]
+
+
+def test_watcher_not_called_on_zero_advance():
+    clock = VirtualClock()
+    seen = []
+    clock.add_watcher(lambda b, a: seen.append(1))
+    clock.advance(0)
+    assert seen == []
+
+
+def test_remove_watcher():
+    clock = VirtualClock()
+    seen = []
+    watcher = lambda b, a: seen.append(1)  # noqa: E731
+    clock.add_watcher(watcher)
+    clock.advance(1)
+    clock.remove_watcher(watcher)
+    clock.advance(1)
+    assert seen == [1]

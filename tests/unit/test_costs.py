@@ -1,0 +1,74 @@
+"""Unit tests for the CPU cost models."""
+
+import pytest
+
+from repro.hw import costs
+from repro.hw.costs import (
+    SPARC_1PLUS,
+    SPARC_IPX,
+    CostModel,
+    all_cost_keys,
+    cost_model,
+)
+
+
+def test_lookup_by_name():
+    assert cost_model("sparc-ipx") is SPARC_IPX
+    assert cost_model("sparc-1+") is SPARC_1PLUS
+
+
+def test_lookup_aliases():
+    assert cost_model("ipx") is SPARC_IPX
+    assert cost_model("SPARC1+") is SPARC_1PLUS
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError):
+        cost_model("vax-11/780")
+
+
+def test_clock_rates_match_the_machines():
+    assert SPARC_1PLUS.mhz == 25.0
+    assert SPARC_IPX.mhz == 40.0
+
+
+def test_us_conversion():
+    assert SPARC_IPX.us(40) == 1.0
+    assert SPARC_1PLUS.us(25) == 1.0
+
+
+def test_cycles_for_us_roundtrip():
+    assert SPARC_IPX.cycles_for_us(2.5) == 100
+    assert SPARC_1PLUS.cycles_for_us(4.0) == 100
+
+
+def test_overrides_take_precedence():
+    model = CostModel("test", 1.0, overrides={costs.INSN: 99})
+    assert model.cost(costs.INSN) == 99
+    assert model.cost(costs.CALL) == all_cost_keys()[costs.CALL]
+
+
+def test_unknown_cost_key_fails_loudly():
+    with pytest.raises(KeyError):
+        SPARC_IPX.cost("no-such-primitive")
+
+
+def test_every_default_key_resolves_on_both_models():
+    for key in all_cost_keys():
+        assert SPARC_IPX.cost(key) >= 0
+        assert SPARC_1PLUS.cost(key) >= 0
+
+
+def test_kernel_enter_exit_is_far_cheaper_than_syscall():
+    """The paper's headline: library kernel << UNIX kernel."""
+    for model in (SPARC_IPX, SPARC_1PLUS):
+        lib = model.cost(costs.ENTER_KERNEL) + model.cost(costs.LEAVE_KERNEL)
+        unix = model.cost(costs.SYSCALL)
+        assert unix > 10 * lib
+
+
+def test_flush_dominates_light_traps():
+    for model in (SPARC_IPX, SPARC_1PLUS):
+        assert model.cost(costs.FLUSH_WINDOWS_TRAP) > 3 * model.cost(
+            costs.WINDOW_FILL_TRAP
+        )

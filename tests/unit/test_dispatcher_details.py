@@ -1,0 +1,160 @@
+"""Dispatcher fine points: Figure 2 ordering, head-vs-tail queueing,
+window-trap accounting, on-CPU tracking across idle gaps."""
+
+from repro.core.attr import ThreadAttr
+from repro.core.tcb import ThreadState
+from tests.conftest import make_runtime, run_program
+
+
+class TestPreemptionPlacement:
+    def test_preempted_thread_resumes_before_equal_priority_peers(self):
+        """POSIX: a preempted thread goes to the *head* of its level,
+        so it runs again before FIFO peers of the same priority."""
+        order = []
+
+        def burst(pt, tag):
+            order.append(tag + "-start")
+            yield pt.work(20_000)
+            order.append(tag + "-end")
+
+        def high(pt):
+            yield pt.work(1_000)
+
+        def main(pt):
+            a = yield pt.create(burst, "a", attr=ThreadAttr(priority=50),
+                                name="a")
+            b = yield pt.create(burst, "b", attr=ThreadAttr(priority=50),
+                                name="b")
+            yield pt.delay_us(100)  # 'a' starts its burst
+            # Wake a higher-priority thread: 'a' is preempted.
+            h = yield pt.create(high, attr=ThreadAttr(priority=90),
+                                name="h")
+            for t in (a, b, h):
+                yield pt.join(t)
+
+        run_program(main, priority=95)
+        # 'a' must complete before 'b' starts, despite the preemption.
+        assert order.index("a-end") < order.index("b-start")
+
+    def test_yield_with_empty_queue_keeps_running(self):
+        def main(pt):
+            before = pt.runtime.dispatcher.context_switches
+            yield pt.yield_()  # nobody else: no switch
+            assert pt.runtime.dispatcher.context_switches == before
+
+        run_program(main)
+
+
+class TestWindowAccounting:
+    def test_flush_and_refill_per_context_switch(self):
+        def partner(pt):
+            for _ in range(5):
+                yield pt.yield_()
+
+        def main(pt):
+            t = yield pt.create(partner)
+            for _ in range(5):
+                yield pt.yield_()
+            yield pt.join(t)
+
+        rt = run_program(main)
+        windows = rt.world.windows
+        # Every genuine switch flushed the outgoing windows and took
+        # one bulk refill.
+        assert windows.flush_traps >= 10
+        assert windows.underflow_traps >= windows.flush_traps
+
+    def test_no_flush_when_no_switch(self):
+        def main(pt):
+            yield pt.work(1_000)
+
+        rt = run_program(main)
+        # Only the initial dispatch (idle -> main): no outgoing thread.
+        assert rt.world.windows.flush_traps == 0
+
+
+class TestOnCpuAcrossIdle:
+    def test_windows_flushed_when_resuming_after_idle_gap(self):
+        """A thread that slept leaves its windows on the CPU; when a
+        *different* thread runs next, the flush must still be charged
+        (the registers are physically there)."""
+
+        def sleeper(pt):
+            yield pt.delay_us(500)  # system idles: windows stay put
+            yield pt.work(10)
+
+        def other(pt):
+            yield pt.work(10)
+
+        def main(pt):
+            t = yield pt.create(sleeper, name="sleeper")
+            yield pt.join(t)
+            t2 = yield pt.create(other, name="other")
+            yield pt.join(t2)
+
+        rt = run_program(main)
+        assert rt.world.windows.flush_traps >= 2
+
+    def test_resuming_same_thread_after_idle_skips_the_traps(self):
+        def main(pt):
+            yield pt.delay_us(500)  # idle gap, nobody else runs
+            yield pt.work(10)
+
+        rt = run_program(main)
+        windows = rt.world.windows
+        # main -> idle -> main: its windows never left the CPU.
+        assert windows.flush_traps == 0
+
+
+class TestStateMachine:
+    def test_states_follow_lifecycle(self):
+        seen = []
+
+        def child(pt, target_box):
+            seen.append(target_box[0].state)
+            yield pt.delay_us(100)
+            return 0
+
+        def main(pt):
+            box = [None]
+            t = yield pt.create(child, box)
+            box[0] = t
+            assert t.state is ThreadState.READY
+            err, _ = yield pt.join(t)
+            assert t.state is ThreadState.TERMINATED
+
+        run_program(main)
+        assert seen == [ThreadState.RUNNING]
+
+    def test_current_thread_always_has_top_priority_among_ready(self):
+        """Under default scheduling, whenever user code runs, nothing
+        strictly higher-priority sits in the ready queue."""
+        violations = []
+
+        def watcher(pt, tag):
+            for _ in range(10):
+                rt = pt.runtime
+                me = rt.current
+                head = rt.sched.ready.peek()
+                if head and (
+                    head.effective_priority > me.effective_priority
+                ):
+                    violations.append((tag, head.name))
+                yield pt.work(137)
+                yield pt.yield_()
+
+        def main(pt):
+            ts = []
+            for i, prio in enumerate((30, 60, 90)):
+                ts.append(
+                    (
+                        yield pt.create(
+                            watcher, i, attr=ThreadAttr(priority=prio)
+                        )
+                    )
+                )
+            for t in ts:
+                yield pt.join(t)
+
+        run_program(main, priority=95)
+        assert violations == []

@@ -1,0 +1,149 @@
+"""Unit tests for simulated frames."""
+
+import pytest
+
+from repro.sim.frames import Frame, FrameStack, ProgramCrash, SimException
+
+
+def _frame(gen_fn, *args, **kwargs):
+    return Frame(gen_fn(*args), name=gen_fn.__name__, **kwargs)
+
+
+def test_resume_yields_ops():
+    def body():
+        yield "op1"
+        yield "op2"
+
+    frame = _frame(body)
+    assert frame.resume() == ("op", "op1")
+    assert frame.resume() == ("op", "op2")
+
+
+def test_return_value_propagates():
+    def body():
+        yield "x"
+        return 42
+
+    frame = _frame(body)
+    frame.resume()
+    assert frame.resume() == ("return", 42)
+
+
+def test_pending_value_delivered_at_yield():
+    got = []
+
+    def body():
+        got.append((yield "ask"))
+
+    frame = _frame(body)
+    frame.resume()
+    frame.pending_value = "answer"
+    frame.resume()
+    assert got == ["answer"]
+
+
+def test_pending_exc_thrown_into_generator():
+    caught = []
+
+    def body():
+        try:
+            yield "x"
+        except KeyError as exc:
+            caught.append(exc)
+
+    frame = _frame(body)
+    frame.resume()
+    frame.pending_exc = KeyError("boom")
+    frame.resume()
+    assert caught
+
+
+def test_python_error_becomes_program_crash():
+    def body():
+        yield "x"
+        raise RuntimeError("oops")
+
+    frame = _frame(body)
+    frame.resume()
+    with pytest.raises(ProgramCrash) as info:
+        frame.resume()
+    assert isinstance(info.value.original, RuntimeError)
+
+
+def test_sim_exception_reported_not_crashed():
+    class MyExc(SimException):
+        pass
+
+    def body():
+        yield "x"
+        raise MyExc("sim-level")
+
+    frame = _frame(body)
+    frame.resume()
+    kind, exc = frame.resume()
+    assert kind == "raise"
+    assert isinstance(exc, MyExc)
+
+
+def test_close_runs_finally():
+    cleaned = []
+
+    def body():
+        try:
+            yield "x"
+        finally:
+            cleaned.append(True)
+
+    frame = _frame(body)
+    frame.resume()
+    frame.close()
+    assert cleaned == [True]
+
+
+def test_stack_push_pop():
+    stack = FrameStack()
+
+    def body():
+        yield
+
+    a = _frame(body)
+    b = _frame(body)
+    stack.push(a)
+    stack.push(b)
+    assert stack.top is b
+    assert stack.pop() is b
+    assert stack.top is a
+
+
+def test_stack_unwind_to_depth():
+    stack = FrameStack()
+
+    def body():
+        yield
+
+    frames = [_frame(body) for _ in range(4)]
+    for frame in frames:
+        stack.push(frame)
+    dropped = stack.unwind_to(1)
+    assert len(dropped) == 3
+    assert stack.depth() == 1
+    assert stack.top is frames[0]
+
+
+def test_unwind_bad_depth():
+    stack = FrameStack()
+    with pytest.raises(ValueError):
+        stack.unwind_to(5)
+
+
+def test_empty_stack_top_raises():
+    with pytest.raises(IndexError):
+        FrameStack().top
+
+
+def test_deliver_to_caller_default_true():
+    def body():
+        yield
+
+    assert _frame(body).deliver_to_caller
+    assert not _frame(body, deliver_to_caller=False).deliver_to_caller

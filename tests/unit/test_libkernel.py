@@ -1,0 +1,119 @@
+"""Unit tests for the monolithic-monitor library kernel and dispatcher."""
+
+import pytest
+
+from repro.core.errors import PthreadsInternalError
+from repro.unix.signals import SigCause
+from repro.unix.sigset import SIGUSR1
+from tests.conftest import make_runtime, run_program
+
+
+class TestKernelFlag:
+    def test_enter_sets_flag(self):
+        rt = make_runtime()
+        rt.kern.enter()
+        assert rt.kern.kernel_flag
+        rt.kern.leave()
+        assert not rt.kern.kernel_flag
+
+    def test_monitor_not_reentrant(self):
+        rt = make_runtime()
+        rt.kern.enter()
+        with pytest.raises(PthreadsInternalError):
+            rt.kern.enter()
+
+    def test_leave_outside_rejected(self):
+        rt = make_runtime()
+        with pytest.raises(PthreadsInternalError):
+            rt.kern.leave()
+
+    def test_enter_exit_cost_matches_table2(self):
+        rt = make_runtime()
+        before = rt.world.now
+        rt.kern.enter()
+        rt.kern.leave()
+        assert rt.world.us(rt.world.now - before) == pytest.approx(0.4)
+
+    def test_log_deferred_sets_dispatcher_flag(self):
+        rt = make_runtime()
+        rt.kern.enter()
+        rt.kern.log_deferred(SIGUSR1, SigCause())
+        assert rt.kern.dispatcher_flag
+        assert rt.kern.deferred_signals
+
+
+class TestDeferredSignals:
+    def test_signal_during_kernel_section_is_deferred_then_handled(self):
+        """A signal landing while the kernel flag is set must be logged
+        and processed by the dispatcher (Figure 2's restart path)."""
+        hits = []
+
+        def handler(pt, sig):
+            hits.append(sig)
+            return
+            yield  # pragma: no cover
+
+        def main(pt):
+            yield pt.sigaction(SIGUSR1, handler)
+            # Arrange an external signal to land *inside* the kernel
+            # section of a later library call.
+            rt = pt.runtime
+            target = rt.world.now + rt.world.model.cost("enter_kernel") + 1
+
+            def sender():
+                assert rt.kern.kernel_flag  # it really lands inside
+                rt.unix.kill(rt.proc, SIGUSR1)
+
+            # The yield below enters the kernel; the event fires within.
+            rt.world.schedule_at(target, sender, name="in-kernel-signal")
+            yield pt.yield_()
+            yield pt.work(100)
+
+        rt = run_program(main)
+        assert hits == [SIGUSR1]
+        assert rt.dispatcher.signal_restarts >= 1
+
+    def test_restart_counter_zero_without_signals(self):
+        def main(pt):
+            yield pt.yield_()
+
+        rt = run_program(main)
+        assert rt.dispatcher.signal_restarts == 0
+
+
+class TestDispatcherAccounting:
+    def test_context_switches_counted(self):
+        def child(pt):
+            yield pt.yield_()
+
+        def main(pt):
+            t = yield pt.create(child)
+            yield pt.join(t)
+
+        rt = run_program(main)
+        assert rt.dispatcher.context_switches >= 2
+
+    def test_no_switch_when_runner_outranks_ready(self):
+        def child(pt):
+            yield pt.work(10)
+
+        def main(pt):
+            yield pt.create(child, attr=None)
+            before = pt.runtime.dispatcher.context_switches
+            yield pt.work(50)
+            # Same priority: creation must not have preempted us.
+            assert pt.runtime.dispatcher.context_switches == before
+
+        run_program(main)
+
+    def test_idle_dispatch_emits_idle_marker(self):
+        from repro.debug.trace import Tracer
+
+        def main(pt):
+            yield pt.delay_us(100)  # everyone blocked: CPU idles
+
+        tracer = Tracer()
+        run_program(main, trace=tracer)
+        idles = [r for r in tracer.of_kind("dispatch")
+                 if r["thread"] == "<idle>"]
+        assert idles

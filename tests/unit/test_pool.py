@@ -1,0 +1,73 @@
+"""Unit tests for the TCB/stack pool."""
+
+import pytest
+
+from repro.hw.costs import SPARC_IPX
+from repro.hw.memory import Heap
+from repro.core.pool import ThreadPool
+
+
+def _make(size, stack_size=8192):
+    from repro.sim.world import World
+
+    world = World("sparc-ipx")
+    heap = Heap(world.clock, SPARC_IPX)
+    return world, heap, ThreadPool(world, heap, size, stack_size)
+
+
+def test_prefill():
+    world, heap, pool = _make(4)
+    assert len(pool) == 4
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        _make(-1)
+
+
+def test_hit_is_cheap_miss_is_expensive():
+    world, heap, pool = _make(1)
+    t0 = world.now
+    pool.acquire()
+    hit_cost = world.now - t0
+    t0 = world.now
+    pool.acquire()  # pool empty -> dynamic allocation
+    miss_cost = world.now - t0
+    assert pool.hits == 1
+    assert pool.misses == 1
+    assert miss_cost > 5 * hit_cost
+
+
+def test_release_refills_pool():
+    world, heap, pool = _make(1)
+    addr, stack = pool.acquire()
+    assert len(pool) == 0
+    pool.release(addr, stack)
+    assert len(pool) == 1
+    assert pool.returns == 1
+
+
+def test_recycled_stack_is_reset():
+    world, heap, pool = _make(1)
+    addr, stack = pool.acquire()
+    stack.push(100)
+    pool.release(addr, stack)
+    addr2, stack2 = pool.acquire()
+    assert stack2.used == 0
+
+
+def test_oversize_request_bypasses_pool():
+    world, heap, pool = _make(2, stack_size=4096)
+    addr, stack = pool.acquire(stack_size=64 * 1024)
+    assert stack.size == 64 * 1024
+    assert pool.misses == 1
+    assert len(pool) == 2  # untouched
+
+
+def test_oversize_release_freed_not_pooled():
+    world, heap, pool = _make(1, stack_size=4096)
+    addr, stack = pool.acquire(stack_size=16 * 1024)
+    live = heap.live_bytes
+    pool.release(addr, stack)
+    assert heap.live_bytes < live
+    assert len(pool) == 1

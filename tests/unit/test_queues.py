@@ -1,0 +1,133 @@
+"""Unit tests for the ready queue and priority wait queues."""
+
+from repro.core.queues import PrioWaitQueue, ReadyQueue
+from repro.core.tcb import Tcb
+
+
+def _tcb(name, prio):
+    tcb = Tcb(hash(name) % 10_000, name)
+    tcb.base_priority = prio
+    tcb.effective_priority = prio
+    return tcb
+
+
+class TestReadyQueue:
+    def test_highest_priority_first(self):
+        queue = ReadyQueue()
+        low, high = _tcb("low", 10), _tcb("high", 90)
+        queue.enqueue(low)
+        queue.enqueue(high)
+        assert queue.dequeue() is high
+        assert queue.dequeue() is low
+        assert queue.dequeue() is None
+
+    def test_fifo_within_level(self):
+        queue = ReadyQueue()
+        a, b = _tcb("a", 50), _tcb("b", 50)
+        queue.enqueue(a)
+        queue.enqueue(b)
+        assert queue.dequeue() is a
+
+    def test_front_insertion(self):
+        queue = ReadyQueue()
+        a, b = _tcb("a", 50), _tcb("b", 50)
+        queue.enqueue(a)
+        queue.enqueue(b, front=True)
+        assert queue.dequeue() is b
+
+    def test_peek_does_not_remove(self):
+        queue = ReadyQueue()
+        a = _tcb("a", 5)
+        queue.enqueue(a)
+        assert queue.peek() is a
+        assert len(queue) == 1
+
+    def test_remove_specific(self):
+        queue = ReadyQueue()
+        a, b = _tcb("a", 50), _tcb("b", 60)
+        queue.enqueue(a)
+        queue.enqueue(b)
+        assert queue.remove(a)
+        assert not queue.remove(a)
+        assert queue.dequeue() is b
+
+    def test_contains(self):
+        queue = ReadyQueue()
+        a = _tcb("a", 50)
+        assert a not in queue
+        queue.enqueue(a)
+        assert a in queue
+
+    def test_reposition_after_priority_change(self):
+        queue = ReadyQueue()
+        a, b = _tcb("a", 50), _tcb("b", 60)
+        queue.enqueue(a)
+        queue.enqueue(b)
+        a.effective_priority = 70
+        queue.reposition(a)
+        assert queue.dequeue() is a
+
+    def test_lowest_tail_goes_behind_everyone(self):
+        queue = ReadyQueue()
+        mid, low = _tcb("mid", 50), _tcb("low", 10)
+        queue.enqueue(mid)
+        queue.enqueue(low)
+        pervert = _tcb("pervert", 90)
+        queue.enqueue_lowest_tail(pervert)
+        assert queue.dequeue() is mid
+        assert queue.dequeue() is low
+        assert queue.dequeue() is pervert
+
+    def test_lowest_tail_into_empty_queue(self):
+        queue = ReadyQueue()
+        a = _tcb("a", 90)
+        queue.enqueue_lowest_tail(a)
+        assert queue.dequeue() is a
+
+    def test_threads_listing_order(self):
+        queue = ReadyQueue()
+        a, b, c = _tcb("a", 10), _tcb("b", 90), _tcb("c", 90)
+        for t in (a, b, c):
+            queue.enqueue(t)
+        assert queue.threads() == [b, c, a]
+
+
+class TestPrioWaitQueue:
+    def test_pop_highest(self):
+        queue = PrioWaitQueue()
+        low, high = _tcb("low", 10), _tcb("high", 90)
+        queue.add(low)
+        queue.add(high)
+        assert queue.pop_highest() is high
+
+    def test_fifo_among_equals(self):
+        queue = PrioWaitQueue()
+        a, b = _tcb("a", 50), _tcb("b", 50)
+        queue.add(a)
+        queue.add(b)
+        assert queue.pop_highest() is a
+
+    def test_empty_pop(self):
+        assert PrioWaitQueue().pop_highest() is None
+
+    def test_remove(self):
+        queue = PrioWaitQueue()
+        a = _tcb("a", 50)
+        queue.add(a)
+        assert queue.remove(a)
+        assert not queue.remove(a)
+
+    def test_resort_after_boost(self):
+        queue = PrioWaitQueue()
+        a, b = _tcb("a", 40), _tcb("b", 50)
+        queue.add(a)
+        queue.add(b)
+        a.effective_priority = 60  # priority inheritance boost
+        queue.resort(a)
+        assert queue.pop_highest() is a
+
+    def test_highest_priority_value(self):
+        queue = PrioWaitQueue()
+        assert queue.highest_priority() is None
+        queue.add(_tcb("a", 33))
+        assert queue.highest_priority() == 33

@@ -1,0 +1,86 @@
+"""Unit tests for the register-window model."""
+
+import pytest
+
+from repro.hw.clock import VirtualClock
+from repro.hw.costs import SPARC_IPX
+from repro.hw.registers import RegisterWindows
+
+
+def _windows(nwindows=8):
+    clock = VirtualClock()
+    return clock, RegisterWindows(clock, SPARC_IPX, nwindows=nwindows)
+
+
+def test_needs_two_windows():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        RegisterWindows(clock, SPARC_IPX, nwindows=1)
+
+
+def test_save_rotates_without_trap_while_room():
+    clock, win = _windows()
+    for _ in range(6):  # 7 usable, starting at 1
+        win.save()
+    assert win.overflow_traps == 0
+    assert win.active == 7
+
+
+def test_save_overflows_when_full():
+    clock, win = _windows()
+    for _ in range(6):
+        win.save()
+    before = clock.cycles
+    win.save()
+    assert win.overflow_traps == 1
+    assert win.active == 7  # stays pegged at the usable max
+    assert clock.cycles - before >= SPARC_IPX.cost("window_overflow_trap")
+
+
+def test_restore_without_trap_when_windows_live():
+    clock, win = _windows()
+    win.save()
+    win.restore()
+    assert win.underflow_traps == 0
+    assert win.active == 1
+
+
+def test_restore_fill_traps_when_empty():
+    clock, win = _windows()
+    before = clock.cycles
+    win.restore()
+    assert win.underflow_traps == 1
+    assert clock.cycles - before >= SPARC_IPX.cost("window_fill_trap")
+
+
+def test_flush_spills_everything():
+    clock, win = _windows()
+    for _ in range(4):
+        win.save()
+    before = clock.cycles
+    win.flush()
+    assert win.active == 1
+    assert win.flush_traps == 1
+    assert clock.cycles - before == SPARC_IPX.cost("flush_windows_trap")
+
+
+def test_switch_in_charges_bulk_refill():
+    clock, win = _windows()
+    before = clock.cycles
+    win.switch_in()
+    expected = SPARC_IPX.cost("window_underflow_trap") + SPARC_IPX.cost(
+        "window_regs"
+    )
+    assert clock.cycles - before == expected
+    assert win.active == 1
+
+
+def test_call_return_cycle_balances():
+    clock, win = _windows()
+    for _ in range(5):
+        win.save()
+    for _ in range(5):
+        win.restore()
+    assert win.active == 1
+    assert win.overflow_traps == 0
+    assert win.underflow_traps == 0

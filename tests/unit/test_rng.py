@@ -1,0 +1,63 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.coin() for _ in range(50)] == [b.coin() for _ in range(50)]
+
+
+def test_different_seeds_differ():
+    a = [DeterministicRng(1).randint(0, 1000) for _ in range(10)]
+    b = [DeterministicRng(2).randint(0, 1000) for _ in range(10)]
+    assert a != b
+
+
+def test_choice_from_empty_rejected():
+    with pytest.raises(ValueError):
+        DeterministicRng(0).choice([])
+
+
+def test_choice_member():
+    rng = DeterministicRng(3)
+    items = ["a", "b", "c"]
+    for _ in range(20):
+        assert rng.choice(items) in items
+
+
+def test_shuffled_is_permutation():
+    rng = DeterministicRng(5)
+    items = list(range(20))
+    assert sorted(rng.shuffled(items)) == items
+
+
+def test_shuffled_does_not_mutate():
+    rng = DeterministicRng(5)
+    items = [3, 1, 2]
+    rng.shuffled(items)
+    assert items == [3, 1, 2]
+
+
+def test_expovariate_positive():
+    rng = DeterministicRng(0)
+    for _ in range(100):
+        assert rng.expovariate(10.0) > 0
+
+
+def test_expovariate_bad_mean():
+    with pytest.raises(ValueError):
+        DeterministicRng(0).expovariate(0)
+
+
+def test_fork_is_deterministic_and_independent():
+    parent = DeterministicRng(9)
+    child1 = parent.fork(1)
+    child2 = DeterministicRng(9).fork(1)
+    assert [child1.coin() for _ in range(20)] == [
+        child2.coin() for _ in range(20)
+    ]
+    assert parent.fork(1).seed != parent.fork(2).seed

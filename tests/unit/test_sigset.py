@@ -1,0 +1,101 @@
+"""Unit tests for signal sets and numbering."""
+
+import pytest
+
+from repro.unix.sigset import (
+    NSIG,
+    SIGALRM,
+    SIGCANCEL,
+    SIGKILL,
+    SIGSTOP,
+    SIGUSR1,
+    SIGUSR2,
+    SigSet,
+    check_signal,
+    signal_name,
+)
+
+
+def test_empty_set_is_falsy():
+    assert not SigSet()
+
+
+def test_add_and_contains():
+    s = SigSet()
+    s.add(SIGUSR1)
+    assert SIGUSR1 in s
+    assert SIGUSR2 not in s
+
+
+def test_constructor_from_iterable():
+    s = SigSet([SIGUSR1, SIGALRM])
+    assert SIGUSR1 in s and SIGALRM in s
+
+
+def test_kill_and_stop_refuse_masking():
+    s = SigSet()
+    s.add(SIGKILL)
+    s.add(SIGSTOP)
+    assert SIGKILL not in s
+    assert SIGSTOP not in s
+
+
+def test_full_excludes_unmaskable():
+    s = SigSet.full()
+    assert SIGKILL not in s
+    assert SIGSTOP not in s
+    assert SIGUSR1 in s
+    assert SIGCANCEL in s
+
+
+def test_discard():
+    s = SigSet([SIGUSR1])
+    s.discard(SIGUSR1)
+    assert SIGUSR1 not in s
+    s.discard(SIGUSR1)  # idempotent
+
+
+def test_set_algebra():
+    a = SigSet([SIGUSR1])
+    b = SigSet([SIGUSR2])
+    assert SIGUSR1 in (a | b) and SIGUSR2 in (a | b)
+    assert not (a & b)
+    assert SIGUSR1 in (a - b)
+    assert SIGUSR1 not in ((a | b) - a)
+
+
+def test_equality_and_hash():
+    assert SigSet([SIGUSR1]) == SigSet([SIGUSR1])
+    assert hash(SigSet([SIGUSR1])) == hash(SigSet([SIGUSR1]))
+    assert SigSet([SIGUSR1]) != SigSet([SIGUSR2])
+
+
+def test_copy_is_independent():
+    a = SigSet([SIGUSR1])
+    b = a.copy()
+    b.add(SIGUSR2)
+    assert SIGUSR2 not in a
+
+
+def test_iteration_sorted():
+    s = SigSet([SIGUSR2, SIGALRM, SIGUSR1])
+    assert list(s) == sorted([SIGUSR2, SIGALRM, SIGUSR1])
+
+
+def test_len():
+    assert len(SigSet()) == 0
+    assert len(SigSet([SIGUSR1, SIGUSR2])) == 2
+
+
+def test_invalid_signal_numbers():
+    with pytest.raises(ValueError):
+        check_signal(0)
+    with pytest.raises(ValueError):
+        check_signal(NSIG)
+    with pytest.raises(ValueError):
+        SigSet().add(99)
+
+
+def test_signal_names():
+    assert signal_name(SIGUSR1) == "SIGUSR1"
+    assert signal_name(SIGCANCEL) == "SIGCANCEL"

@@ -1,0 +1,111 @@
+"""Unit tests for the tracer, timeline, and inspector."""
+
+from repro.debug.inspector import Inspector, Timeline
+from repro.debug.trace import Tracer
+from tests.conftest import make_runtime, run_program
+
+
+class _FakeClock:
+    def __init__(self):
+        self.cycles = 0
+
+
+class TestTracer:
+    def test_records_carry_time(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("a", x=1)
+        clock.cycles = 10
+        tracer.emit("b", x=2)
+        assert [r.time for r in tracer] == [0, 10]
+
+    def test_kind_filter(self):
+        tracer = Tracer(_FakeClock(), kinds=["keep"])
+        tracer.emit("keep")
+        tracer.emit("drop")
+        assert len(tracer) == 1
+
+    def test_limit_drops_oldest(self):
+        tracer = Tracer(_FakeClock(), limit=2)
+        for i in range(4):
+            tracer.emit("e", i=i)
+        assert [r["i"] for r in tracer] == [2, 3]
+        assert tracer.dropped == 2
+
+    def test_where_and_first_last(self):
+        tracer = Tracer(_FakeClock())
+        tracer.emit("e", k="a")
+        tracer.emit("e", k="b")
+        tracer.emit("e", k="a")
+        assert len(tracer.where("e", k="a")) == 2
+        assert tracer.first("e", k="b") is tracer.last("e", k="b")
+        assert tracer.first("missing") is None
+
+    def test_clear(self):
+        tracer = Tracer(_FakeClock())
+        tracer.emit("e")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestTimeline:
+    def test_segments_from_dispatch_records(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        clock.cycles = 100
+        tracer.emit("dispatch", thread="b")
+        clock.cycles = 300
+        timeline = Timeline(tracer, end_time=300)
+        assert timeline.runtime_of("a") == 100
+        assert timeline.runtime_of("b") == 200
+        assert timeline.ran("a") and timeline.ran("b")
+
+    def test_ran_during_window(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        clock.cycles = 50
+        tracer.emit("dispatch", thread="b")
+        timeline = Timeline(tracer, end_time=100)
+        assert timeline.ran_during("a", 0, 40)
+        assert not timeline.ran_during("a", 60, 100)
+
+    def test_order_of_first_runs(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        for name in ("x", "y", "x"):
+            tracer.emit("dispatch", thread=name)
+        assert Timeline(tracer).order_of_first_runs() == ["x", "y"]
+
+    def test_render_smoke(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        clock.cycles = 10
+        art = Timeline(tracer, end_time=20).render()
+        assert "a" in art
+
+
+class TestInspector:
+    def test_thread_rows_reflect_runtime(self):
+        def child(pt):
+            yield pt.delay_us(10)
+
+        def main(pt):
+            t = yield pt.create(child, name="kid")
+            yield pt.join(t)
+
+        rt = run_program(main)
+        rows = Inspector(rt).thread_rows()
+        names = {row["name"] for row in rows}
+        assert "main" in names  # kid was reclaimed after join
+
+    def test_render_contains_header(self):
+        def main(pt):
+            yield pt.work(1)
+
+        rt = make_runtime()
+        rt.main(main)
+        text = Inspector(rt).render()
+        assert "THREAD" in text and "main" in text

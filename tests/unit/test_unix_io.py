@@ -1,0 +1,73 @@
+"""Unit tests for the asynchronous I/O device."""
+
+import pytest
+
+from repro.sim.world import World
+from repro.unix.io import IoDevice
+from repro.unix.kernel import UnixKernel
+from repro.unix.process import UnixProcess
+from repro.unix.signals import SigAction
+from repro.unix.sigset import SIGIO
+
+
+def _setup(latency_us=100.0, deterministic=True):
+    world = World("sparc-ipx")
+    kernel = UnixKernel(world)
+    proc = UnixProcess(kernel, None)
+    proc.auto_deliver = True
+    causes = []
+    kernel.sigaction(
+        proc, SIGIO, SigAction(handler=lambda s, c: causes.append(c))
+    )
+    device = IoDevice(
+        world, kernel, proc, latency_us=latency_us,
+        deterministic=deterministic,
+    )
+    return world, device, causes
+
+
+def test_completion_after_latency():
+    world, device, causes = _setup(latency_us=100.0)
+    request = device.submit(3, "read", 512, requester="thr")
+    world.spend_cycles(world.cycles_for_us(99.0))
+    assert not request.done
+    world.spend_cycles(world.cycles_for_us(2.0))
+    assert request.done
+    assert request.result == 512
+
+
+def test_sigio_cause_names_requester_and_request():
+    world, device, causes = _setup()
+    request = device.submit(3, "write", 64, requester="thread-7")
+    world.spend_cycles(world.cycles_for_us(200.0))
+    cause = causes[0]
+    assert cause.kind == "io"
+    assert cause.thread == "thread-7"
+    assert cause.data is request
+
+
+def test_inflight_bookkeeping():
+    world, device, causes = _setup()
+    device.submit(1, "read", 1, requester="a")
+    device.submit(2, "read", 1, requester="b")
+    assert len(device.inflight) == 2
+    world.spend_cycles(world.cycles_for_us(500.0))
+    assert not device.inflight
+    assert device.completed == 2
+
+
+def test_bad_requests_rejected():
+    world, device, causes = _setup()
+    with pytest.raises(ValueError):
+        device.submit(1, "seek", 1, requester="a")
+    with pytest.raises(ValueError):
+        device.submit(1, "read", -1, requester="a")
+    with pytest.raises(ValueError):
+        IoDevice(world, None, None, latency_us=0)
+
+
+def test_nondeterministic_latency_is_seeded():
+    world1, device1, _ = _setup(deterministic=False)
+    request = device1.submit(1, "read", 10, requester="x")
+    world1.spend_cycles(world1.cycles_for_us(10_000.0))
+    assert request.done

@@ -1,0 +1,127 @@
+"""Unit tests for the mini UNIX process world."""
+
+from repro.hw import costs
+from repro.sim.world import World
+from repro.unix import process as up
+from repro.unix.kernel import UnixKernel
+from repro.unix.signals import SigAction
+from repro.unix.sigset import SIGUSR1
+
+
+def _world():
+    world = World("sparc-ipx")
+    return world, UnixKernel(world)
+
+
+def test_body_runs_to_completion():
+    world, kernel = _world()
+    log = []
+
+    def body():
+        yield up.work(100)
+        log.append("worked")
+        pid = yield up.getpid()
+        log.append(pid)
+
+    proc = up.UnixProcess(kernel, body, name="solo")
+    sched = up.UnixScheduler(world, kernel)
+    sched.add(proc)
+    sched.run()
+    assert log == ["worked", proc.pid]
+    assert proc.state is up.ProcState.ZOMBIE
+
+
+def test_exit_syscall():
+    world, kernel = _world()
+
+    def body():
+        yield up.exit_(3)
+        yield up.work(10)  # unreachable
+
+    proc = up.UnixProcess(kernel, body)
+    sched = up.UnixScheduler(world, kernel)
+    sched.add(proc)
+    sched.run()
+    assert proc.exit_code == 3
+
+
+def test_pause_blocks_until_signal():
+    world, kernel = _world()
+    log = []
+
+    def sleeper():
+        yield up.pause()
+        log.append("woke")
+
+    def waker(target_pid):
+        yield up.work(10)
+        yield up.kill(target_pid, SIGUSR1)
+
+    sleeper_proc = up.UnixProcess(kernel, sleeper, name="sleeper")
+    kernel.sigaction(
+        sleeper_proc, SIGUSR1, SigAction(handler=lambda s, c: None)
+    )
+    waker_proc = up.UnixProcess(
+        kernel, waker, name="waker", args=(sleeper_proc.pid,)
+    )
+    sched = up.UnixScheduler(world, kernel)
+    sched.add(sleeper_proc)
+    sched.add(waker_proc)
+    sched.run()
+    assert log == ["woke"]
+
+
+def test_event_signal_wakes_sleeping_process():
+    """A timer-style event posting a signal while everyone sleeps must
+    wake the sleeper through the scheduler's idle path."""
+    from repro.unix.signals import SigCause
+
+    world, kernel = _world()
+    log = []
+
+    def body():
+        yield up.pause()
+        log.append("woke")
+
+    proc = up.UnixProcess(kernel, body)
+    kernel.sigaction(proc, SIGUSR1, SigAction(handler=lambda s, c: None))
+    world.schedule_in(
+        5_000,
+        lambda: proc.signals.post(SIGUSR1, SigCause()),
+        name="late-signal",
+    )
+    sched = up.UnixScheduler(world, kernel)
+    sched.add(proc)
+    sched.run()
+    assert log == ["woke"]
+    assert world.now >= 5_000
+
+
+def test_process_switch_charged_between_distinct_processes():
+    world, kernel = _world()
+
+    def body():
+        yield up.work(10)
+
+    a = up.UnixProcess(kernel, body, name="a")
+    b = up.UnixProcess(kernel, body, name="b")
+    sched = up.UnixScheduler(world, kernel)
+    sched.add(a)
+    sched.add(b)
+    before = world.now
+    sched.run()
+    assert sched.process_switches == 1
+    assert world.now - before >= world.model.cost(costs.PROC_SWITCH)
+
+
+def test_cpu_time_accounted_per_process():
+    world, kernel = _world()
+
+    def body(n):
+        yield up.work(n)
+
+    a = up.UnixProcess(kernel, body, name="a", args=(1000,))
+    sched = up.UnixScheduler(world, kernel)
+    sched.add(a)
+    sched.run()
+    assert a.cpu_cycles >= 1000

@@ -1,0 +1,99 @@
+"""Unit tests for interval timers."""
+
+import pytest
+
+from repro.sim.world import World
+from repro.unix.kernel import UnixKernel
+from repro.unix.process import UnixProcess
+from repro.unix.signals import SigAction
+from repro.unix.sigset import SIGALRM
+from repro.unix.timers import IntervalTimer, alarm
+
+
+def _setup():
+    world = World("sparc-ipx")
+    kernel = UnixKernel(world)
+    proc = UnixProcess(kernel, None, name="p")
+    proc.auto_deliver = True
+    causes = []
+    kernel.sigaction(
+        proc, SIGALRM, SigAction(handler=lambda s, c: causes.append(c))
+    )
+    return world, kernel, proc, causes
+
+
+def test_one_shot_fires_once():
+    world, kernel, proc, causes = _setup()
+    timer = IntervalTimer(world, kernel, proc)
+    timer.arm(1000)
+    world.spend_cycles(999)
+    assert not causes
+    world.spend_cycles(1)
+    assert len(causes) == 1
+    world.spend_cycles(5000)
+    assert len(causes) == 1  # no rearm
+
+
+def test_recurring_rearms():
+    world, kernel, proc, causes = _setup()
+    timer = IntervalTimer(world, kernel, proc)
+    # Interval comfortably larger than the delivery cost, or expiries
+    # coalesce (the timer rearms from the moment it is serviced).
+    timer.arm(50_000, interval_cycles=50_000)
+    for _ in range(200):
+        world.spend_cycles(1_000)
+    assert 3 <= timer.expirations <= 4
+
+
+def test_disarm_cancels():
+    world, kernel, proc, causes = _setup()
+    timer = IntervalTimer(world, kernel, proc)
+    timer.arm(1000)
+    timer.disarm()
+    world.spend_cycles(2000)
+    assert not causes
+
+
+def test_rearm_replaces():
+    world, kernel, proc, causes = _setup()
+    timer = IntervalTimer(world, kernel, proc)
+    timer.arm(1000)
+    timer.arm(5000)  # replaces the first
+    world.spend_cycles(2000)
+    assert not causes
+    world.spend_cycles(3000)
+    assert len(causes) == 1
+
+
+def test_cause_names_armer_and_tag():
+    world, kernel, proc, causes = _setup()
+    timer = IntervalTimer(world, kernel, proc)
+    timer.arm(100, armer="thread-x", tag="timeslice")
+    world.spend_cycles(100)
+    cause = causes[0]
+    assert cause.kind == "timer"
+    assert cause.thread == "thread-x"
+    assert cause.data == "timeslice"
+
+
+def test_bad_values_rejected():
+    world, kernel, proc, causes = _setup()
+    timer = IntervalTimer(world, kernel, proc)
+    with pytest.raises(ValueError):
+        timer.arm(0)
+    with pytest.raises(ValueError):
+        IntervalTimer(world, kernel, proc, which=7)
+
+
+def test_setitimer_is_a_syscall():
+    world, kernel, proc, causes = _setup()
+    IntervalTimer(world, kernel, proc).arm(100)
+    assert kernel.syscall_counts["setitimer"] == 1
+
+
+def test_alarm_convenience():
+    world, kernel, proc, causes = _setup()
+    alarm(world, kernel, proc, seconds_in_us=25.0, armer="t")
+    world.spend_cycles(world.cycles_for_us(25.0))
+    assert len(causes) == 1
+    assert causes[0].thread == "t"
