@@ -1,0 +1,9 @@
+"""Host-speed (wall-clock) executor throughput benchmarks.
+
+Everything under ``benchmarks/host/`` measures how fast the *simulator
+itself* runs on the host machine — steps/sec and simulated-µs/sec —
+as opposed to the rest of ``benchmarks/``, which reproduces the paper's
+*simulated* microsecond numbers.  The two clocks must never mix: a host
+optimization is only admissible if the simulated results stay
+bit-identical (see ``tests/integration/test_golden_determinism.py``).
+"""

@@ -1,0 +1,177 @@
+"""Wall-clock executor throughput runner: writes ``BENCH_host.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/host/run.py [--scale N] [--repeat R]
+        [--output BENCH_host.json] [--model sparc-ipx]
+
+For each standard workload (lock storm, signal storm, pipeline,
+create/join churn) the runner executes the simulation ``--repeat``
+times, keeps the best wall-clock time (minimum is the standard
+noise-rejection estimator for throughput), and reports:
+
+- ``steps_per_sec``     — executor steps retired per host second;
+- ``simulated_us_per_sec`` — virtual microseconds simulated per host
+  second (the "how much machine time can we afford to simulate" number);
+- ``simulated_us``      — the virtual-clock result, which must be
+  bit-identical across hosts and optimizations (determinism oracle).
+
+The emitted JSON is a trajectory artifact: commit one per change that
+claims a host-speed win so the history of the fast path stays
+measurable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Any, Callable, Dict, List
+
+from repro.bench import workloads
+
+
+def standard_workloads(scale: int) -> Dict[str, Dict[str, Any]]:
+    """The benchmark matrix.  ``scale`` multiplies iteration counts."""
+    return {
+        "lock_storm": {
+            "factory": lambda: workloads.lock_storm(
+                threads=8, iterations=25 * scale
+            ),
+            "priority": 100,
+        },
+        "signal_storm": {
+            "factory": lambda: workloads.signal_storm(
+                victims=4, rounds=100 * scale
+            ),
+            "priority": 50,
+        },
+        "pipeline": {
+            "factory": lambda: workloads.pipeline(
+                stages=4, items=25 * scale
+            ),
+            "priority": 100,
+        },
+        "create_join_churn": {
+            "factory": lambda: workloads.create_join_churn(
+                rounds=12 * scale, burst=8
+            ),
+            "priority": 100,
+        },
+    }
+
+
+def run_one(
+    name: str,
+    factory: Callable[[], Callable],
+    priority: int,
+    model: str,
+    repeat: int,
+) -> Dict[str, Any]:
+    """Run one workload ``repeat`` times; best wall time wins."""
+    best_wall = None
+    steps = None
+    simulated_us = None
+    switches = None
+    for _ in range(repeat):
+        main_fn = factory()
+        start = time.perf_counter()
+        stats = workloads.run_workload(main_fn, model=model, priority=priority)
+        wall = time.perf_counter() - start
+        rt = stats["runtime"]
+        if simulated_us is not None and simulated_us != stats["elapsed_us"]:
+            raise AssertionError(
+                "%s: non-deterministic simulated time (%r != %r)"
+                % (name, simulated_us, stats["elapsed_us"])
+            )
+        simulated_us = stats["elapsed_us"]
+        steps = rt.steps
+        switches = stats["context_switches"]
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "workload": name,
+        "model": model,
+        "wall_seconds": round(best_wall, 6),
+        "steps": steps,
+        "steps_per_sec": round(steps / best_wall, 1),
+        "simulated_us": simulated_us,
+        "simulated_us_per_sec": round(simulated_us / best_wall, 1),
+        "context_switches": switches,
+    }
+
+
+def run_suite(
+    scale: int = 1, repeat: int = 3, model: str = "sparc-ipx"
+) -> List[Dict[str, Any]]:
+    results = []
+    for name, spec in standard_workloads(scale).items():
+        results.append(
+            run_one(name, spec["factory"], spec["priority"], model, repeat)
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=4)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--model", default="sparc-ipx")
+    parser.add_argument("--output", default="BENCH_host.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="prior BENCH_host.json; embeds its steps/s and the speedup "
+        "per workload (simulated_us must match -- determinism oracle)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(scale=args.scale, repeat=args.repeat, model=args.model)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = {r["workload"]: r for r in json.load(fh)["results"]}
+        for r in results:
+            prior = base.get(r["workload"])
+            if prior is None:
+                continue
+            if prior["simulated_us"] != r["simulated_us"]:
+                raise AssertionError(
+                    "%s: baseline simulated time differs (%r != %r) -- "
+                    "not comparable" % (
+                        r["workload"], prior["simulated_us"], r["simulated_us"]
+                    )
+                )
+            r["baseline_steps_per_sec"] = prior["steps_per_sec"]
+            r["speedup"] = round(
+                r["steps_per_sec"] / prior["steps_per_sec"], 2
+            )
+    payload = {
+        "suite": "host-throughput",
+        "scale": args.scale,
+        "repeat": args.repeat,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    width = max(len(r["workload"]) for r in results)
+    for r in results:
+        print(
+            "%-*s  %10.0f steps/s  %12.0f sim-us/s  %8.3fs wall  %12.1f sim-us"
+            % (
+                width,
+                r["workload"],
+                r["steps_per_sec"],
+                r["simulated_us_per_sec"],
+                r["wall_seconds"],
+                r["simulated_us"],
+            )
+        )
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

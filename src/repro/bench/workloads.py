@@ -139,6 +139,79 @@ def lock_storm(
     return main
 
 
+def signal_storm(victims: int, rounds: int, gap_cycles: int = 2_000):
+    """Heavy internal-signal traffic: handlers interrupt blocked delays.
+
+    ``rounds`` pthread_kills are sprayed round-robin over ``victims``
+    high-priority threads parked in long delays; every signal runs a
+    user handler via the fake-call machinery and EINTRs the delay.
+    This is the event-queue stress case: each interrupted delay leaves
+    a cancelled timer event behind in the heap.
+    """
+    from repro.unix.sigset import SIGUSR1
+
+    hits = {"handled": 0}
+
+    def handler(pt, sig):
+        hits["handled"] += 1
+        return
+        yield  # pragma: no cover - makes it a generator
+
+    def victim(pt):
+        while True:
+            yield pt.delay_us(10_000_000)
+
+    def main(pt):
+        yield pt.sigaction(SIGUSR1, handler)
+        vs = []
+        for i in range(victims):
+            vs.append(
+                (
+                    yield pt.create(
+                        victim,
+                        attr=ThreadAttr(priority=100),
+                        name="storm-%d" % i,
+                    )
+                )
+            )
+        for r in range(rounds):
+            yield pt.kill(vs[r % victims], SIGUSR1)
+            yield pt.work(gap_cycles)
+        for v in vs:
+            yield pt.cancel(v)
+        for v in vs:
+            yield pt.join(v)
+        assert hits["handled"] == rounds
+        return dict(hits)
+
+    return main
+
+
+def create_join_churn(rounds: int, burst: int = 8, work_cycles: int = 200):
+    """Create/join churn: bursts of short-lived pooled threads."""
+
+    def child(pt, index):
+        del index
+        yield pt.work(work_cycles)
+
+    def main(pt):
+        for _ in range(rounds):
+            ts = []
+            for i in range(burst):
+                ts.append(
+                    (
+                        yield pt.create(
+                            child, i, attr=ThreadAttr(priority=40)
+                        )
+                    )
+                )
+            for t in ts:
+                yield pt.join(t)
+        return {"rounds": rounds, "burst": burst}
+
+    return main
+
+
 def run_workload(
     main_fn,
     model: str = "sparc-ipx",

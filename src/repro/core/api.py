@@ -27,6 +27,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import PthreadsRuntime
 
 
+#: Work ops are immutable and keyed only by their cycle count, so the
+#: handful of distinct values a program uses are shared rather than
+#: re-allocated on every yield (bounded in case a program generates
+#: unboundedly many distinct burst lengths).
+_WORK_CACHE: dict = {}
+_WORK_CACHE_MAX = 1024
+
+
+def _work_op(cycles: int) -> Work:
+    op = _WORK_CACHE.get(cycles)
+    if op is None:
+        op = Work(cycles)
+        if len(_WORK_CACHE) < _WORK_CACHE_MAX:
+            _WORK_CACHE[cycles] = op
+    return op
+
+
 class PT:
     """Op builder handed to every simulated thread body."""
 
@@ -39,15 +56,15 @@ class PT:
 
     def work(self, cycles: int) -> Work:
         """Burn ``cycles`` of CPU (preemptible)."""
-        return Work(cycles)
+        return _work_op(cycles)
 
     def work_us(self, us: float) -> Work:
         """Burn ``us`` microseconds of CPU on this machine."""
-        return Work(self.runtime.world.cycles_for_us(us))
+        return _work_op(self.runtime.world.cycles_for_us(us))
 
     def charge(self, cost_key: str) -> Work:
         """Burn the model cost of a named primitive (library bodies)."""
-        return Work(self.runtime.world.model.cost(cost_key))
+        return _work_op(self.runtime.world.model.cost(cost_key))
 
     def call(self, fn: Callable, *args: Any, **kwargs: Any) -> Invoke:
         """Call ``fn(pt, *args)`` as a nested simulated frame."""

@@ -32,6 +32,11 @@ from repro.unix.sigset import SigSet
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import PthreadsRuntime
 
+#: Shared "all signals blocked" mask for the pre-switch sigsetmask
+#: (set_mask copies its argument, so sharing one instance is safe;
+#: building it walks every signal number).
+_FULL_MASK = SigSet.full()
+
 
 class Dispatcher:
     """Implements the Figure 2 flowchart."""
@@ -113,8 +118,14 @@ class Dispatcher:
     # -- the context switch ---------------------------------------------------------
 
     def _transfer(self, chosen: Optional[Tcb]) -> None:
-        with self._runtime.world.atomic():
+        # Equivalent of ``with world.atomic():`` without the
+        # contextmanager machinery (one transfer per dispatch).
+        world = self._runtime.world
+        world._defer_depth += 1
+        try:
             self._transfer_atomic(chosen)
+        finally:
+            world._defer_depth -= 1
 
     def _transfer_atomic(self, chosen: Optional[Tcb]) -> None:
         runtime = self._runtime
@@ -128,7 +139,8 @@ class Dispatcher:
         if chosen is None:
             # Nothing ready: the processor idles until an event.
             runtime.current = None
-            world.emit("dispatch", thread="<idle>")
+            if world.trace is not None:
+                world.emit("dispatch", thread="<idle>")
             return
 
         occupant = runtime.on_cpu
@@ -150,11 +162,12 @@ class Dispatcher:
             # (e.g. a yield with an empty ready queue) is not a switch.
             chosen.context_switches_in += 1
             self.context_switches += 1
-        world.emit(
-            "dispatch",
-            thread=chosen.name,
-            from_thread=old.name if old else None,
-        )
+        if world.trace is not None:
+            world.emit(
+                "dispatch",
+                thread=chosen.name,
+                from_thread=old.name if old else None,
+            )
 
         self._pop_interrupt_frames(chosen)
 
@@ -171,7 +184,7 @@ class Dispatcher:
         runtime = self._runtime
         if not tcb.pending_interrupt_frames:
             return
-        runtime.unix.sigsetmask(runtime.proc, SigSet.full())
+        runtime.unix.sigsetmask(runtime.proc, _FULL_MASK)
         while tcb.pending_interrupt_frames:
             frame = tcb.pending_interrupt_frames.pop()
             runtime.unix.sigreturn_frame(runtime.proc, frame)

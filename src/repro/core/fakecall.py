@@ -80,10 +80,11 @@ class FakeCalls:
                 wait.deliver(EINTR)
                 tcb.wait = None
 
-        rt.world.emit(
-            "fake-call", thread=tcb.name, sig=sig,
-            interrupted_wait=was_blocked,
-        )
+        if rt.world.trace is not None:
+            rt.world.emit(
+                "fake-call", thread=tcb.name, sig=sig,
+                interrupted_wait=was_blocked,
+            )
         rt.push_frame(
             tcb,
             _wrapper_body,

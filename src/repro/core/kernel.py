@@ -45,31 +45,34 @@ class LibKernel:
             raise PthreadsInternalError(
                 "nested Pthreads kernel entry (monitor is not re-entrant)"
             )
-        self._runtime.world.spend(costs.ENTER_KERNEL, fire=False)
+        world = self._runtime.world
+        world.spend(costs.ENTER_KERNEL, fire=False)
         self.kernel_flag = True
         self.enters += 1
         # Events due *now* fire inside the critical section, which is
         # exactly what exercises the defer-to-dispatcher machinery.
-        self._runtime.world.fire_due()
+        world.fire_due()
 
     def leave(self) -> None:
         """Leave the kernel; run the dispatcher if it was requested."""
         if not self.kernel_flag:
             raise PthreadsInternalError("leaving Pthreads kernel while outside")
-        self._runtime.world.spend(costs.LEAVE_KERNEL, fire=False)
+        runtime = self._runtime
+        world = runtime.world
+        world.spend(costs.LEAVE_KERNEL, fire=False)
         # Drain events that became due during the critical section while
         # the flag is still set: their signals take the log-and-defer
         # path and are handled by the dispatcher below (Figure 2).
-        self._runtime.world.fire_due()
-        policy = self._runtime.policy
+        world.fire_due()
+        policy = runtime.policy
         if policy is not None:
-            policy.on_kernel_exit(self._runtime)
+            policy.on_kernel_exit(runtime)
         if self.dispatcher_flag:
             # The dispatcher clears both flags itself (Figure 2).
-            self._runtime.dispatcher.run()
+            runtime.dispatcher.run()
         else:
             self.kernel_flag = False
-        self._runtime.world.fire_due()
+        world.fire_due()
 
     def request_dispatch(self) -> None:
         """Ask for the dispatcher on kernel exit (new thread ready,

@@ -28,7 +28,7 @@ from repro.core.libbase import BLOCKED
 from repro.core.pool import ThreadPool
 from repro.core.scheduler import Scheduler
 from repro.core.tcb import Tcb, ThreadState, WaitRecord
-from repro.sim.frames import Frame, ProgramCrash
+from repro.sim.frames import Frame, ProgramCrash, SimException
 from repro.sim.ops import Invoke, LibCall, SysCall, Work
 from repro.sim.world import DeadlockError, World
 from repro.unix.io import IoDevice
@@ -94,6 +94,14 @@ class PthreadsRuntime:
         #: (stays set across idle periods; flushed on the next switch).
         self.on_cpu: Optional[Tcb] = None
         self.threads: Dict[int, Tcb] = {}
+        #: Insertion-ordered set of live (non-terminated, non-reclaimed)
+        #: threads.  ``self.threads`` keeps every thread ever created,
+        #: so scans over it grow without bound under create/join churn;
+        #: the executor's idle path only ever walks this index.
+        self._live: Dict[Tcb, None] = {}
+        #: name -> first live thread registered under that name (a pure
+        #: cache for :meth:`find_thread`; misses fall back to a scan).
+        self._by_name: Dict[str, Tcb] = {}
         self._next_tid = 1
         #: Process-wide user signal actions (signal actions are shared
         #: by all threads; only masks are per-thread).
@@ -106,6 +114,13 @@ class PthreadsRuntime:
         # Subsystems (registered entry points).
         self.registry: Dict[str, Callable] = {}
         self._build_subsystems()
+
+        # The PT facade is stateless apart from the runtime reference;
+        # one shared instance serves every frame (push_frame would
+        # otherwise allocate one per simulated call).
+        from repro.core.api import PT
+
+        self._pt = PT(self)
 
         # Devices and timers.
         self.io_devices: Dict[str, IoDevice] = {}
@@ -204,15 +219,33 @@ class PthreadsRuntime:
         self._next_tid += 1
         return tid
 
+    def register_thread(self, tcb: Tcb) -> None:
+        """Enter a freshly created thread into the table and indexes."""
+        self.threads[tcb.tid] = tcb
+        self._live[tcb] = None
+        self._by_name.setdefault(tcb.name, tcb)
+
+    def thread_unlisted(self, tcb: Tcb) -> None:
+        """Drop a thread from the live indexes (terminated or reclaimed)."""
+        self._live.pop(tcb, None)
+        if self._by_name.get(tcb.name) is tcb:
+            del self._by_name[tcb.name]
+
     def all_threads(self) -> List[Tcb]:
         return [t for t in self.threads.values() if not t.reclaimed]
 
     def live_threads(self) -> List[Tcb]:
-        return [t for t in self.all_threads() if t.alive]
+        # Terminated-but-joinable threads stay in ``threads`` (their
+        # exit value is still claimable) but leave the live index.
+        return [t for t in self._live if t.alive]
 
     def find_thread(self, name: str) -> Optional[Tcb]:
+        cached = self._by_name.get(name)
+        if cached is not None and not cached.reclaimed:
+            return cached
         for tcb in self.all_threads():
             if tcb.name == name:
+                self._by_name[name] = tcb
                 return tcb
         return None
 
@@ -275,11 +308,12 @@ class PthreadsRuntime:
         tcb = self.current
         if tcb is None:
             raise PthreadsInternalError("block_current with no current thread")
+        world = self.world
         record = WaitRecord(
             kind=kind,
             obj=obj,
-            frame=tcb.frames.top,
-            since=self.world.now,
+            frame=tcb.frames._frames[-1],
+            since=world.clock.cycles,
             interruptible=interruptible,
             teardown=teardown,
             data=dict(data),
@@ -287,8 +321,9 @@ class PthreadsRuntime:
         tcb.wait = record
         tcb.state = ThreadState.BLOCKED
         self.current = None
-        self.kern.request_dispatch()
-        self.world.emit("block", thread=tcb.name, wait=kind)
+        self.kern.dispatcher_flag = True
+        if world.trace is not None:
+            world.emit("block", thread=tcb.name, wait=kind)
         return record
 
     # -- the executor ------------------------------------------------------------------
@@ -306,9 +341,11 @@ class PthreadsRuntime:
         until_cycles = (
             self.world.cycles_for_us(until_us) if until_us is not None else None
         )
+        clock = self.world.clock
+        step = self._step_current
         idle_streak = 0
         while self.terminated_by is None:
-            if until_cycles is not None and self.world.now >= until_cycles:
+            if until_cycles is not None and clock.cycles >= until_cycles:
                 return
             if max_steps is not None and self.steps >= max_steps:
                 return
@@ -327,7 +364,7 @@ class PthreadsRuntime:
                     )
                 continue
             idle_streak = 0
-            self._step_current()
+            step()
 
     def _find_work(self) -> bool:
         """Dispatch a ready thread or idle to the next event.
@@ -336,15 +373,17 @@ class PthreadsRuntime:
         only never-activated lazy threads remain).
         """
         if self.sched.ready:
-            self.kern.enter()
-            self.kern.request_dispatch()
-            self.kern.leave()
+            kern = self.kern
+            kern.enter()
+            kern.request_dispatch()
+            kern.leave()
             return self.current is not None or bool(self.sched.ready)
-        blocked = [
-            t for t in self.live_threads() if t.state is ThreadState.BLOCKED
-        ]
-        if blocked:
+        blocked_state = ThreadState.BLOCKED
+        if any(t.state is blocked_state for t in self._live):
             if self.world.next_event_time() is None:
+                blocked = [
+                    t for t in self._live if t.state is blocked_state
+                ]
                 raise DeadlockError(
                     "all threads blocked with no pending events: %s"
                     % ", ".join(
@@ -360,56 +399,100 @@ class PthreadsRuntime:
         tcb = self.current
         assert tcb is not None
         self.steps += 1
-        frame = tcb.frames.top
+        frame = tcb.frames._frames[-1]
         if frame.remaining_work > 0:
             self._do_work(tcb, frame)
             return
-        started = self.world.now
-        kind, payload = frame.resume()
-        if kind == "return":
-            self._frame_returned(tcb, frame, payload)
-            tcb.cpu_cycles += self.world.now - started
+        clock = self.world.clock
+        started = clock.cycles
+        # Frame.resume inlined: one generator step per executor step
+        # makes the extra call (and tuple) measurable.
+        try:
+            exc = frame.pending_exc
+            if exc is not None:
+                frame.pending_exc = None
+                op = frame.gen.throw(exc)
+            else:
+                value = frame.pending_value
+                frame.pending_value = None
+                op = frame.gen.send(value)
+        except StopIteration as stop:
+            self._frame_returned(tcb, frame, stop.value)
+            tcb.cpu_cycles += clock.cycles - started
             return
-        if kind == "raise":
-            self._frame_raised(tcb, frame, payload)
-            tcb.cpu_cycles += self.world.now - started
+        except SimException as sim_exc:
+            self._frame_raised(tcb, frame, sim_exc)
+            tcb.cpu_cycles += clock.cycles - started
             return
-        op = payload
-        if isinstance(op, Work):
+        except ProgramCrash:
+            raise
+        except BaseException as crash:  # noqa: BLE001 - simulated fault
+            raise ProgramCrash(frame.name, crash) from crash
+        op_class = op.__class__
+        if op_class is Work:
             frame.remaining_work = op.cycles
             self._do_work(tcb, frame)
-        elif isinstance(op, LibCall):
+        elif op_class is LibCall:
             self._libcall(tcb, frame, op)
-            tcb.cpu_cycles += self.world.now - started
-        elif isinstance(op, SysCall):
+            tcb.cpu_cycles += clock.cycles - started
+        elif op_class is SysCall:
             self._unix_syscall(tcb, frame, op)
-            tcb.cpu_cycles += self.world.now - started
-        elif isinstance(op, Invoke):
+            tcb.cpu_cycles += clock.cycles - started
+        elif op_class is Invoke:
             self._push_invoke(tcb, op)
-            tcb.cpu_cycles += self.world.now - started
+            tcb.cpu_cycles += clock.cycles - started
+        elif isinstance(op, (Work, LibCall, SysCall, Invoke)):
+            # Subclassed ops take the generic (slower) dispatch.
+            self._step_op_subclass(tcb, frame, op, started)
         else:
             raise ProgramCrash(
                 frame.name, TypeError("bad op yielded: %r" % (op,))
             )
 
+    def _step_op_subclass(
+        self, tcb: Tcb, frame: Frame, op: Any, started: int
+    ) -> None:
+        clock = self.world.clock
+        if isinstance(op, Work):
+            frame.remaining_work = op.cycles
+            self._do_work(tcb, frame)
+        elif isinstance(op, LibCall):
+            self._libcall(tcb, frame, op)
+            tcb.cpu_cycles += clock.cycles - started
+        elif isinstance(op, SysCall):
+            self._unix_syscall(tcb, frame, op)
+            tcb.cpu_cycles += clock.cycles - started
+        else:
+            self._push_invoke(tcb, op)
+            tcb.cpu_cycles += clock.cycles - started
+
     def _do_work(self, tcb: Tcb, frame: Frame) -> None:
         """Burn a compute burst, splitting it at asynchronous events."""
         world = self.world
+        events = world.events
+        clock = world.clock
+        frames = tcb.frames._frames
         while frame.remaining_work > 0:
-            if self.current is not tcb or tcb.frames.top is not frame:
+            if self.current is not tcb or frames[-1] is not frame:
                 return  # preempted, or a fake call landed on top
             chunk = frame.remaining_work
-            next_event = world.next_event_time()
-            if next_event is not None and next_event <= world.now:
-                world.fire_due()
-                continue
-            if next_event is not None and next_event - world.now < chunk:
-                chunk = next_event - world.now
-            world.clock.advance(chunk)
+            next_event = events.next_time()
+            if next_event is not None:
+                now = clock.cycles
+                if next_event <= now:
+                    world.fire_due()
+                    continue
+                if next_event - now < chunk:
+                    chunk = next_event - now
+            clock.advance(chunk)
             frame.remaining_work -= chunk
             tcb.cpu_cycles += chunk
-            world.fire_due()
-        if self.current is tcb and tcb.frames.top is frame:
+            # fire_due's own early-exit gate, checked inline: the
+            # common burst ends with no event due.
+            horizon = events._horizon
+            if horizon is not None and horizon <= clock.cycles:
+                world.fire_due()
+        if self.current is tcb and frames[-1] is frame:
             frame.pending_value = None
 
     def _libcall(self, tcb: Tcb, frame: Frame, op: LibCall) -> None:
@@ -483,9 +566,7 @@ class PthreadsRuntime:
         redzone -- the stand-in for a signal stack -- so signal
         handling still works at the brink of stack exhaustion.
         """
-        from repro.core.api import PT
-
-        gen = fn(PT(self), *args, **(kwargs or {}))
+        gen = fn(self._pt, *args, **(kwargs or {}))
         if not hasattr(gen, "send"):
             raise ProgramCrash(
                 getattr(fn, "__name__", str(fn)),

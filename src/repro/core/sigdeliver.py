@@ -127,7 +127,8 @@ class SignalDelivery:
         rt = self.rt
         rt.world.spend(costs.SIG_ACTION_RULES, fire=False)
         self.delivered_to_threads += 1
-        rt.world.emit("signal-thread", thread=tcb.name, sig=sig)
+        if rt.world.trace is not None:
+            rt.world.emit("signal-thread", thread=tcb.name, sig=sig)
 
         # I/O completion wake (delivery-model rule 4's action).
         if cause.kind == "io" and self._wake_io(tcb, cause):
@@ -146,7 +147,8 @@ class SignalDelivery:
         # Rule 1: masked -> pend on the thread.
         if sig in tcb.sigmask:
             tcb.pending.post(sig, cause)
-            rt.world.emit("signal-thread-pend", thread=tcb.name, sig=sig)
+            if rt.world.trace is not None:
+                rt.world.emit("signal-thread-pend", thread=tcb.name, sig=sig)
             return
 
         # Rule 2: a plain alarm readies its suspended armer.

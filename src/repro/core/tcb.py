@@ -11,7 +11,6 @@ enforces that by invalidating the TCB.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core import config
@@ -29,7 +28,6 @@ class ThreadState(enum.Enum):
     TERMINATED = "terminated"
 
 
-@dataclass
 class WaitRecord:
     """Why a blocked thread is blocked, and how to tear the wait down.
 
@@ -43,21 +41,40 @@ class WaitRecord:
     paper's deterministic-mutex-state rule).
     """
 
-    kind: str
-    obj: Any
-    frame: Frame
-    since: int = 0
-    interruptible: bool = True
-    teardown: Optional[Callable[[], None]] = None
-    data: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = (
+        "kind", "obj", "frame", "since", "interruptible", "teardown", "data"
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        obj: Any,
+        frame: Frame,
+        since: int = 0,
+        interruptible: bool = True,
+        teardown: Optional[Callable[[], None]] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.kind = kind
+        self.obj = obj
+        self.frame = frame
+        self.since = since
+        self.interruptible = interruptible
+        self.teardown = teardown
+        self.data = {} if data is None else data
 
     def deliver(self, value: Any) -> None:
         """Set the blocked call's return value for when the thread runs."""
         self.frame.pending_value = value
 
+    def __repr__(self) -> str:
+        return "WaitRecord(%s, obj=%r)" % (self.kind, self.obj)
+
 
 class ThreadPending:
     """Per-thread pending signals (single slot per signal, BSD-style)."""
+
+    __slots__ = ("_causes", "_order", "lost")
 
     def __init__(self) -> None:
         self._causes: Dict[int, SigCause] = {}
@@ -111,7 +128,48 @@ class Tcb:
     paper's debugger sketch ("information could be extracted from the
     thread control block") is served by :class:`repro.debug.Inspector`
     reading these fields.
+
+    ``__slots__`` keeps the (potentially many thousands of) TCBs a
+    churny workload allocates compact and attribute access branch-free;
+    new fields must be added to the tuple below.
     """
+
+    __slots__ = (
+        "tid",
+        "name",
+        "state",
+        "detached",
+        "base_priority",
+        "effective_priority",
+        "policy",
+        "frames",
+        "stack",
+        "errno",
+        "start_fn",
+        "start_args",
+        "sigmask",
+        "pending",
+        "pending_interrupt_frames",
+        "wait",
+        "exit_value",
+        "joiner",
+        "reclaimed",
+        "exiting",
+        "intr_enabled",
+        "intr_type",
+        "cancel_pending",
+        "cleanup_stack",
+        "tsd",
+        "held_mutexes",
+        "srp_stack",
+        "lazy",
+        "meta_stack_size",
+        "tcb_addr",
+        "redirect_request",
+        "crashed_with",
+        "cpu_cycles",
+        "context_switches_in",
+    )
 
     def __init__(self, tid: int, name: str) -> None:
         self.tid = tid

@@ -102,7 +102,7 @@ class ThreadOps(LibraryOps):
         tid = rt.new_tid()
         name = attr.name or "thread-%d" % tid
         new = Tcb(tid, name)
-        rt.threads[tid] = new
+        rt.register_thread(new)
         if attr.inherit_sched and creator is not None:
             new.base_priority = creator.base_priority
             new.policy = creator.policy
@@ -263,6 +263,7 @@ class ThreadOps(LibraryOps):
         tcb.state = ThreadState.TERMINATED
         tcb.exiting = False
         tcb.wait = None
+        rt.thread_unlisted(tcb)
         rt.world.emit("exit", thread=tcb.name)
         if tcb.joiner is not None:
             joiner = tcb.joiner
@@ -288,6 +289,7 @@ class ThreadOps(LibraryOps):
             rt.pool.release(getattr(tcb, "tcb_addr", 0), tcb.stack)
             tcb.stack = None
         tcb.reclaimed = True
+        rt.thread_unlisted(tcb)
         rt.world.emit("reclaim", thread=tcb.name)
 
     # -- identity and scheduling parameters -----------------------------------------------

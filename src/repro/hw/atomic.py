@@ -91,6 +91,9 @@ class RestartableSequence:
     ) -> None:
         self._clock = clock
         self._model = model
+        #: One-instruction charge, resolved once (the per-step lookup
+        #: would otherwise dominate the mutex fast path).
+        self._insn = model.cost(costs.INSN)
         self.name = name
         self.restarts = 0
         self.roll_forwards = 0
@@ -121,6 +124,18 @@ class RestartableSequence:
         """
         if not steps:
             raise ValueError("restartable sequence needs at least one step")
+        if self.interrupt_hook is None:
+            # No interruption source installed: the sequence cannot
+            # restart, so run it straight through (same charges, same
+            # step order as the general loop below).
+            self.runs += 1
+            clock = self._clock
+            insn = self._insn
+            result = None
+            for step in steps:
+                clock.advance(insn)
+                result = step()
+            return result
         attempt = 0
         while True:
             self.runs += 1

@@ -21,41 +21,43 @@ Watcher = Callable[[int, int], None]
 class VirtualClock:
     """A monotonically increasing cycle counter.
 
+    ``cycles`` is a plain attribute (executor hot paths read it tens of
+    times per step; a property would dominate); treat it as read-only
+    outside this class and advance via :meth:`advance`.
+
     Parameters
     ----------
     start:
         Initial cycle count (defaults to 0).
     """
 
+    __slots__ = ("cycles", "_watchers")
+
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise ValueError("clock cannot start in the past: %r" % (start,))
-        self._cycles = start
+        self.cycles = start
         self._watchers: List[Watcher] = []
-
-    @property
-    def cycles(self) -> int:
-        """Current virtual time in cycles."""
-        return self._cycles
 
     def advance(self, cycles: int) -> None:
         """Move the clock forward by ``cycles`` (must be >= 0)."""
-        if cycles < 0:
+        if cycles <= 0:
+            if cycles == 0:
+                return
             raise ValueError("cannot advance clock backwards: %r" % (cycles,))
-        if cycles == 0:
-            return
-        before = self._cycles
-        self._cycles = before + cycles
-        for watcher in self._watchers:
-            watcher(before, self._cycles)
+        before = self.cycles
+        self.cycles = after = before + cycles
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(before, after)
 
     def advance_to(self, cycles: int) -> None:
         """Move the clock forward to an absolute instant (>= now)."""
-        if cycles < self._cycles:
+        if cycles < self.cycles:
             raise ValueError(
-                "cannot rewind clock from %d to %d" % (self._cycles, cycles)
+                "cannot rewind clock from %d to %d" % (self.cycles, cycles)
             )
-        self.advance(cycles - self._cycles)
+        self.advance(cycles - self.cycles)
 
     def add_watcher(self, watcher: Watcher) -> None:
         """Register ``watcher(before, after)`` to run on every advance."""
@@ -65,4 +67,4 @@ class VirtualClock:
         self._watchers.remove(watcher)
 
     def __repr__(self) -> str:
-        return "VirtualClock(cycles=%d)" % self._cycles
+        return "VirtualClock(cycles=%d)" % self.cycles

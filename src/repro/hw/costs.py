@@ -185,6 +185,16 @@ class CostModel:
             return self.overrides[key]
         return _DEFAULT_CYCLES[key]
 
+    def table(self) -> Dict[str, int]:
+        """The full key->cycles table with overrides applied.
+
+        Hot paths (``World.spend``) use this flat dict instead of
+        paying the two-stage ``cost`` lookup per charge.
+        """
+        merged = dict(_DEFAULT_CYCLES)
+        merged.update(self.overrides)
+        return merged
+
     def us(self, cycles: int) -> float:
         """Convert a cycle count to microseconds on this model."""
         return cycles / self.mhz

@@ -42,6 +42,16 @@ class RegisterWindows:
             raise ValueError("need at least 2 register windows")
         self._clock = clock
         self._model = model
+        # Trap/call costs resolved once: save/restore run on every
+        # simulated frame push/pop, flush/switch_in on every context
+        # switch -- the two-stage CostModel.cost lookup would dominate.
+        self._c_call = model.cost(costs.CALL)
+        self._c_ret = model.cost(costs.RET)
+        self._c_overflow = model.cost(costs.WINDOW_OVERFLOW_TRAP)
+        self._c_fill = model.cost(costs.WINDOW_FILL_TRAP)
+        self._c_flush = model.cost(costs.FLUSH_WINDOWS_TRAP)
+        self._c_underflow = model.cost(costs.WINDOW_UNDERFLOW_TRAP)
+        self._c_regs = model.cost(costs.WINDOW_REGS)
         self._usable = nwindows - 1
         self._active = 1  # the window of the currently executing frame
         self.overflow_traps = 0
@@ -57,10 +67,10 @@ class RegisterWindows:
         """Execute a ``save`` (function call).  May overflow-trap."""
         if self._active == self._usable:
             self.overflow_traps += 1
-            self._clock.advance(self._model.cost(costs.WINDOW_OVERFLOW_TRAP))
+            self._clock.advance(self._c_overflow)
         else:
             self._active += 1
-        self._clock.advance(self._model.cost(costs.CALL))
+        self._clock.advance(self._c_call)
 
     def restore(self) -> None:
         """Execute a ``restore`` (function return).  May fill-trap.
@@ -70,10 +80,10 @@ class RegisterWindows:
         """
         if self._active <= 1:
             self.underflow_traps += 1
-            self._clock.advance(self._model.cost(costs.WINDOW_FILL_TRAP))
+            self._clock.advance(self._c_fill)
         else:
             self._active -= 1
-        self._clock.advance(self._model.cost(costs.RET))
+        self._clock.advance(self._c_ret)
 
     def flush(self) -> None:
         """``ST_FLUSH_WINDOWS``: spill every active window to the stack.
@@ -83,14 +93,14 @@ class RegisterWindows:
         pair approximates a context switch in Table 2).
         """
         self.flush_traps += 1
-        self._clock.advance(self._model.cost(costs.FLUSH_WINDOWS_TRAP))
+        self._clock.advance(self._c_flush)
         self._active = 1
 
     def switch_in(self) -> None:
         """Load the incoming thread's top frame (``restore`` underflow)."""
         self.underflow_traps += 1
-        self._clock.advance(self._model.cost(costs.WINDOW_UNDERFLOW_TRAP))
-        self._clock.advance(self._model.cost(costs.WINDOW_REGS))
+        self._clock.advance(self._c_underflow)
+        self._clock.advance(self._c_regs)
         self._active = 1
 
     def __repr__(self) -> str:

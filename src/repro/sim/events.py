@@ -5,21 +5,33 @@ signals sent from outside the process, and I/O completions.  Each event
 carries an absolute virtual time (in cycles) and an action callback.
 Events with equal timestamps fire in scheduling order (a stable sequence
 number breaks ties), which keeps every run deterministic.
+
+Host-speed notes: this queue sits on the executor's hottest path (every
+``World.spend`` asks "is anything due?"), so it caches the earliest
+pending event time (the *horizon*).  ``next_time``/``fire_due`` answer
+in O(1) while the horizon is ahead of the clock, and ``__len__`` is a
+pure counter read — no query mutates the heap.  Cancelled events stay
+in the heap as tombstones until they reach the top; the live count and
+horizon are maintained incrementally by :meth:`Event.cancel` telling
+its queue.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, List, Optional, Tuple
 
 Action = Callable[[], None]
+
+#: Sentinel horizon value: "stale, recompute from the heap on demand".
+#: Event times are >= 0, so -1 can never collide with a real time.
+_STALE = -1
 
 
 class Event:
     """A scheduled action; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "action", "name", "cancelled", "fired")
+    __slots__ = ("time", "seq", "action", "name", "cancelled", "fired", "queue")
 
     def __init__(self, time: int, seq: int, action: Action, name: str) -> None:
         self.time = time
@@ -28,10 +40,15 @@ class Event:
         self.name = name
         self.cancelled = False
         self.fired = False
+        self.queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._cancelled(self)
 
     def __repr__(self) -> str:
         state = "fired" if self.fired else (
@@ -41,39 +58,75 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Invariants:
+
+    - ``_live`` counts scheduled, unfired, uncancelled events;
+    - ``_horizon`` is the earliest live event time, ``None`` when the
+      queue is empty, or :data:`_STALE` when it must be recomputed by
+      popping tombstones off the heap top.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live", "_horizon")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
-        self._seq = itertools.count()
+        self._seq = 0
+        self._live = 0
+        self._horizon: Optional[int] = None
 
     def __len__(self) -> int:
-        self._drop_cancelled()
-        return len(self._heap)
+        return self._live
 
     def schedule(self, time: int, action: Action, name: str = "event") -> Event:
         """Schedule ``action`` at absolute cycle ``time``."""
         if time < 0:
             raise ValueError("event time must be >= 0: %r" % time)
-        event = Event(time, next(self._seq), action, name)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, action, name)
+        event.queue = self
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        horizon = self._horizon
+        if horizon is None or (horizon != _STALE and time < horizon):
+            self._horizon = time
         return event
 
     def next_time(self) -> Optional[int]:
         """Virtual time of the earliest pending event, or None."""
+        horizon = self._horizon
+        if horizon != _STALE:
+            return horizon
         self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        heap = self._heap
+        horizon = heap[0][0] if heap else None
+        self._horizon = horizon
+        return horizon
+
+    def due_before(self, now: int) -> bool:
+        """O(1) in the common case: could anything be due at ``now``?
+
+        May return True conservatively when the horizon is stale; the
+        caller's :meth:`fire_due` then resolves it exactly.
+        """
+        horizon = self._horizon
+        if horizon == _STALE:
+            return self.next_time() is not None and self._horizon <= now
+        return horizon is not None and horizon <= now
 
     def pop_due(self, now: int) -> Optional[Event]:
         """Pop the earliest event with ``time <= now``, or None."""
-        self._drop_cancelled()
-        if self._heap and self._heap[0][0] <= now:
-            event = heapq.heappop(self._heap)[2]
-            event.fired = True
-            return event
-        return None
+        when = self.next_time()
+        if when is None or when > now:
+            return None
+        heap = self._heap
+        event = heapq.heappop(heap)[2]
+        event.fired = True
+        self._live -= 1
+        self._horizon = _STALE
+        return event
 
     def fire_due(self, now: int) -> int:
         """Fire every event due at or before ``now``; returns the count.
@@ -82,6 +135,9 @@ class EventQueue:
         also due (a timer rearming itself in the past would otherwise
         stall time).
         """
+        horizon = self._horizon
+        if horizon != _STALE and (horizon is None or horizon > now):
+            return 0
         fired = 0
         while True:
             event = self.pop_due(now)
@@ -90,6 +146,19 @@ class EventQueue:
             event.action()
             fired += 1
 
+    def _cancelled(self, event: Event) -> None:
+        """Bookkeeping for :meth:`Event.cancel` (tombstone stays heaped)."""
+        self._live -= 1
+        if self._live == 0:
+            # Every heap entry is a tombstone: drop them all at once.
+            self._heap.clear()
+            self._horizon = None
+        elif self._horizon == event.time:
+            # The cancelled event may have defined the horizon; another
+            # live event could share its timestamp, so recompute lazily.
+            self._horizon = _STALE
+
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)

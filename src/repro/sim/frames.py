@@ -143,6 +143,8 @@ class Frame:
 class FrameStack:
     """A thread's stack of simulated frames (bottom first)."""
 
+    __slots__ = ("_frames",)
+
     def __init__(self) -> None:
         self._frames: List[Frame] = []
 

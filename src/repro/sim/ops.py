@@ -17,23 +17,28 @@ directly -- the :class:`repro.core.api.PT` facade builds them, e.g.::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
+
+# Ops are allocated once per executor step; plain __slots__ classes
+# keep them cheap (a frozen dataclass pays object.__setattr__ per
+# field).  Treat instances as immutable.
 
 
-@dataclass(frozen=True)
 class Work:
     """Burn ``cycles`` of CPU time.  Preemptible: an asynchronous event
     due mid-burst splits the burst at the event's virtual instant."""
 
-    cycles: int
+    __slots__ = ("cycles",)
 
-    def __post_init__(self) -> None:
-        if self.cycles < 0:
-            raise ValueError("work cycles must be >= 0: %r" % (self.cycles,))
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("work cycles must be >= 0: %r" % (cycles,))
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return "Work(cycles=%r)" % (self.cycles,)
 
 
-@dataclass(frozen=True)
 class LibCall:
     """Call a Pthreads library entry point by name.
 
@@ -42,12 +47,22 @@ class LibCall:
     ``pthread_self`` and friends).
     """
 
-    name: str
-    args: Tuple[Any, ...] = ()
-    kwargs: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("name", "args", "kwargs")
+
+    def __init__(
+        self,
+        name: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.args = args
+        self.kwargs = {} if kwargs is None else kwargs
+
+    def __repr__(self) -> str:
+        return "LibCall(%r, args=%r)" % (self.name, self.args)
 
 
-@dataclass(frozen=True)
 class SysCall:
     """Call the simulated UNIX kernel directly (bypassing the library).
 
@@ -55,12 +70,22 @@ class SysCall:
     UNIX behaviour for comparison.
     """
 
-    name: str
-    args: Tuple[Any, ...] = ()
-    kwargs: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("name", "args", "kwargs")
+
+    def __init__(
+        self,
+        name: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.args = args
+        self.kwargs = {} if kwargs is None else kwargs
+
+    def __repr__(self) -> str:
+        return "SysCall(%r, args=%r)" % (self.name, self.args)
 
 
-@dataclass(frozen=True)
 class Invoke:
     """Push a nested simulated frame running ``fn(pt, *args)``.
 
@@ -69,10 +94,22 @@ class Invoke:
     return value back when it returns.
     """
 
-    fn: Callable[..., Any]
-    args: Tuple[Any, ...] = ()
-    kwargs: Dict[str, Any] = field(default_factory=dict)
-    frame_bytes: int = 96
+    __slots__ = ("fn", "args", "kwargs", "frame_bytes")
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        frame_bytes: int = 96,
+    ) -> None:
+        self.fn = fn
+        self.args = args
+        self.kwargs = {} if kwargs is None else kwargs
+        self.frame_bytes = frame_bytes
+
+    def __repr__(self) -> str:
+        return "Invoke(%s)" % getattr(self.fn, "__name__", self.fn)
 
 
 Op = (Work, LibCall, SysCall, Invoke)

@@ -54,6 +54,9 @@ class World:
         self.trace = trace
         self._defer_depth = 0
         self._firing = False
+        #: Flat cost table (defaults + model overrides), indexed without
+        #: the two-stage :meth:`CostModel.cost` lookup on the hot path.
+        self._costs = model.table()
 
     # -- time ------------------------------------------------------------
 
@@ -81,16 +84,43 @@ class World:
         By default due events fire after the charge, so asynchronous
         signals land inside library code sections -- which is what
         exercises the paper's defer-signals-while-in-kernel machinery.
+
+        The clock advance is inlined (identically to
+        :meth:`VirtualClock.advance`): this method runs several times
+        per executor step.
         """
-        self.clock.advance(self.model.cost(key) * times)
+        cycles = self._costs[key] * times
+        clock = self.clock
+        if cycles > 0:
+            before = clock.cycles
+            clock.cycles = after = before + cycles
+            if clock._watchers:
+                for watcher in clock._watchers:
+                    watcher(before, after)
+        elif cycles < 0:
+            raise ValueError("cannot advance clock backwards: %r" % (cycles,))
         if fire:
-            self.fire_due()
+            # Horizon gate (see EventQueue): None = empty, -1 = stale
+            # (conservatively due), else the earliest live event time.
+            horizon = self.events._horizon
+            if horizon is not None and horizon <= clock.cycles:
+                self.fire_due()
 
     def spend_cycles(self, cycles: int, fire: bool = True) -> None:
         """Charge a raw cycle amount."""
-        self.clock.advance(cycles)
+        clock = self.clock
+        if cycles > 0:
+            before = clock.cycles
+            clock.cycles = after = before + cycles
+            if clock._watchers:
+                for watcher in clock._watchers:
+                    watcher(before, after)
+        elif cycles < 0:
+            raise ValueError("cannot advance clock backwards: %r" % (cycles,))
         if fire:
-            self.fire_due()
+            horizon = self.events._horizon
+            if horizon is not None and horizon <= clock.cycles:
+                self.fire_due()
 
     # -- events ------------------------------------------------------------
 
@@ -114,6 +144,9 @@ class World:
         (otherwise a timer with a period shorter than its handler would
         recurse without bound).
         """
+        horizon = self.events._horizon
+        if horizon is None or horizon > self.clock.cycles:
+            return 0  # nothing can be due (stale horizon is -1: falls through)
         if self._defer_depth or self._firing:
             return 0
         self._firing = True

@@ -45,6 +45,7 @@ class IntervalTimer:
         self._interval = 0  # cycles; 0 = one-shot
         self._armer: Optional[Any] = None
         self._tag: Optional[str] = None
+        self._event_name = "itimer(%d)" % which
         self.expirations = 0
 
     @property
@@ -85,7 +86,7 @@ class IntervalTimer:
 
     def _schedule(self, delay: int) -> None:
         self._event = self._world.schedule_in(
-            delay, self._expire, name="itimer(%d)" % self._which
+            delay, self._expire, name=self._event_name
         )
 
     def _expire(self) -> None:

@@ -1,0 +1,64 @@
+"""Golden determinism: host-speed optimizations must not move virtual time.
+
+The host fast paths (cached event horizon, indexed ready queues,
+inlined spend, ``__slots__``) are admissible only because simulated
+time is bit-identical with and without them.  This test pins that down:
+the full Table 2 measurement suite, run on both CPU models, must match
+a checked-in snapshot *exactly* -- no tolerances.  If a future host
+optimization changes any number here, it changed the simulation, not
+just its speed.
+
+Regenerating the snapshot is a deliberate act (a cost-model or
+semantics change, never a performance PR):
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.bench.metrics import measure_all
+    out = {m: measure_all(m) for m in ("sparc-1+", "sparc-ipx")}
+    json.dump(out, open("tests/data/golden_table2.json", "w"), indent=2)
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.metrics import measure_all
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_table2.json"
+MODELS = ("sparc-1+", "sparc-ipx")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table2_matches_golden_snapshot(model, golden):
+    measured = measure_all(model)
+    expected = golden[model]
+    assert set(measured) == set(expected), (
+        "Table 2 metric set changed: %s"
+        % sorted(set(measured) ^ set(expected))
+    )
+    mismatches = {
+        name: (measured[name], expected[name])
+        for name in expected
+        if measured[name] != expected[name]
+    }
+    assert not mismatches, (
+        "virtual-time results diverged from the golden snapshot "
+        "(got, expected): %r -- a host-speed change altered simulated "
+        "timing; see the module docstring before regenerating" % mismatches
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table2_repeatable_within_process(model):
+    """Two in-process runs agree exactly (no hidden global state)."""
+    assert measure_all(model) == measure_all(model)

@@ -1,0 +1,265 @@
+"""The indexed queues are behaviorally equivalent to naive references.
+
+``ReadyQueue`` keeps a bisect-sorted index of occupied priority levels
+plus a thread->level map; ``PrioWaitQueue`` keeps a parallel sort-key
+list for bisect inserts.  Both are pure host-speed devices: this module
+drives the real implementations and deliberately naive re-implement-
+ations (linear scans, ``sorted()`` per query) through random operation
+sequences and asserts every observable agrees after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import config
+from repro.core.queues import PrioWaitQueue, ReadyQueue
+from repro.core.tcb import Tcb
+
+
+# -- naive references -------------------------------------------------------
+
+
+class NaiveReadyQueue:
+    """Dict of FIFO lists; every query re-derives the occupied set."""
+
+    def __init__(self):
+        self._levels = {}  # priority -> list of (filed) threads
+
+    def __len__(self):
+        return sum(len(level) for level in self._levels.values())
+
+    def __contains__(self, tcb):
+        return any(tcb in level for level in self._levels.values())
+
+    def enqueue(self, tcb, front=False):
+        self._file(tcb, tcb.effective_priority, front)
+
+    def enqueue_lowest_tail(self, tcb):
+        occupied = sorted(p for p, l in self._levels.items() if l)
+        lowest = occupied[0] if occupied else config.PTHREAD_MIN_PRIORITY
+        self._file(tcb, lowest, front=False)
+
+    def _file(self, tcb, priority, front):
+        level = self._levels.setdefault(priority, [])
+        if front:
+            level.insert(0, tcb)
+        else:
+            level.append(tcb)
+
+    def dequeue(self):
+        occupied = sorted(
+            (p for p, l in self._levels.items() if l), reverse=True
+        )
+        if not occupied:
+            return None
+        return self._levels[occupied[0]].pop(0)
+
+    def peek(self):
+        occupied = sorted(
+            (p for p, l in self._levels.items() if l), reverse=True
+        )
+        if not occupied:
+            return None
+        return self._levels[occupied[0]][0]
+
+    def remove(self, tcb):
+        for level in self._levels.values():
+            if tcb in level:
+                level.remove(tcb)
+                return True
+        return False
+
+    def reposition(self, tcb, front=False):
+        if self.remove(tcb):
+            self.enqueue(tcb, front=front)
+
+    def threads(self):
+        out = []
+        for priority in sorted(self._levels, reverse=True):
+            out.extend(self._levels[priority])
+        return out
+
+    def all_at(self, priority):
+        return list(self._levels.get(priority, ()))
+
+
+class NaivePrioWaitQueue:
+    """Linear-scan insert keeping (key-at-insert-time, thread) pairs."""
+
+    def __init__(self):
+        self._pairs = []  # (negated priority at insert time, tcb)
+
+    def __len__(self):
+        return len(self._pairs)
+
+    def __contains__(self, tcb):
+        return any(t is tcb for _, t in self._pairs)
+
+    def add(self, tcb):
+        key = -tcb.effective_priority
+        index = 0
+        while index < len(self._pairs) and self._pairs[index][0] <= key:
+            index += 1
+        self._pairs.insert(index, (key, tcb))
+
+    def pop_highest(self):
+        if not self._pairs:
+            return None
+        return self._pairs.pop(0)[1]
+
+    def remove(self, tcb):
+        for index, (_, item) in enumerate(self._pairs):
+            if item is tcb:
+                del self._pairs[index]
+                return True
+        return False
+
+    def resort(self, tcb):
+        if self.remove(tcb):
+            self.add(tcb)
+
+    def highest_priority(self):
+        if not self._pairs:
+            return None
+        return self._pairs[0][1].effective_priority
+
+    def threads(self):
+        return [t for _, t in self._pairs]
+
+
+# -- operation sequences ----------------------------------------------------
+
+N_THREADS = 12
+
+priorities = st.integers(
+    min_value=config.PTHREAD_MIN_PRIORITY,
+    max_value=config.PTHREAD_MAX_PRIORITY,
+)
+thread_ids = st.integers(min_value=0, max_value=N_THREADS - 1)
+
+ready_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), thread_ids, st.booleans()),
+        st.tuples(st.just("enqueue_lowest_tail"), thread_ids, st.none()),
+        st.tuples(st.just("dequeue"), st.none(), st.none()),
+        st.tuples(st.just("remove"), thread_ids, st.none()),
+        st.tuples(st.just("setprio"), thread_ids, priorities),
+        st.tuples(st.just("reposition"), thread_ids, st.booleans()),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+wait_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), thread_ids, st.none()),
+        st.tuples(st.just("pop_highest"), st.none(), st.none()),
+        st.tuples(st.just("remove"), thread_ids, st.none()),
+        st.tuples(st.just("setprio"), thread_ids, priorities),
+        st.tuples(st.just("resort"), thread_ids, priorities),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _make_threads(initial_priorities):
+    out = []
+    for index in range(N_THREADS):
+        tcb = Tcb(index, "t%d" % index)
+        prio = initial_priorities[index % len(initial_priorities)]
+        tcb.base_priority = prio
+        tcb.effective_priority = prio
+        out.append(tcb)
+    return out
+
+
+def _assert_ready_agree(real, naive):
+    assert len(real) == len(naive)
+    assert bool(real) == bool(len(naive) > 0)
+    assert real.peek() is naive.peek()
+    assert real.threads() == naive.threads()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(priorities, min_size=1, max_size=N_THREADS),
+    ready_ops,
+)
+def test_ready_queue_equivalent_to_naive(initial_priorities, ops):
+    threads = _make_threads(initial_priorities)
+    real, naive = ReadyQueue(), NaiveReadyQueue()
+    for op, arg, extra in ops:
+        if op == "enqueue":
+            tcb = threads[arg]
+            if tcb in real:
+                continue  # library invariant: never enqueued twice
+            real.enqueue(tcb, front=extra)
+            naive.enqueue(tcb, front=extra)
+        elif op == "enqueue_lowest_tail":
+            tcb = threads[arg]
+            if tcb in real:
+                continue
+            real.enqueue_lowest_tail(tcb)
+            naive.enqueue_lowest_tail(tcb)
+        elif op == "dequeue":
+            assert real.dequeue() is naive.dequeue()
+        elif op == "remove":
+            tcb = threads[arg]
+            assert real.remove(tcb) == naive.remove(tcb)
+            assert tcb not in real
+        elif op == "setprio":
+            threads[arg].effective_priority = extra
+        elif op == "reposition":
+            tcb = threads[arg]
+            real.reposition(tcb, front=extra)
+            naive.reposition(tcb, front=extra)
+        _assert_ready_agree(real, naive)
+        for priority in {t.effective_priority for t in threads}:
+            assert real.all_at(priority) == naive.all_at(priority)
+    # Drain fully: the complete pop order must agree.
+    while True:
+        a, b = real.dequeue(), naive.dequeue()
+        assert a is b
+        if a is None:
+            break
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(priorities, min_size=1, max_size=N_THREADS),
+    wait_ops,
+)
+def test_wait_queue_equivalent_to_naive(initial_priorities, ops):
+    threads = _make_threads(initial_priorities)
+    real, naive = PrioWaitQueue(), NaivePrioWaitQueue()
+    for op, arg, extra in ops:
+        if op == "add":
+            tcb = threads[arg]
+            if tcb in real:
+                continue  # a thread waits on one queue at a time
+            real.add(tcb)
+            naive.add(tcb)
+        elif op == "pop_highest":
+            assert real.pop_highest() is naive.pop_highest()
+        elif op == "remove":
+            tcb = threads[arg]
+            assert real.remove(tcb) == naive.remove(tcb)
+        elif op == "setprio":
+            # A stale priority must NOT move the waiter (both designs
+            # capture the sort key at insert time until resort).
+            threads[arg].effective_priority = extra
+        elif op == "resort":
+            tcb = threads[arg]
+            tcb.effective_priority = extra
+            real.resort(tcb)
+            naive.resort(tcb)
+        assert len(real) == len(naive)
+        assert real.threads() == naive.threads()
+        assert real.highest_priority() == naive.highest_priority()
+    while True:
+        a, b = real.pop_highest(), naive.pop_highest()
+        assert a is b
+        if a is None:
+            break
