@@ -53,6 +53,12 @@ class Dispatcher:
         kern = runtime.kern
         world = runtime.world
         self.dispatch_calls += 1
+        obs = runtime.obs
+        if obs is not None:
+            # Live sample: ready-queue depth has no persistent counter
+            # to harvest later, so it is observed here (one attribute
+            # load and an is-check on the disabled path).
+            obs.on_dispatch(runtime)
         while True:
             world.spend(costs.DISPATCH_SELECT, fire=False)
             chosen = self._select()

@@ -38,6 +38,7 @@ class LibKernel:
         #: (drained alongside the deferred signals).
         self.deferred_upcalls: List[object] = []
         self.enters = 0
+        self.deferred_total = 0
 
     def enter(self) -> None:
         """Set the kernel flag (begin a library critical section)."""
@@ -83,6 +84,7 @@ class LibKernel:
         """Record a signal caught while the kernel flag was set."""
         self._runtime.world.spend(costs.SIG_LOG_IN_KERNEL, fire=False)
         self.deferred_signals.append((sig, cause))
+        self.deferred_total += 1
         self.dispatcher_flag = True
 
     def __repr__(self) -> str:

@@ -87,6 +87,14 @@ class MutexOps(LibraryOps):
         "mutex_getprioceiling": "lib_mutex_getprioceiling",
     }
 
+    def __init__(self, runtime: "PthreadsRuntime") -> None:
+        super().__init__(runtime)
+        #: Run-wide totals (per-mutex counts live on each Mutex, but
+        #: mutexes are not enumerable from the runtime; these feed the
+        #: observability harvest).
+        self.contentions = 0
+        self.handoffs = 0
+
     # -- lifecycle ----------------------------------------------------------------
 
     def lib_mutex_init(
@@ -211,6 +219,7 @@ class MutexOps(LibraryOps):
             self._after_acquire(tcb, mutex)
             return OK
         mutex.contentions += 1
+        self.contentions += 1
         mutex.waiters.add(tcb)
         rt.protocols.on_contention(tcb, mutex)
         rt.world.emit(
@@ -271,6 +280,7 @@ class MutexOps(LibraryOps):
         # Hand the mutex directly to the highest-priority waiter: the
         # cell stays set, ownership transfers.
         rt.world.spend(costs.MUTEX_TRANSFER, fire=False)
+        self.handoffs += 1
         mutex.owner = heir
         mutex.acquisitions += 1
         rt.protocols.on_acquired(heir, mutex)
@@ -313,6 +323,7 @@ class MutexOps(LibraryOps):
         )
         tcb.wait = record
         mutex.waiters.add(tcb)
+        self.contentions += 1
         rt.protocols.on_contention(tcb, mutex)
         return False
 

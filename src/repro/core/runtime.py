@@ -67,12 +67,21 @@ class PthreadsRuntime:
         policy: Optional[object] = None,
         trace: Optional[object] = None,
         world: Optional[World] = None,
+        obs: Optional[object] = None,
     ) -> None:
         self.config = config or cfg.RuntimeConfig()
         self.world = world if world is not None else World(model, seed=seed)
         if trace is not None:
             trace.attach(self.world.clock)
             self.world.trace = trace
+        #: Observability facade (:class:`repro.obs.Observability`) or
+        #: None (the default -- hot paths guard on ``obs is None``).
+        #: World-level wiring happens *now*, before the subsystems below
+        #: spend their first cycle, so cycle attribution covers the
+        #: whole run and sums to the final clock exactly.
+        self.obs = obs
+        if obs is not None:
+            obs.attach_world(self.world)
         self.unix = UnixKernel(self.world)
         self.proc = HostProcess(self.unix)
         self.heap = self.unix.make_heap(self.proc)
@@ -129,6 +138,8 @@ class PthreadsRuntime:
         self._slicer: Optional[IntervalTimer] = None
         if self.config.timeslice_us is not None:
             self._start_slicer()
+        if obs is not None:
+            obs.attach(self)
 
     # -- construction helpers ----------------------------------------------------
 

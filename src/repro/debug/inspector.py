@@ -33,6 +33,12 @@ class Timeline:
 
     def __init__(self, tracer: Tracer, end_time: Optional[int] = None) -> None:
         records = tracer.of_kind("dispatch")
+        if end_time is None:
+            # Without an explicit end the final dispatch would get a
+            # zero-length segment and the last-running thread would be
+            # undercounted by ran()/runtime_of(); the newest record of
+            # *any* kind is the latest instant the trace can vouch for.
+            end_time = tracer.latest_time()
         self.segments: List[Segment] = []
         for index, record in enumerate(records):
             if index + 1 < len(records):
@@ -55,6 +61,8 @@ class Timeline:
 
     def ran_during(self, thread: str, start: int, end: int) -> bool:
         """Did ``thread`` run (partly) inside [start, end)?"""
+        if end <= start:
+            return False  # empty window contains no instants
         for s in self.segments:
             if s.thread != thread:
                 continue

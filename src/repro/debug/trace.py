@@ -10,8 +10,9 @@ paper's own evidence style.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Set
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,11 @@ class Tracer:
         self._clock = clock
         self._kinds: Optional[Set[str]] = set(kinds) if kinds else None
         self._limit = limit
-        self.records: List[TraceRecord] = []
+        #: A deque so bounded eviction is O(1) (``maxlen`` drops the
+        #: oldest record on append); unbounded when ``limit`` is None.
+        #: Iteration and the query helpers behave exactly as the old
+        #: list did; callers needing slices use ``list(tracer.records)``.
+        self.records: Deque[TraceRecord] = deque(maxlen=limit)
         self.dropped = 0
 
     def attach(self, clock: object) -> None:
@@ -69,10 +74,10 @@ class Tracer:
         if self._kinds is not None and kind not in self._kinds:
             return
         time = getattr(self._clock, "cycles", 0) if self._clock else 0
-        self.records.append(TraceRecord(time=time, kind=kind, fields=fields))
-        if self._limit is not None and len(self.records) > self._limit:
-            del self.records[0]
-            self.dropped += 1
+        records = self.records
+        if self._limit is not None and len(records) == self._limit:
+            self.dropped += 1  # maxlen evicts the oldest on append
+        records.append(TraceRecord(time=time, kind=kind, fields=fields))
 
     def of_kind(self, *kinds: str) -> List[TraceRecord]:
         """Records matching any of ``kinds``, in time order."""
@@ -96,6 +101,14 @@ class Tracer:
     def last(self, kind: str, **match: Any) -> Optional[TraceRecord]:
         hits = self.where(kind, **match)
         return hits[-1] if hits else None
+
+    def latest_time(self) -> Optional[int]:
+        """Timestamp of the newest record (None when empty).
+
+        Records are emitted against a monotonic clock, so the last
+        record is also the latest one.
+        """
+        return self.records[-1].time if self.records else None
 
     def clear(self) -> None:
         self.records.clear()

@@ -1,0 +1,188 @@
+"""The observability facade: one object wiring metrics + profile + trace.
+
+Construct an :class:`Observability`, hand it to the runtime
+(``PthreadsRuntime(obs=obs)``), run, then ask for :meth:`snapshot` or
+:meth:`report`.  The runtime attaches the world-level pieces (cycle
+profiler, trace sink) before the first cycle is spent, so attribution
+covers the entire run and the category total equals the final virtual
+clock exactly.
+
+Counter sources are a hybrid, chosen for zero disabled cost:
+
+- **live instruments** only where no persistent counter exists -- the
+  ready-queue depth histogram is sampled by the dispatcher through a
+  single ``runtime.obs is not None`` guard (the same idiom as the
+  existing ``world.trace`` guards);
+- **harvest at snapshot time** for everything the library already
+  counts (context switches, window traps, signal deliveries and
+  deferrals, fake calls, mutex contention, priority hand-offs,
+  per-thread CPU cycles): reading those at the end costs the running
+  simulation nothing at all.
+
+Everything here observes the simulation; nothing advances the virtual
+clock, which is what keeps the golden Table 2 snapshot bit-identical
+with observability enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.profile import CycleProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import PthreadsRuntime
+    from repro.sim.world import World
+
+
+class Observability:
+    """Metrics registry + cycle profiler + optional trace sink."""
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        profile: bool = True,
+        trace: Optional[object] = None,
+    ) -> None:
+        self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+        self.profiler: Optional[CycleProfiler] = (
+            CycleProfiler() if profile else None
+        )
+        self.trace = trace
+        self.runtime: Optional["PthreadsRuntime"] = None
+        # Live instruments (no-ops when metrics are disabled).
+        self.dispatches = self.registry.counter(
+            "sched.dispatches", help="dispatcher invocations"
+        )
+        self.ready_depth = self.registry.histogram(
+            "sched.ready_depth", help="ready-queue depth at dispatch"
+        )
+
+    # -- attachment -------------------------------------------------------------
+
+    def attach_world(self, world: "World") -> None:
+        """World-level wiring; call before any cycle is spent."""
+        if self.trace is not None:
+            self.trace.attach(world.clock)
+            world.trace = self.trace
+        if self.profiler is not None and not self.profiler.attached:
+            self.profiler.attach_world(world)
+
+    def attach(self, runtime: "PthreadsRuntime") -> None:
+        """Bind to a runtime (world wiring happens here if it has not)."""
+        self.runtime = runtime
+        runtime.obs = self
+        if self.profiler is not None:
+            self.profiler.attach_runtime(runtime)
+        if self.trace is not None and runtime.world.trace is None:
+            self.trace.attach(runtime.world.clock)
+            runtime.world.trace = self.trace
+
+    # -- live hooks --------------------------------------------------------------
+
+    def on_dispatch(self, runtime: "PthreadsRuntime") -> None:
+        """Called by the dispatcher (guarded; never on the disabled path)."""
+        self.dispatches.inc()
+        self.ready_depth.observe(len(runtime.sched.ready))
+
+    # -- harvest -----------------------------------------------------------------
+
+    def harvest(self) -> None:
+        """Copy the library's persistent counters into the registry."""
+        runtime = self.runtime
+        if runtime is None or not self.registry.enabled:
+            return
+        registry = self.registry
+        world = runtime.world
+
+        def put(name: str, value: int, help: str = "") -> None:
+            registry.counter(name, help=help).set(value)
+
+        dispatcher = runtime.dispatcher
+        put("sched.context_switches", dispatcher.context_switches,
+            "thread context switches performed")
+        put("sched.dispatch_calls", dispatcher.dispatch_calls,
+            "dispatcher entries (Figure 2)")
+        put("sched.signal_restarts", dispatcher.signal_restarts,
+            "dispatches restarted by deferred signals")
+        put("kernel.enters", runtime.kern.enters,
+            "library kernel critical sections")
+        put("executor.steps", runtime.steps, "executor steps retired")
+
+        windows = world.windows
+        put("hw.window_flush_traps", windows.flush_traps,
+            "ST_FLUSH_WINDOWS traps (context switches, setjmp)")
+        put("hw.window_underflow_traps", windows.underflow_traps,
+            "window underflow/fill traps")
+        put("hw.window_overflow_traps", windows.overflow_traps,
+            "window overflow traps (deep call chains)")
+
+        sigdeliver = runtime.sigdeliver
+        put("signals.delivered", sigdeliver.delivered_to_threads,
+            "signals delivered to a thread")
+        put("signals.deferred", runtime.kern.deferred_total,
+            "signals caught while the kernel flag was set")
+        put("signals.process_pended", sigdeliver.pended_on_process,
+            "signals pended on the process (rule 6)")
+        put("signals.fake_calls", runtime.fakecalls.installed,
+            "user-handler wrapper frames installed")
+
+        put("mutex.contentions", runtime.mutex_ops.contentions,
+            "lock attempts that blocked")
+        put("mutex.handoffs", runtime.mutex_ops.handoffs,
+            "direct owner-to-waiter transfers")
+        put("protocol.boosts", runtime.protocols.boosts,
+            "priority raises (inheritance/ceiling)")
+        put("protocol.unboosts", runtime.protocols.unboosts,
+            "priority restorations at unlock")
+
+        put("unix.syscalls", runtime.unix.total_syscalls,
+            "UNIX kernel calls made by the library")
+
+        for tcb in runtime.threads.values():
+            safe = tcb.name.replace(" ", "_")
+            put("thread.cpu_cycles.%s" % safe, tcb.cpu_cycles)
+            put("thread.switches_in.%s" % safe, tcb.context_switches_in)
+
+    # -- results -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Harvest and return a plain-data view of everything."""
+        self.harvest()
+        out: Dict[str, Any] = {"metrics": self.registry.snapshot()}
+        if self.profiler is not None:
+            out["profile"] = self.profiler.snapshot()
+        runtime = self.runtime
+        if runtime is not None:
+            out["elapsed_cycles"] = runtime.world.now
+            out["elapsed_us"] = runtime.world.now_us
+        return out
+
+    def report(self) -> str:
+        """Human-readable run report: metrics table + attribution."""
+        self.harvest()
+        sections = []
+        runtime = self.runtime
+        if runtime is not None:
+            world = runtime.world
+            sections.append(
+                "run: model=%s  elapsed=%d cycles (%.2f us)  steps=%d"
+                % (world.model.name, world.now, world.now_us, runtime.steps)
+            )
+        sections.append("-- metrics " + "-" * 45)
+        sections.append(self.registry.render())
+        if self.profiler is not None:
+            sections.append("-- cycle attribution " + "-" * 35)
+            sections.append(self.profiler.render())
+        return "\n".join(sections)
+
+    def __repr__(self) -> str:
+        return "Observability(metrics=%s, profile=%s, trace=%s)" % (
+            self.registry.enabled,
+            self.profiler is not None,
+            self.trace is not None,
+        )

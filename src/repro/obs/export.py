@@ -1,0 +1,216 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL streaming, ASCII.
+
+Three ways out of the in-memory :class:`~repro.debug.trace.Tracer`:
+
+- :func:`chrome_trace` builds a Chrome trace-event document (the
+  ``traceEvents`` array format) from the dispatch segments plus one
+  instant event per remaining record.  Load the file in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing`` to get the paper's
+  Figure 5 "who ran when" picture interactively.
+- :class:`JsonlSink` is a *streaming* trace sink: it duck-types the
+  ``Tracer`` emit interface (``attach``/``emit``) and writes one JSON
+  object per line as records happen, so unbounded runs need no memory.
+  :func:`write_jsonl` dumps an existing tracer in the same schema.
+- :func:`ascii_timeline` renders the timeline as text, generalising
+  ``debug/inspector.py``'s per-thread rows with an event-marker row.
+
+Timestamps: the tracer records virtual *cycles*; Chrome's ``ts`` field
+is microseconds, so exporters take ``us_per_cycle`` (``1 / model.mhz``)
+and keep full precision as floats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterator, List, Optional
+
+from repro.debug.inspector import Timeline
+from repro.debug.trace import Tracer
+
+#: Synthetic tid for records that carry no thread field (process-scope
+#: events such as ``process-terminated``).
+PROCESS_TID = 0
+
+
+def _thread_ids(tracer: Tracer) -> Dict[str, int]:
+    """Stable thread-name -> tid mapping, in order of first appearance."""
+    ids: Dict[str, int] = {}
+    for record in tracer:
+        name = record.get("thread")
+        if isinstance(name, str) and name not in ids:
+            ids[name] = len(ids) + 1
+    return ids
+
+
+def chrome_trace(
+    tracer: Tracer,
+    us_per_cycle: float = 1.0,
+    end_time: Optional[int] = None,
+    pid: int = 1,
+    process_name: str = "pthreads",
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from a tracer.
+
+    Dispatch records become complete ("X") duration events -- one per
+    execution segment, on the row of the thread that ran -- and every
+    other record becomes an instant ("i") event on its thread's row
+    (process scope when the record names no thread).
+    """
+    tids = _thread_ids(tracer)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": PROCESS_TID,
+            "args": {"name": process_name},
+        }
+    ]
+    for name, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    timeline = Timeline(tracer, end_time=end_time)
+    for segment in timeline.segments:
+        if segment.thread == "<idle>":
+            continue
+        events.append(
+            {
+                "name": "run",
+                "cat": "dispatch",
+                "ph": "X",
+                "ts": segment.start * us_per_cycle,
+                "dur": segment.length * us_per_cycle,
+                "pid": pid,
+                "tid": tids.get(segment.thread, PROCESS_TID),
+                "args": {"thread": segment.thread},
+            }
+        )
+    for record in tracer:
+        if record.kind == "dispatch":
+            continue  # rendered as the duration events above
+        thread = record.get("thread")
+        tid = tids.get(thread, PROCESS_TID) if isinstance(thread, str) else PROCESS_TID
+        events.append(
+            {
+                "name": record.kind,
+                "cat": "trace",
+                "ph": "i",
+                "ts": record.time * us_per_cycle,
+                "pid": pid,
+                "tid": tid,
+                "s": "t" if tid != PROCESS_TID else "p",
+                "args": dict(record.fields),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    us_per_cycle: float = 1.0,
+    end_time: Optional[int] = None,
+) -> None:
+    """Serialise :func:`chrome_trace` to ``path``."""
+    document = chrome_trace(tracer, us_per_cycle=us_per_cycle, end_time=end_time)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1, default=repr)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def _record_payload(time: int, kind: str, fields: Dict[str, Any]) -> Dict[str, Any]:
+    return {"t": time, "kind": kind, **fields}
+
+
+def jsonl_lines(tracer: Tracer) -> Iterator[str]:
+    """One JSON object per record: ``{"t": cycles, "kind": ..., ...}``."""
+    for record in tracer:
+        yield json.dumps(
+            _record_payload(record.time, record.kind, record.fields),
+            default=repr,
+        )
+
+
+def write_jsonl(path: str, tracer: Tracer) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(tracer):
+            fh.write(line)
+            fh.write("\n")
+
+
+class JsonlSink:
+    """A streaming trace sink writing JSONL as records are emitted.
+
+    Drop-in for the ``trace=`` slot of the runtime/world: implements
+    ``attach(clock)`` and ``emit(kind, **fields)``, holds no records in
+    memory, and never advances the clock.
+    """
+
+    def __init__(self, fh: IO[str], kinds: Optional[List[str]] = None) -> None:
+        self._fh = fh
+        self._kinds = set(kinds) if kinds else None
+        self._clock: Optional[object] = None
+        self.emitted = 0
+
+    def attach(self, clock: object) -> None:
+        self._clock = clock
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        time = getattr(self._clock, "cycles", 0) if self._clock else 0
+        json.dump(_record_payload(time, kind, fields), self._fh, default=repr)
+        self._fh.write("\n")
+        self.emitted += 1
+
+
+# ---------------------------------------------------------------------------
+# ASCII
+# ---------------------------------------------------------------------------
+
+
+def ascii_timeline(
+    tracer: Tracer,
+    end_time: Optional[int] = None,
+    us_per_cycle: float = 1.0,
+    width: int = 72,
+    markers: bool = True,
+) -> str:
+    """Text timeline: per-thread execution rows plus an event row.
+
+    Generalises ``Timeline.render``: the extra ``events`` row puts a
+    ``*`` wherever any non-dispatch record fired, so signal deliveries
+    and mutex hand-offs are visible against the execution segments.
+    """
+    timeline = Timeline(tracer, end_time=end_time)
+    art = timeline.render(us_per_cycle=us_per_cycle, width=width)
+    if not markers or not timeline.segments:
+        return art
+    t0 = timeline.segments[0].start
+    t1 = max(s.end for s in timeline.segments)
+    span = max(t1 - t0, 1)
+    row = [" "] * width
+    count = 0
+    for record in tracer:
+        if record.kind == "dispatch":
+            continue
+        if record.time < t0 or record.time > t1:
+            continue
+        slot = int((record.time - t0) * (width - 1) / span)
+        row[slot] = "*"
+        count += 1
+    if count:
+        art += "\n%-12s |%s|" % ("(events)", "".join(row))
+    return art

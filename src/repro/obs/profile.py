@@ -1,0 +1,356 @@
+"""Cycle attribution: where did the virtual cycles go?
+
+Table 2 of the paper is a latency breakdown of primitive operations;
+this module produces the complementary whole-run view -- every cycle
+the virtual clock advances is attributed to one category (compute,
+window traps, syscalls, signal delivery, scheduling, synchronization,
+memory, miscellaneous library work, idle) and to the thread that was
+current when it was spent.
+
+Mechanism: the profiler registers a clock *watcher*, so it sees every
+advance, and shadows ``World.spend``/``spend_cycles`` with
+instance-level wrappers that set the ambient category (derived from
+the cost key being charged) around the original call.  Direct
+``clock.advance`` calls -- user work bursts, the restartable atomic
+sequences -- land in the ambient category, which defaults to
+``compute``.  The register-window methods and the idle advance are
+wrapped the same way so trap and idle cycles are labelled precisely.
+
+Two invariants make this admissible instrumentation:
+
+- the profiler never advances the clock itself, so simulated time is
+  bit-identical with and without it (the golden Table 2 snapshot test
+  runs with it attached);
+- detached (the default), no wrapper and no watcher exists, so the
+  disabled cost is zero.
+
+The total across categories equals the cycles the clock advanced while
+attached -- exactly, by construction, since every advance passes
+through the watcher once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.hw import costs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import PthreadsRuntime
+    from repro.sim.world import World
+
+# Categories, in report order.
+COMPUTE = "compute"
+WINDOW_TRAPS = "window-traps"
+SYSCALLS = "syscalls"
+SIGNAL_DELIVERY = "signal-delivery"
+SCHEDULING = "scheduling"
+SYNCHRONIZATION = "synchronization"
+MEMORY = "memory"
+LIBRARY_MISC = "library-misc"
+IDLE = "idle"
+
+CATEGORIES = (
+    COMPUTE,
+    WINDOW_TRAPS,
+    SYSCALLS,
+    SIGNAL_DELIVERY,
+    SCHEDULING,
+    SYNCHRONIZATION,
+    MEMORY,
+    LIBRARY_MISC,
+    IDLE,
+)
+
+#: Cost key -> category.  Every key in ``hw.costs`` appears here; a key
+#: added there without a category falls back to ``library-misc`` (the
+#: consistency test pins the explicit mapping to the cost table).
+CATEGORY_OF_KEY: Dict[str, str] = {
+    # Raw instructions execute as part of whatever the thread is doing.
+    costs.INSN: COMPUTE,
+    costs.CALL: COMPUTE,
+    costs.RET: COMPUTE,
+    costs.LDSTUB: COMPUTE,
+    costs.CAS: COMPUTE,
+    # Register-window traps.
+    costs.FLUSH_WINDOWS_TRAP: WINDOW_TRAPS,
+    costs.WINDOW_UNDERFLOW_TRAP: WINDOW_TRAPS,
+    costs.WINDOW_OVERFLOW_TRAP: WINDOW_TRAPS,
+    costs.WINDOW_FILL_TRAP: WINDOW_TRAPS,
+    costs.WINDOW_REGS: WINDOW_TRAPS,
+    # The UNIX kernel interface.
+    costs.SYSCALL: SYSCALLS,
+    costs.GETPID_WORK: SYSCALLS,
+    costs.SIGSETMASK_WORK: SYSCALLS,
+    costs.SIGACTION_WORK: SYSCALLS,
+    costs.SETITIMER_WORK: SYSCALLS,
+    costs.KILL_WORK: SYSCALLS,
+    costs.SBRK_WORK: SYSCALLS,
+    costs.PROC_SWITCH: SYSCALLS,
+    # Signal machinery (UNIX delivery and the library's own model).
+    costs.UNIX_SIGNAL_DELIVER: SIGNAL_DELIVERY,
+    costs.UNIX_SIGRETURN: SIGNAL_DELIVERY,
+    costs.SIG_RECIPIENT_RULES: SIGNAL_DELIVERY,
+    costs.SIG_ACTION_RULES: SIGNAL_DELIVERY,
+    costs.FAKE_CALL_SETUP: SIGNAL_DELIVERY,
+    costs.WRAPPER_OVERHEAD: SIGNAL_DELIVERY,
+    costs.SIG_LOG_IN_KERNEL: SIGNAL_DELIVERY,
+    costs.SIG_MASK_OP: SIGNAL_DELIVERY,
+    # Library kernel, dispatcher, ready queue.
+    costs.ENTER_KERNEL: SCHEDULING,
+    costs.LEAVE_KERNEL: SCHEDULING,
+    costs.DISPATCH_SELECT: SCHEDULING,
+    costs.DISPATCH_OVERHEAD: SCHEDULING,
+    costs.READY_ENQUEUE: SCHEDULING,
+    costs.READY_DEQUEUE: SCHEDULING,
+    costs.ERRNO_SWITCH: SCHEDULING,
+    costs.PRIO_ADJUST: SCHEDULING,
+    costs.TIMER_TICK: SCHEDULING,
+    # Synchronization objects.
+    costs.MUTEX_FAST_LOCK: SYNCHRONIZATION,
+    costs.MUTEX_FAST_UNLOCK: SYNCHRONIZATION,
+    costs.MUTEX_SLOW_EXTRA: SYNCHRONIZATION,
+    costs.MUTEX_TRANSFER: SYNCHRONIZATION,
+    costs.PROTOCOL_CHECK: SYNCHRONIZATION,
+    costs.COND_WAIT_SETUP: SYNCHRONIZATION,
+    costs.COND_SIGNAL_WORK: SYNCHRONIZATION,
+    costs.SEM_OVERHEAD: SYNCHRONIZATION,
+    # Memory and the thread pool.
+    costs.HEAP_ALLOC: MEMORY,
+    costs.HEAP_FREE: MEMORY,
+    costs.POOL_POP: MEMORY,
+    costs.POOL_PUSH: MEMORY,
+    costs.TCB_INIT: MEMORY,
+    costs.STACK_SETUP: MEMORY,
+    # Everything else in the library.
+    costs.SETJMP_SAVE: LIBRARY_MISC,
+    costs.LONGJMP_RESTORE: LIBRARY_MISC,
+    costs.CREATE_MISC: LIBRARY_MISC,
+    costs.JOIN_WORK: LIBRARY_MISC,
+    costs.EXIT_WORK: LIBRARY_MISC,
+    costs.DETACH_WORK: LIBRARY_MISC,
+    costs.CANCEL_WORK: LIBRARY_MISC,
+    costs.TSD_OP: LIBRARY_MISC,
+    costs.ONCE_OP: LIBRARY_MISC,
+    costs.CLEANUP_OP: LIBRARY_MISC,
+    costs.ATTR_OP: LIBRARY_MISC,
+}
+
+
+class CycleProfiler:
+    """Attributes every clock advance to a category and a thread."""
+
+    def __init__(self) -> None:
+        self.by_category: Dict[str, int] = {c: 0 for c in CATEGORIES}
+        self.by_thread: Dict[str, int] = {}
+        self.start_cycles = 0
+        self._category = COMPUTE
+        self._world: Optional["World"] = None
+        self._runtime: Optional["PthreadsRuntime"] = None
+        self._saved: Dict[str, object] = {}
+
+    @property
+    def attached(self) -> bool:
+        return self._world is not None
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach_world(self, world: "World") -> None:
+        """Install the watcher and the category-scoping wrappers.
+
+        Attach before the first cycle is spent (the runtime does this
+        right after building the world) so the category totals cover
+        the whole run and sum to the final clock exactly.
+        """
+        if self._world is not None:
+            raise RuntimeError("profiler is already attached")
+        self._world = world
+        self.start_cycles = world.clock.cycles
+        world.clock.add_watcher(self._on_advance)
+        self._wrap_spend(world)
+        self._wrap_windows(world.windows)
+        self._wrap_idle(world)
+
+    def attach_runtime(self, runtime: "PthreadsRuntime") -> None:
+        """Bind the runtime whose ``current`` names the running thread."""
+        self._runtime = runtime
+        if self._world is None:
+            self.attach_world(runtime.world)
+
+    def detach(self) -> None:
+        """Remove the watcher and restore the wrapped methods."""
+        world = self._world
+        if world is None:
+            return
+        world.clock.remove_watcher(self._on_advance)
+        for name, target in self._saved.items():
+            obj, attr = target  # type: ignore[misc]
+            try:
+                delattr(obj, attr)
+            except AttributeError:
+                pass
+        self._saved.clear()
+        self._world = None
+        self._runtime = None
+
+    # -- the watcher -----------------------------------------------------------
+
+    def _on_advance(self, before: int, after: int) -> None:
+        delta = after - before
+        self.by_category[self._category] += delta
+        runtime = self._runtime
+        if runtime is not None:
+            current = runtime.current
+            name = current.name if current is not None else "<kernel>"
+        else:
+            name = "<world>"
+        threads = self.by_thread
+        threads[name] = threads.get(name, 0) + delta
+
+    # -- wrappers --------------------------------------------------------------
+
+    def _wrap_spend(self, world: "World") -> None:
+        orig_spend = world.spend
+        orig_spend_cycles = world.spend_cycles
+        category_of = CATEGORY_OF_KEY
+
+        def spend(key: str, times: int = 1, fire: bool = True) -> None:
+            prev = self._category
+            self._category = category_of.get(key, LIBRARY_MISC)
+            try:
+                orig_spend(key, times, fire)
+            finally:
+                self._category = prev
+
+        def spend_cycles(cycles: int, fire: bool = True) -> None:
+            # Raw charges (work bursts, loop overhead) stay in the
+            # ambient category -- compute unless inside a wrapped scope.
+            orig_spend_cycles(cycles, fire)
+
+        world.spend = spend  # type: ignore[method-assign]
+        world.spend_cycles = spend_cycles  # type: ignore[method-assign]
+        self._saved["spend"] = (world, "spend")
+        self._saved["spend_cycles"] = (world, "spend_cycles")
+
+    def _wrap_windows(self, windows) -> None:
+        """Label the register-window trap cycles.
+
+        ``flush``/``switch_in`` are pure trap work.  ``save``/``restore``
+        are ordinary call/return instructions *unless* the window file
+        overflows/underflows, so the wrapper checks the trap condition
+        (the same test the methods themselves make) and only relabels
+        when a trap will actually be taken.
+        """
+        orig_flush = windows.flush
+        orig_switch_in = windows.switch_in
+        orig_save = windows.save
+        orig_restore = windows.restore
+
+        def scoped(fn):
+            def wrapper():
+                prev = self._category
+                self._category = WINDOW_TRAPS
+                try:
+                    fn()
+                finally:
+                    self._category = prev
+            return wrapper
+
+        def save():
+            if windows._active == windows._usable:
+                scoped_save()
+            else:
+                orig_save()
+
+        def restore():
+            if windows._active <= 1:
+                scoped_restore()
+            else:
+                orig_restore()
+
+        scoped_save = scoped(orig_save)
+        scoped_restore = scoped(orig_restore)
+        windows.flush = scoped(orig_flush)
+        windows.switch_in = scoped(orig_switch_in)
+        windows.save = save
+        windows.restore = restore
+        for attr in ("flush", "switch_in", "save", "restore"):
+            self._saved["windows." + attr] = (windows, attr)
+
+    def _wrap_idle(self, world: "World") -> None:
+        orig = world.advance_to_next_event
+
+        def advance_to_next_event() -> None:
+            prev = self._category
+            self._category = IDLE
+            try:
+                orig()
+            finally:
+                self._category = prev
+
+        world.advance_to_next_event = advance_to_next_event  # type: ignore[method-assign]
+        self._saved["advance_to_next_event"] = (world, "advance_to_next_event")
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.by_category.values())
+
+    def attributed_span(self) -> int:
+        """Cycles the clock advanced while attached (the oracle the
+        category total must match exactly)."""
+        if self._world is None:
+            return self.total_cycles
+        return self._world.clock.cycles - self.start_cycles
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "by_category": {
+                c: self.by_category[c] for c in CATEGORIES
+                if self.by_category[c]
+            },
+            "by_thread": dict(
+                sorted(self.by_thread.items(), key=lambda kv: -kv[1])
+            ),
+            "total_cycles": self.total_cycles,
+            "start_cycles": self.start_cycles,
+        }
+
+    def render(self, us_per_cycle: Optional[float] = None) -> str:
+        """The Table-2-style "where did the cycles go" breakdown."""
+        total = self.total_cycles
+        if total == 0:
+            return "(no cycles attributed)"
+        if us_per_cycle is None and self._world is not None:
+            us_per_cycle = 1.0 / self._world.model.mhz
+        lines = ["%-16s %14s %12s %7s" % ("CATEGORY", "CYCLES", "US", "%")]
+        for category in CATEGORIES:
+            cycles = self.by_category[category]
+            if cycles == 0:
+                continue
+            us = cycles * us_per_cycle if us_per_cycle else 0.0
+            lines.append(
+                "%-16s %14d %12.2f %6.1f%%"
+                % (category, cycles, us, 100.0 * cycles / total)
+            )
+        lines.append(
+            "%-16s %14d %12.2f %6.1f%%"
+            % ("total", total, total * (us_per_cycle or 0.0), 100.0)
+        )
+        lines.append("")
+        lines.append("%-16s %14s %12s %7s" % ("THREAD", "CYCLES", "US", "%"))
+        for name, cycles in sorted(
+            self.by_thread.items(), key=lambda kv: -kv[1]
+        ):
+            us = cycles * us_per_cycle if us_per_cycle else 0.0
+            lines.append(
+                "%-16s %14d %12.2f %6.1f%%"
+                % (name, cycles, us, 100.0 * cycles / total)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "CycleProfiler(total=%d, attached=%s)" % (
+            self.total_cycles, self.attached,
+        )

@@ -26,10 +26,35 @@ from pathlib import Path
 
 import pytest
 
+import repro.bench.metrics as metrics_mod
 from repro.bench.metrics import measure_all
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import PthreadsRuntime
+from repro.debug.trace import Tracer
+from repro.obs import Observability
 
 GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_table2.json"
 MODELS = ("sparc-1+", "sparc-ipx")
+
+
+def _observed_runtime(model: str) -> PthreadsRuntime:
+    """``metrics._runtime`` with the full observability stack attached:
+    metrics registry, cycle profiler (a clock watcher plus wrapped
+    spend paths), and an unbounded tracer.  Virtual time must not
+    move by a single cycle."""
+    return PthreadsRuntime(
+        model=model,
+        config=RuntimeConfig(timeslice_us=None, pool_size=8),
+        obs=Observability(trace=Tracer()),
+    )
+
+
+@pytest.fixture(params=["obs-off", "obs-on"])
+def obs_mode(request, monkeypatch):
+    """Run the suite bare and with observability fully enabled."""
+    if request.param == "obs-on":
+        monkeypatch.setattr(metrics_mod, "_runtime", _observed_runtime)
+    return request.param
 
 
 @pytest.fixture(scope="module")
@@ -39,7 +64,7 @@ def golden():
 
 
 @pytest.mark.parametrize("model", MODELS)
-def test_table2_matches_golden_snapshot(model, golden):
+def test_table2_matches_golden_snapshot(model, golden, obs_mode):
     measured = measure_all(model)
     expected = golden[model]
     assert set(measured) == set(expected), (
@@ -53,12 +78,13 @@ def test_table2_matches_golden_snapshot(model, golden):
     }
     assert not mismatches, (
         "virtual-time results diverged from the golden snapshot "
-        "(got, expected): %r -- a host-speed change altered simulated "
-        "timing; see the module docstring before regenerating" % mismatches
+        "(mode=%s; got, expected): %r -- a host-speed or observability "
+        "change altered simulated timing; see the module docstring "
+        "before regenerating" % (obs_mode, mismatches)
     )
 
 
 @pytest.mark.parametrize("model", MODELS)
-def test_table2_repeatable_within_process(model):
+def test_table2_repeatable_within_process(model, obs_mode):
     """Two in-process runs agree exactly (no hidden global state)."""
     assert measure_all(model) == measure_all(model)

@@ -1,0 +1,74 @@
+"""Smoke tests for the ``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import cli
+
+
+class TestReport:
+    def test_report_prints_tables_and_invariant(self, capsys):
+        assert cli.main(
+            ["report", "--workload", "lock_storm", "--scale", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics" in out
+        assert "-- cycle attribution" in out
+        assert "attribution check:" in out
+        # The invariant line prints "N cycles attributed == N on the
+        # clock" with both sides equal, matching the run header.
+        elapsed = int(out.split("elapsed=")[1].split(" ")[0])
+        attributed = int(out.split("attribution check: ")[1].split(" ")[0])
+        assert attributed == elapsed
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["report", "--workload", "no_such_thing"])
+
+
+class TestTrace:
+    def test_chrome_export_is_valid_json(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert cli.main(
+            [
+                "trace", "--workload", "create_join_churn",
+                "--scale", "1", "--format", "chrome",
+                "--out", str(out_path),
+            ]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in ("M", "X", "i")
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_jsonl_export_parses(self, tmp_path, capsys):
+        out_path = tmp_path / "t.jsonl"
+        assert cli.main(
+            [
+                "trace", "--workload", "pipeline", "--scale", "1",
+                "--format", "jsonl", "--out", str(out_path),
+            ]
+        ) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            obj = json.loads(line)
+            assert "t" in obj and "kind" in obj
+
+
+class TestTimelineAndList:
+    def test_timeline_renders(self, capsys):
+        assert cli.main(
+            ["timeline", "--workload", "fan_out_fan_in", "--scale", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "main" in out and "|" in out
+
+    def test_list_names_workloads(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lock_storm" in out and "signal_storm" in out

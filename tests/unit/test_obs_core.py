@@ -1,0 +1,122 @@
+"""Unit tests for the Observability facade (harvest, snapshot, report)."""
+
+import json
+
+from repro.core.attr import ThreadAttr
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import PthreadsRuntime
+from repro.debug.trace import Tracer
+from repro.obs.core import Observability
+
+
+def run_observed(main_fn, obs=None, priority=64):
+    obs = obs if obs is not None else Observability()
+    rt = PthreadsRuntime(config=RuntimeConfig(pool_size=16), obs=obs)
+    rt.main(main_fn, priority=priority)
+    rt.run()
+    return obs, rt
+
+
+def contended_main(pt):
+    """A genuinely contended mutex: the low-priority holder takes the
+    lock, then a high-priority waiter preempts and must block."""
+
+    def holder(pt, m):
+        yield pt.mutex_lock(m)
+        t = yield pt.create(
+            waiter, m, name="hi", attr=ThreadAttr(priority=100)
+        )
+        yield pt.work(500)
+        yield pt.mutex_unlock(m)  # direct hand-off to the waiter
+        yield pt.join(t)
+
+    def waiter(pt, m):
+        yield pt.mutex_lock(m)
+        yield pt.mutex_unlock(m)
+
+    m = yield pt.mutex_init()
+    t = yield pt.create(holder, m, name="lo", attr=ThreadAttr(priority=50))
+    yield pt.join(t)
+
+
+class TestHarvest:
+    def test_counters_present_and_consistent(self):
+        obs, rt = run_observed(contended_main)
+        snap = obs.snapshot()
+        metrics = snap["metrics"]
+        assert metrics["sched.context_switches"] == (
+            rt.dispatcher.context_switches
+        )
+        assert metrics["kernel.enters"] == rt.kern.enters
+        assert metrics["executor.steps"] == rt.steps
+        assert metrics["unix.syscalls"] == rt.unix.total_syscalls
+        assert snap["elapsed_cycles"] == rt.world.clock.cycles
+
+    def test_mutex_contention_and_handoff_counted(self):
+        obs, _ = run_observed(contended_main)
+        metrics = obs.snapshot()["metrics"]
+        assert metrics["mutex.contentions"] >= 1
+        assert metrics["mutex.handoffs"] >= 1
+
+    def test_live_dispatch_sampling(self):
+        obs, rt = run_observed(contended_main)
+        metrics = obs.snapshot()["metrics"]
+        assert metrics["sched.dispatches"] == rt.dispatcher.dispatch_calls
+        assert metrics["sched.ready_depth"]["count"] == (
+            rt.dispatcher.dispatch_calls
+        )
+
+    def test_per_thread_cycles_harvested(self):
+        obs, rt = run_observed(contended_main)
+        metrics = obs.snapshot()["metrics"]
+        assert metrics["thread.cpu_cycles.main"] > 0
+
+    def test_snapshot_is_json_serialisable(self):
+        obs, _ = run_observed(contended_main)
+        json.dumps(obs.snapshot())
+
+
+class TestReport:
+    def test_report_contains_sections(self):
+        obs, _ = run_observed(contended_main)
+        text = obs.report()
+        assert "-- metrics" in text
+        assert "-- cycle attribution" in text
+        assert "mutex.contentions" in text
+        assert "total" in text
+
+    def test_attribution_total_matches_clock(self):
+        obs, rt = run_observed(contended_main)
+        obs.report()
+        assert obs.profiler.total_cycles == rt.world.clock.cycles
+
+
+class TestModes:
+    def test_metrics_disabled(self):
+        obs, _ = run_observed(
+            contended_main, obs=Observability(metrics=False)
+        )
+        assert obs.snapshot()["metrics"] == {}
+        # The profiler still works without the registry.
+        assert obs.profiler.total_cycles > 0
+
+    def test_profile_disabled(self):
+        obs, _ = run_observed(
+            contended_main, obs=Observability(profile=False)
+        )
+        snap = obs.snapshot()
+        assert "profile" not in snap
+        assert snap["metrics"]["sched.dispatches"] > 0
+
+    def test_trace_wired_through_runtime(self):
+        tracer = Tracer()
+        obs, rt = run_observed(contended_main, obs=Observability(trace=tracer))
+        assert rt.world.trace is tracer
+        assert tracer.where("dispatch", thread="hi")
+        assert tracer.first("mutex-contention", thread="hi") is not None
+
+    def test_disabled_runtime_has_no_obs(self):
+        rt = PthreadsRuntime(config=RuntimeConfig(pool_size=16))
+        assert rt.obs is None
+        # No instance-level shadows on the hot-path objects.
+        assert "spend" not in rt.world.__dict__

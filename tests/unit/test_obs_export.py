@@ -1,0 +1,166 @@
+"""Unit tests for the trace exporters.
+
+Includes the acceptance smoke test: an exported Chrome trace must be
+valid JSON whose events carry well-formed ``ph``/``ts``/``pid``/``tid``
+fields (Perfetto and ``chrome://tracing`` both reject documents that
+violate the trace-event schema).
+"""
+
+import io
+import json
+
+from repro.debug.trace import Tracer
+from repro.obs.export import (
+    JsonlSink,
+    PROCESS_TID,
+    ascii_timeline,
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from tests.conftest import run_program
+
+
+class _FakeClock:
+    def __init__(self):
+        self.cycles = 0
+
+
+def make_tracer():
+    clock = _FakeClock()
+    tracer = Tracer(clock)
+    tracer.emit("dispatch", thread="a")
+    clock.cycles = 100
+    tracer.emit("signal-delivered", thread="a", sig=10)
+    clock.cycles = 150
+    tracer.emit("dispatch", thread="b")
+    clock.cycles = 400
+    tracer.emit("process-terminated")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_event_fields_well_formed(self):
+        doc = chrome_trace(make_tracer(), us_per_cycle=0.025)
+        events = doc["traceEvents"]
+        assert events, "no events exported"
+        valid_phases = {"M", "X", "i"}
+        for event in events:
+            assert event["ph"] in valid_phases
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], (int, float))
+                assert isinstance(event["dur"], (int, float))
+                assert event["dur"] >= 0
+            elif event["ph"] == "i":
+                assert isinstance(event["ts"], (int, float))
+                assert event["s"] in ("t", "p")
+
+    def test_thread_metadata_present(self):
+        doc = chrome_trace(make_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert {"a", "b"} <= names
+
+    def test_segments_scaled_to_us(self):
+        doc = chrome_trace(make_tracer(), us_per_cycle=0.5)
+        runs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # a ran 0..150 cycles -> 75 us; b ran 150..400 -> 125 us.
+        assert sorted(e["dur"] for e in runs) == [75.0, 125.0]
+
+    def test_threadless_records_use_process_tid(self):
+        doc = chrome_trace(make_tracer())
+        instants = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "i"
+        }
+        assert instants["process-terminated"]["tid"] == PROCESS_TID
+        assert instants["process-terminated"]["s"] == "p"
+        assert instants["signal-delivered"]["tid"] != PROCESS_TID
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), make_tracer(), us_per_cycle=0.025)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_real_run_exports_valid_json(self, tmp_path):
+        """Acceptance smoke: trace a real program, export, re-parse."""
+
+        def child(pt):
+            yield pt.work(200)
+
+        def main(pt):
+            t = yield pt.create(child, name="kid")
+            yield pt.join(t)
+
+        rt = run_program(main, trace=Tracer())
+        path = tmp_path / "run.json"
+        write_chrome_trace(
+            str(path),
+            rt.world.trace,
+            us_per_cycle=1.0 / rt.world.model.mhz,
+            end_time=rt.world.clock.cycles,
+        )
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "main" in tids and "kid" in tids
+
+
+class TestJsonl:
+    def test_lines_parse_and_carry_time(self):
+        lines = list(jsonl_lines(make_tracer()))
+        objs = [json.loads(line) for line in lines]
+        assert [o["t"] for o in objs] == [0, 100, 150, 400]
+        assert objs[1]["kind"] == "signal-delivered"
+        assert objs[1]["sig"] == 10
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(str(path), make_tracer())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        json.loads(lines[-1])
+
+    def test_streaming_sink(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        clock = _FakeClock()
+        sink.attach(clock)
+        sink.emit("dispatch", thread="a")
+        clock.cycles = 42
+        sink.emit("mutex-lock", thread="a", mutex="m")
+        assert sink.emitted == 2
+        objs = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert objs[1] == {
+            "t": 42, "kind": "mutex-lock", "thread": "a", "mutex": "m",
+        }
+
+    def test_streaming_sink_kind_filter(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, kinds=["dispatch"])
+        sink.emit("dispatch", thread="a")
+        sink.emit("mutex-lock", thread="a")
+        assert sink.emitted == 1
+
+
+class TestAsciiTimeline:
+    def test_rows_and_markers(self):
+        art = ascii_timeline(make_tracer())
+        assert "a" in art and "b" in art
+        assert "(events)" in art and "*" in art
+
+    def test_markers_disabled(self):
+        art = ascii_timeline(make_tracer(), markers=False)
+        assert "(events)" not in art
+
+    def test_empty_tracer(self):
+        art = ascii_timeline(Tracer(_FakeClock()))
+        assert art == "(empty timeline)"

@@ -32,6 +32,51 @@ class TestTracer:
         assert [r["i"] for r in tracer] == [2, 3]
         assert tracer.dropped == 2
 
+    def test_limit_eviction_is_bounded(self):
+        # The bounded store is a maxlen deque: len never exceeds the
+        # limit, and the dropped count tracks evictions exactly.
+        tracer = Tracer(_FakeClock(), limit=10)
+        for i in range(1000):
+            tracer.emit("e", i=i)
+            assert len(tracer) <= 10
+        assert tracer.dropped == 990
+        assert [r["i"] for r in tracer] == list(range(990, 1000))
+
+    def test_kind_filter_does_not_count_as_dropped(self):
+        tracer = Tracer(_FakeClock(), kinds=["keep"], limit=5)
+        tracer.emit("drop")
+        tracer.emit("keep")
+        assert len(tracer) == 1
+        assert tracer.dropped == 0
+
+    def test_kind_filter_with_limit(self):
+        tracer = Tracer(_FakeClock(), kinds=["keep"], limit=2)
+        for i in range(4):
+            tracer.emit("keep", i=i)
+            tracer.emit("noise", i=i)
+        assert [r["i"] for r in tracer] == [2, 3]
+        assert all(r.kind == "keep" for r in tracer)
+        assert tracer.dropped == 2
+
+    def test_latest_time(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        assert tracer.latest_time() is None
+        tracer.emit("a")
+        clock.cycles = 70
+        tracer.emit("b")
+        assert tracer.latest_time() == 70
+        tracer.clear()
+        assert tracer.latest_time() is None
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(_FakeClock(), limit=1)
+        tracer.emit("a")
+        tracer.emit("b")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0 and len(tracer) == 0
+
     def test_where_and_first_last(self):
         tracer = Tracer(_FakeClock())
         tracer.emit("e", k="a")
@@ -70,6 +115,59 @@ class TestTimeline:
         timeline = Timeline(tracer, end_time=100)
         assert timeline.ran_during("a", 0, 40)
         assert not timeline.ran_during("a", 60, 100)
+
+    def test_ran_during_boundaries_are_half_open(self):
+        # a runs [0, 50), b runs [50, 100).
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        clock.cycles = 50
+        tracer.emit("dispatch", thread="b")
+        timeline = Timeline(tracer, end_time=100)
+        # A window ending exactly where the segment starts excludes it...
+        assert not timeline.ran_during("b", 0, 50)
+        # ...and one starting exactly where it ends excludes it too.
+        assert not timeline.ran_during("a", 50, 100)
+        # Touching by a single cycle includes it.
+        assert timeline.ran_during("b", 0, 51)
+        assert timeline.ran_during("a", 49, 100)
+        # A zero-length window never matches.
+        assert not timeline.ran_during("a", 10, 10)
+
+    def test_default_end_covers_last_segment(self):
+        # Without an explicit end_time the final dispatch used to get a
+        # zero-length segment; the default now extends it to the newest
+        # record's timestamp so the last runner is counted.
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        clock.cycles = 100
+        tracer.emit("dispatch", thread="b")
+        clock.cycles = 250
+        tracer.emit("process-terminated")
+        timeline = Timeline(tracer)
+        assert timeline.runtime_of("b") == 150
+        assert timeline.ran("b")
+
+    def test_no_end_information_leaves_zero_segment(self):
+        # When the trace ends on the dispatch itself there is nothing
+        # to vouch for a longer run: the segment stays zero-length.
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        timeline = Timeline(tracer)
+        assert timeline.runtime_of("a") == 0
+        assert not timeline.ran("a")
+
+    def test_explicit_end_before_last_dispatch_is_clamped(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit("dispatch", thread="a")
+        clock.cycles = 100
+        tracer.emit("dispatch", thread="b")
+        timeline = Timeline(tracer, end_time=60)
+        # b's segment cannot end before it starts.
+        assert timeline.runtime_of("b") == 0
 
     def test_order_of_first_runs(self):
         clock = _FakeClock()
