@@ -1,0 +1,33 @@
+"""Deep schedule-exploration sweep over the standard workloads.
+
+Slower than the tier-1 checker tests: every bench workload is explored
+under both search modes against the fixed library, asserting the
+invariant suite stays silent.  Run with ``-m check``::
+
+    PYTHONPATH=src python -m pytest benchmarks -m check -q
+"""
+
+import pytest
+
+from repro.check.cli import WORKLOADS
+from repro.check.explore import Explorer
+
+pytestmark = pytest.mark.check
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_random_walks_find_nothing(name):
+    factory, priority = WORKLOADS[name]
+    explorer = Explorer(lambda: factory(1), priority=priority)
+    report = explorer.explore_random(runs=15, seed=99)
+    assert report.schedules_explored == 15
+    assert report.failures == []
+    assert report.checks_run > 0
+
+
+@pytest.mark.parametrize("name", ["cond_relay", "writer_cancel", "pipeline"])
+def test_dfs_finds_nothing(name):
+    factory, priority = WORKLOADS[name]
+    explorer = Explorer(lambda: factory(1), priority=priority)
+    report = explorer.explore_dfs(max_runs=60)
+    assert report.failures == []

@@ -1,0 +1,30 @@
+"""Schedule exploration and invariant checking.
+
+The paper's perverted scheduling policies flush out races by *picking*
+hostile interleavings; this package turns that idea into a checker.
+An :class:`~repro.check.explore.Explorer` drives a workload repeatedly
+under controlled preemption-point choices -- a bounded DFS over the
+decision tree, or a seeded random walk -- while a
+:class:`~repro.check.invariants.CheckContext` runs consistency rules
+over the library's shared state at every kernel-flag release.  When a
+rule breaks, a :class:`~repro.check.reduce.Reducer` shrinks the
+failing decision vector to a minimal schedule that still reproduces
+the violation, replayable deterministically via
+``python -m repro.check replay``.
+"""
+
+from repro.check.explore import Explorer, Failure, RunResult
+from repro.check.invariants import CheckContext, InvariantViolation
+from repro.check.reduce import Reducer
+from repro.check.schedule import ChoicePoint, ScriptedChoices
+
+__all__ = [
+    "CheckContext",
+    "ChoicePoint",
+    "Explorer",
+    "Failure",
+    "InvariantViolation",
+    "Reducer",
+    "RunResult",
+    "ScriptedChoices",
+]

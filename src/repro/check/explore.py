@@ -1,0 +1,235 @@
+"""The explorer: drive a workload under controlled preemption choices.
+
+Each run wires a fresh runtime with three attachments: a
+:class:`~repro.check.schedule.ScriptedChoices` source feeding the
+:class:`~repro.sched.perverted.EnumerableSwitchPolicy` (which asks it
+at every kernel exit whether to preempt and whom to run), a
+:class:`~repro.check.invariants.CheckContext` running the invariant
+rules at every kernel release, and a dispatch-only tracer so the run's
+schedule can be extracted and compared.
+
+Two search modes over the decision tree:
+
+- :meth:`Explorer.explore_dfs` -- bounded depth-first search in the
+  style of stateless model checking: run, then for every choice point
+  that took the default, queue a variant that flips it to each untried
+  alternative.  Systematic up to the depth/branch bounds.
+- :meth:`Explorer.explore_random` -- seeded random walks: every
+  decision past the scripted prefix is drawn from a forked
+  deterministic RNG, the paper's "vary the seed" debugging advice
+  turned into a loop.  The failing *trail* is itself the replayable
+  decision vector, so a random find is still deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.check.invariants import CheckContext, InvariantViolation
+from repro.check.schedule import ChoicePoint, ScriptedChoices
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import PthreadsRuntime
+from repro.debug.replay import ScheduleStep, extract_schedule
+from repro.debug.trace import Tracer
+from repro.sched.perverted import EnumerableSwitchPolicy
+from repro.sim.frames import ProgramCrash
+from repro.sim.rng import DeterministicRng
+from repro.sim.world import DeadlockError
+
+
+@dataclass(frozen=True)
+class Failure:
+    """Why a run failed: an invariant, a deadlock, or a crash."""
+
+    kind: str  # "invariant" | "deadlock" | "crash"
+    rule: str  # invariant rule name; mirrors ``kind`` otherwise
+    detail: str
+
+    def same_as(self, other: Optional["Failure"]) -> bool:
+        """Same failure mode (the reducer's shrink criterion)."""
+        return (
+            other is not None
+            and self.kind == other.kind
+            and self.rule == other.rule
+        )
+
+    def __str__(self) -> str:
+        return "%s[%s]: %s" % (self.kind, self.rule, self.detail)
+
+
+@dataclass
+class RunResult:
+    """One explored run."""
+
+    decisions: List[int]  # the scripted prefix this run was given
+    vector: List[int]  # every decision actually taken (replays the run)
+    trail: List[ChoicePoint]
+    failure: Optional[Failure]
+    schedule: List[ScheduleStep]
+    elapsed_us: float
+    checks_run: int
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of a DFS or random-walk exploration."""
+
+    mode: str
+    schedules_explored: int = 0
+    checks_run: int = 0
+    failures: List[RunResult] = field(default_factory=list)
+
+    @property
+    def first_failure(self) -> Optional[RunResult]:
+        return self.failures[0] if self.failures else None
+
+
+class Explorer:
+    """Run one workload under many schedules, checking invariants.
+
+    Parameters
+    ----------
+    workload_factory:
+        Zero-argument callable returning a fresh workload main (thread
+        body) per run.  Must be stateless across calls: replaying a
+        decision vector replays the schedule only if every run starts
+        from the same program.
+    priority:
+        Main-thread priority (workloads tuned for a specific value).
+    max_depth / max_branch:
+        Bounds on the decision tree: choice points past ``max_depth``
+        take the default, and at most ``max_branch`` alternatives are
+        considered per point.
+    """
+
+    def __init__(
+        self,
+        workload_factory: Callable[[], Callable],
+        priority: int = 100,
+        model: str = "sparc-ipx",
+        seed: int = 0,
+        max_depth: int = 64,
+        max_branch: int = 4,
+        max_steps: int = 2_000_000,
+        pool_size: int = 64,
+    ) -> None:
+        self.workload_factory = workload_factory
+        self.priority = priority
+        self.model = model
+        self.seed = seed
+        self.max_depth = max_depth
+        self.max_branch = max_branch
+        self.max_steps = max_steps
+        self.pool_size = pool_size
+
+    # -- one run ------------------------------------------------------------
+
+    def run_once(
+        self,
+        decisions: Any = (),
+        rng: Optional[DeterministicRng] = None,
+    ) -> RunResult:
+        """Run the workload once under the given decision prefix.
+
+        Past the prefix, decisions default to 0 (deterministic replay)
+        or are drawn from ``rng`` (random walk).
+        """
+        choices = ScriptedChoices(
+            decisions,
+            rng=rng,
+            max_depth=self.max_depth,
+            max_branch=self.max_branch,
+        )
+        check = CheckContext(choices)
+        tracer = Tracer(kinds=("dispatch",))
+        runtime = PthreadsRuntime(
+            model=self.model,
+            seed=self.seed,
+            config=RuntimeConfig(pool_size=self.pool_size),
+            policy=EnumerableSwitchPolicy(),
+            trace=tracer,
+            check=check,
+        )
+        failure: Optional[Failure] = None
+        try:
+            runtime.main(self.workload_factory(), priority=self.priority)
+            runtime.run(max_steps=self.max_steps)
+        except InvariantViolation as exc:
+            failure = Failure("invariant", exc.rule, exc.detail)
+        except DeadlockError as exc:
+            failure = Failure("deadlock", "deadlock", str(exc))
+        except ProgramCrash as exc:
+            failure = Failure("crash", "crash", str(exc))
+        else:
+            try:
+                check.check_quiescent(runtime)
+            except InvariantViolation as exc:
+                failure = Failure("invariant", exc.rule, exc.detail)
+        return RunResult(
+            decisions=list(decisions),
+            vector=choices.vector,
+            trail=list(choices.trail),
+            failure=failure,
+            schedule=extract_schedule(tracer),
+            elapsed_us=runtime.world.now_us,
+            checks_run=check.checks_run,
+        )
+
+    # -- systematic search --------------------------------------------------
+
+    def explore_dfs(
+        self, max_runs: int = 200, stop_on_failure: bool = True
+    ) -> ExploreReport:
+        """Bounded DFS over the decision tree, default schedule first."""
+        report = ExploreReport(mode="dfs")
+        frontier: List[List[int]] = [[]]
+        seen = set()
+        while frontier and report.schedules_explored < max_runs:
+            decisions = frontier.pop()
+            key = tuple(decisions)
+            if key in seen:
+                continue
+            seen.add(key)
+            result = self.run_once(decisions)
+            report.schedules_explored += 1
+            report.checks_run += result.checks_run
+            if result.failed:
+                report.failures.append(result)
+                if stop_on_failure:
+                    return report
+                continue  # don't expand below a failing schedule
+            # Every choice point past the scripted prefix took a
+            # recorded default: queue each untried alternative (LIFO,
+            # so deeper variations of the latest run go first).
+            for index in range(len(decisions), len(result.trail)):
+                if index >= self.max_depth:
+                    break
+                point = result.trail[index]
+                prefix = result.vector[:index]
+                for alternative in range(1, point.options):
+                    if alternative != point.chosen:
+                        frontier.append(prefix + [alternative])
+        return report
+
+    # -- random walks -------------------------------------------------------
+
+    def explore_random(
+        self, runs: int = 50, seed: int = 1234, stop_on_failure: bool = True
+    ) -> ExploreReport:
+        """Seeded random walks; each run's trail replays it exactly."""
+        report = ExploreReport(mode="random")
+        base = DeterministicRng(seed)
+        for index in range(runs):
+            result = self.run_once((), rng=base.fork(index))
+            report.schedules_explored += 1
+            report.checks_run += result.checks_run
+            if result.failed:
+                report.failures.append(result)
+                if stop_on_failure:
+                    break
+        return report

@@ -1,0 +1,299 @@
+"""Invariant rules over the library's shared state.
+
+A :class:`CheckContext` attaches to a runtime (``PthreadsRuntime(...,
+check=ctx)``), registers every synchronisation object as it is created,
+and runs its rule set at every kernel-flag release
+(:meth:`repro.core.kernel.LibKernel.leave`) -- the points where the
+monolithic monitor promises the shared state is consistent.  A broken
+rule raises :class:`InvariantViolation` immediately, so the schedule
+that exposed it is still on the choice trail.
+
+The rules encode exactly the properties the satellite bug fixes of this
+subsystem restore: mutex owner/cell/queue consistency, per-mutex
+counters summing to the run-wide :class:`~repro.core.mutex.MutexOps`
+totals, condvar waiters actually parked on their queue (a thread
+"waiting" but unqueued misses every wakeup), reader/writer bookkeeping
+sanity, priority-boost bounds, and cleanup-stack balance at
+termination.  :meth:`CheckContext.check_quiescent` adds end-of-run
+rules -- everything unlocked, no waiters, no leaked ``waiting_writers``
+claims -- which is where the pre-fix ``wrlock`` cancellation leak
+shows up.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.tcb import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cond import Cond
+    from repro.core.mutex import Mutex
+    from repro.core.runtime import PthreadsRuntime
+    from repro.core.rwlock import RwLock
+    from repro.core.semaphore import Semaphore
+    from repro.check.schedule import ScriptedChoices
+
+
+class InvariantViolation(Exception):
+    """A consistency rule over the library state broke.
+
+    ``rule`` names the rule (stable identifiers, used by the reducer to
+    confirm a shrunk schedule still fails the *same* way).
+    """
+
+    def __init__(self, rule: str, detail: str) -> None:
+        super().__init__("%s: %s" % (rule, detail))
+        self.rule = rule
+        self.detail = detail
+
+
+class CheckContext:
+    """Registries, counters, and the invariant rule set for one run."""
+
+    def __init__(self, choices: Optional["ScriptedChoices"] = None) -> None:
+        self.choices = choices
+        self.runtime: Optional["PthreadsRuntime"] = None
+        self.mutexes: List["Mutex"] = []
+        self.conds: List["Cond"] = []
+        self.rwlocks: List["RwLock"] = []
+        self.sems: List["Semaphore"] = []
+        self.checks_run = 0
+        self.violations_found = 0
+
+    # -- wiring (called by the runtime) ------------------------------------
+
+    def attach(self, runtime: "PthreadsRuntime") -> None:
+        self.runtime = runtime
+        runtime.world.choices = self.choices
+
+    def register_mutex(self, mutex: "Mutex") -> None:
+        self.mutexes.append(mutex)
+
+    def register_cond(self, cond: "Cond") -> None:
+        self.conds.append(cond)
+
+    def register_rwlock(self, rw: "RwLock") -> None:
+        self.rwlocks.append(rw)
+
+    def register_sem(self, sem: "Semaphore") -> None:
+        self.sems.append(sem)
+
+    # -- rule plumbing ------------------------------------------------------
+
+    def _fail(self, rule: str, detail: str) -> None:
+        self.violations_found += 1
+        raise InvariantViolation(rule, detail)
+
+    def on_kernel_release(self, runtime: "PthreadsRuntime") -> None:
+        """Run every state rule; called with the kernel flag released."""
+        self.checks_run += 1
+        self._check_mutexes()
+        self._check_counters(runtime)
+        self._check_conds(runtime)
+        self._check_rwlocks()
+        self._check_sems()
+        self._check_threads(runtime)
+
+    # -- state rules --------------------------------------------------------
+
+    def _check_mutexes(self) -> None:
+        for m in self.mutexes:
+            if m.destroyed:
+                if m.locked or m.owner is not None or m.waiters:
+                    self._fail(
+                        "mutex-destroyed-clean",
+                        "%r destroyed but still in use" % m,
+                    )
+                continue
+            if m.locked != (m.owner is not None):
+                self._fail(
+                    "mutex-owner-cell",
+                    "%r: cell=%d but owner=%s"
+                    % (m, m.cell.value, m.owner and m.owner.name),
+                )
+            if m.owner is not None and not m.owner.alive:
+                self._fail(
+                    "mutex-owner-dead",
+                    "%r held by %s, which terminated without unlocking"
+                    % (m, m.owner.name),
+                )
+            if m.owner is not None and m.owner in m.waiters:
+                self._fail(
+                    "mutex-owner-queued",
+                    "%r: owner %s is also queued on it" % (m, m.owner.name),
+                )
+            if not m.locked and m.waiters:
+                self._fail(
+                    "mutex-free-with-waiters",
+                    "%r: unlocked but %d waiters queued" % (m, len(m.waiters)),
+                )
+            for tcb in m.waiters:
+                wait = tcb.wait
+                if (
+                    tcb.state is not ThreadState.BLOCKED
+                    or wait is None
+                    or wait.kind != "mutex"
+                    or wait.obj is not m
+                ):
+                    self._fail(
+                        "mutex-waiter-state",
+                        "%s queued on %r but its wait is %r (state %s)"
+                        % (tcb.name, m, wait, tcb.state.value),
+                    )
+
+    def _check_counters(self, runtime: "PthreadsRuntime") -> None:
+        ops = runtime.mutex_ops
+        contentions = sum(m.contentions for m in self.mutexes)
+        if contentions != ops.contentions:
+            self._fail(
+                "mutex-counter-agreement",
+                "per-mutex contentions sum to %d, run-wide total is %d"
+                % (contentions, ops.contentions),
+            )
+        handoffs = sum(m.handoffs for m in self.mutexes)
+        if handoffs != ops.handoffs:
+            self._fail(
+                "mutex-counter-agreement",
+                "per-mutex handoffs sum to %d, run-wide total is %d"
+                % (handoffs, ops.handoffs),
+            )
+
+    def _check_conds(self, runtime: "PthreadsRuntime") -> None:
+        for c in self.conds:
+            if c.destroyed and c.waiters:
+                self._fail(
+                    "cond-destroyed-clean",
+                    "%r destroyed with %d waiters" % (c, len(c.waiters)),
+                )
+            for tcb in c.waiters:
+                wait = tcb.wait
+                if (
+                    tcb.state is not ThreadState.BLOCKED
+                    or wait is None
+                    or wait.kind != "cond"
+                    or wait.obj is not c
+                ):
+                    self._fail(
+                        "cond-waiter-state",
+                        "%s queued on %r but its wait is %r (state %s)"
+                        % (tcb.name, c, wait, tcb.state.value),
+                    )
+        # The converse is the lost-wakeup rule: a thread blocked "on a
+        # condvar" but missing from that condvar's queue can never be
+        # signalled.
+        for tcb in runtime.all_threads():
+            wait = tcb.wait
+            if (
+                wait is not None
+                and wait.kind == "cond"
+                and tcb.state is ThreadState.BLOCKED
+                and tcb not in wait.obj.waiters
+            ):
+                self._fail(
+                    "cond-lost-wakeup",
+                    "%s waits on %r but is not in its queue"
+                    % (tcb.name, wait.obj),
+                )
+
+    def _check_rwlocks(self) -> None:
+        for rw in self.rwlocks:
+            if rw.active_readers < 0 or rw.waiting_writers < 0:
+                self._fail(
+                    "rwlock-counts",
+                    "%r: negative bookkeeping" % rw,
+                )
+            if rw.active_writer is not None and rw.active_readers > 0:
+                self._fail(
+                    "rwlock-exclusion",
+                    "%r: writer %s active alongside %d readers"
+                    % (rw, rw.active_writer.name, rw.active_readers),
+                )
+            if rw.waiting_writers < len(rw.writers_cond.waiters):
+                self._fail(
+                    "rwlock-writer-claims",
+                    "%r: %d queued writers but only %d claims"
+                    % (rw, len(rw.writers_cond.waiters), rw.waiting_writers),
+                )
+
+    def _check_sems(self) -> None:
+        for s in self.sems:
+            if s.count < 0:
+                self._fail(
+                    "sem-count", "%r: negative count" % s
+                )
+            if s.mutex.destroyed != s.cond.destroyed:
+                self._fail(
+                    "sem-half-destroyed",
+                    "%r: mutex destroyed=%s but cond destroyed=%s"
+                    % (s, s.mutex.destroyed, s.cond.destroyed),
+                )
+
+    def _check_threads(self, runtime: "PthreadsRuntime") -> None:
+        for tcb in runtime.all_threads():
+            if tcb.effective_priority < tcb.base_priority:
+                self._fail(
+                    "priority-boost-bounds",
+                    "%s: effective %d below base %d"
+                    % (tcb.name, tcb.effective_priority, tcb.base_priority),
+                )
+            if (
+                not tcb.held_mutexes
+                and not tcb.srp_stack
+                and tcb.effective_priority != tcb.base_priority
+            ):
+                self._fail(
+                    "priority-boost-bounds",
+                    "%s: boosted to %d holding nothing (base %d)"
+                    % (tcb.name, tcb.effective_priority, tcb.base_priority),
+                )
+        for tcb in runtime.threads.values():
+            if tcb.state is ThreadState.TERMINATED and tcb.cleanup_stack:
+                self._fail(
+                    "cleanup-balance",
+                    "%s terminated with %d cleanup handlers pushed"
+                    % (tcb.name, len(tcb.cleanup_stack)),
+                )
+
+    # -- end-of-run rules ---------------------------------------------------
+
+    def check_quiescent(self, runtime: "PthreadsRuntime") -> None:
+        """Rules for a run that completed cleanly: everything idle.
+
+        Leaked claims show up here -- a cancelled writer that never
+        withdrew its ``waiting_writers`` increment leaves the count
+        nonzero forever, with no live thread to account for it.
+        """
+        self.checks_run += 1
+        self._check_counters(runtime)
+        for m in self.mutexes:
+            if m.destroyed:
+                continue
+            if m.locked or m.owner is not None or m.waiters:
+                self._fail(
+                    "quiescent-mutex",
+                    "%r still held at end of run" % m,
+                )
+        for c in self.conds:
+            if c.waiters:
+                self._fail(
+                    "quiescent-cond",
+                    "%r still has waiters at end of run" % c,
+                )
+        for rw in self.rwlocks:
+            if (
+                rw.active_readers
+                or rw.active_writer is not None
+                or rw.waiting_writers
+            ):
+                self._fail(
+                    "quiescent-rwlock",
+                    "%r not idle at end of run (readers=%d, writer=%s, "
+                    "waiting_writers=%d)"
+                    % (
+                        rw,
+                        rw.active_readers,
+                        rw.active_writer and rw.active_writer.name,
+                        rw.waiting_writers,
+                    ),
+                )

@@ -1,0 +1,86 @@
+"""Targeted workloads for the checker.
+
+The generic :mod:`repro.bench.workloads` exercise throughput shapes;
+these two exercise the specific protocol windows the checker's
+invariants watch.  Both complete cleanly on the fixed library under
+every explored schedule; under :mod:`repro.check.preseed` they are the
+smallest programs that reach the reseeded bugs.
+"""
+
+from __future__ import annotations
+
+
+def _relay_waiter(pt, mutex, cond, box):
+    yield pt.mutex_lock(mutex)
+    while not box["go"]:
+        yield pt.cond_wait(cond, mutex)
+    box["woken"] += 1
+    yield pt.mutex_unlock(mutex)
+
+
+def cond_relay(waiters: int = 2):
+    """Signal condvar waiters *while holding the mutex*.
+
+    Waking a waiter that cannot take the mutex yet goes through the
+    ``grant_to_waker`` path: the woken thread parks on the mutex queue
+    as a contention.  The counter-agreement invariant audits exactly
+    that bookkeeping.
+    """
+
+    def main(pt):
+        mutex = yield pt.mutex_init()
+        cond = yield pt.cond_init()
+        box = {"go": False, "woken": 0}
+        threads = []
+        for __ in range(waiters):
+            threads.append(
+                (yield pt.create(_relay_waiter, mutex, cond, box))
+            )
+        yield pt.delay_us(200)  # everyone parks on the condvar
+        yield pt.mutex_lock(mutex)
+        box["go"] = True
+        for __ in range(waiters):
+            yield pt.cond_signal(cond)  # mutex held: waiters re-queue
+        yield pt.mutex_unlock(mutex)
+        for thread in threads:
+            yield pt.join(thread)
+        assert box["woken"] == waiters
+
+    return main
+
+
+def _holding_reader(pt, rw, hold_us):
+    yield pt.rwlock_rdlock(rw)
+    yield pt.delay_us(hold_us)
+    yield pt.rwlock_unlock(rw)
+
+
+def _brief_writer(pt, rw):
+    yield pt.rwlock_wrlock(rw)
+    yield pt.rwlock_unlock(rw)
+
+
+def _canceller(pt, victim):
+    yield pt.cancel(victim)
+
+
+def writer_cancel(hold_us: float = 500.0):
+    """Cancel a writer racing a reader through a read-write lock.
+
+    Whether the cancellation lands before the writer registers its
+    queue claim, while it waits out the reader, or after it acquired,
+    is purely a matter of interleaving -- which is what the explorer
+    enumerates.  The fixed library keeps the lock consistent in every
+    case; the pre-fix one leaks the claim in the first window.
+    """
+
+    def main(pt):
+        rw = yield pt.rwlock_init("wc")
+        reader = yield pt.create(_holding_reader, rw, hold_us)
+        writer = yield pt.create(_brief_writer, rw)
+        canceller = yield pt.create(_canceller, writer)
+        yield pt.join(canceller)
+        yield pt.join(writer)
+        yield pt.join(reader)
+
+    return main

@@ -66,7 +66,11 @@ class CondOps(LibraryOps):
     def lib_cond_init(self, tcb: Tcb, attr: Optional[CondAttr] = None) -> Cond:
         del tcb
         self.rt.world.spend(costs.ATTR_OP, fire=False)
-        return Cond(attr)
+        cond = Cond(attr)
+        check = self.rt.check
+        if check is not None:
+            check.register_cond(cond)
+        return cond
 
     def lib_cond_destroy(self, tcb: Tcb, cond: Cond) -> int:
         del tcb
@@ -87,7 +91,18 @@ class CondOps(LibraryOps):
         self, tcb: Tcb, cond: Cond, mutex: "Mutex", timeout_us: float
     ) -> object:
         if timeout_us <= 0:
-            return EINVAL
+            # POSIX: an abstime already in the past is a *timeout*, not
+            # a usage error -- validate, honour the cancellation point,
+            # and return ETIMEDOUT with the mutex still held.
+            rt = self.rt
+            if cond.destroyed:
+                return EINVAL
+            if mutex.owner is not tcb:
+                return EPERM
+            if rt.cancel_ops.act_if_pending(tcb):
+                return BLOCKED
+            rt.world.spend(costs.COND_WAIT_SETUP, fire=False)
+            return ETIMEDOUT
         return self._wait_common(tcb, cond, mutex, timeout_us=timeout_us)
 
     def _wait_common(

@@ -68,6 +68,12 @@ class LibKernel:
         policy = runtime.policy
         if policy is not None:
             policy.on_kernel_exit(runtime)
+        check = runtime.check
+        if check is not None:
+            # Every kernel-flag release is a point where the library's
+            # shared state must be consistent: run the invariants here
+            # (raises InvariantViolation on the first broken rule).
+            check.on_kernel_release(runtime)
         if self.dispatcher_flag:
             # The dispatcher clears both flags itself (Figure 2).
             runtime.dispatcher.run()

@@ -57,9 +57,13 @@ class Mutex:
         self.lock_sequence = RestartableSequence(
             runtime.world.clock, runtime.world.model, name=self.name
         )
-        # Statistics for the protocol benchmarks.
+        # Statistics for the protocol benchmarks.  Each counter has a
+        # run-wide twin on :class:`MutexOps`; the invariant (checked by
+        # ``repro.check``) is that the per-mutex counts sum to the
+        # run-wide ones.
         self.contentions = 0
         self.acquisitions = 0
+        self.handoffs = 0
 
     @property
     def locked(self) -> bool:
@@ -102,7 +106,11 @@ class MutexOps(LibraryOps):
     ) -> Mutex:
         del tcb
         self.rt.world.spend(costs.ATTR_OP, fire=False)
-        return Mutex(self.rt, attr)
+        mutex = Mutex(self.rt, attr)
+        check = self.rt.check
+        if check is not None:
+            check.register_mutex(mutex)
+        return mutex
 
     def lib_mutex_destroy(self, tcb: Tcb, mutex: Mutex) -> int:
         del tcb
@@ -281,6 +289,7 @@ class MutexOps(LibraryOps):
         # cell stays set, ownership transfers.
         rt.world.spend(costs.MUTEX_TRANSFER, fire=False)
         self.handoffs += 1
+        mutex.handoffs += 1
         mutex.owner = heir
         mutex.acquisitions += 1
         rt.protocols.on_acquired(heir, mutex)
@@ -323,6 +332,10 @@ class MutexOps(LibraryOps):
         )
         tcb.wait = record
         mutex.waiters.add(tcb)
+        # Count the blocked reacquisition on both the mutex and the
+        # run-wide total, exactly as the ordinary slow path does; the
+        # hand-over it eventually receives is counted by unlock_locked.
+        mutex.contentions += 1
         self.contentions += 1
         rt.protocols.on_contention(tcb, mutex)
         return False

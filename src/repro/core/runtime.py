@@ -68,12 +68,20 @@ class PthreadsRuntime:
         trace: Optional[object] = None,
         world: Optional[World] = None,
         obs: Optional[object] = None,
+        check: Optional[object] = None,
     ) -> None:
         self.config = config or cfg.RuntimeConfig()
         self.world = world if world is not None else World(model, seed=seed)
         if trace is not None:
             trace.attach(self.world.clock)
             self.world.trace = trace
+        #: Invariant-checking context (:class:`repro.check.CheckContext`)
+        #: or None (the default -- hot paths guard on ``check is None``,
+        #: the same pattern as ``obs`` below).  Set before the
+        #: subsystems are built so objects they create get registered.
+        self.check = check
+        if check is not None:
+            check.attach(self)
         #: Observability facade (:class:`repro.obs.Observability`) or
         #: None (the default -- hot paths guard on ``obs is None``).
         #: World-level wiring happens *now*, before the subsystems below

@@ -69,7 +69,11 @@ class RwLockOps(LibraryOps):
     def lib_rwlock_init(self, tcb: Tcb, name: Optional[str] = None) -> RwLock:
         del tcb
         self.rt.world.spend(costs.SEM_OVERHEAD, fire=False)
-        return RwLock(self.rt, name)
+        rw = RwLock(self.rt, name)
+        check = self.rt.check
+        if check is not None:
+            check.register_rwlock(rw)
+        return rw
 
 
 def _unlock_cleanup(pt, mutex):
@@ -77,13 +81,19 @@ def _unlock_cleanup(pt, mutex):
     yield pt.mutex_unlock(mutex)
 
 
-def _writer_cancel_cleanup(pt, rw: RwLock):
-    """Cleanup for a cancelled writer: withdraw its queue claim, let
-    blocked readers through if it was the last writer, and release the
-    internal mutex (reacquired by the cancellation machinery)."""
-    rw.waiting_writers -= 1
-    if rw.waiting_writers == 0 and rw.active_writer is None:
-        yield pt.cond_broadcast(rw.readers_cond)
+def _writer_cancel_cleanup(pt, arg):
+    """Cleanup for a cancelled writer: withdraw its queue claim (only
+    if it was actually registered -- the claim flag travels with the
+    handler so a cancellation landing before the increment, or after
+    the decrement, cannot unbalance ``waiting_writers``), let blocked
+    readers through if it was the last writer, and release the internal
+    mutex (reacquired by the cancellation machinery)."""
+    rw, claim = arg
+    if claim[0]:
+        claim[0] = False
+        rw.waiting_writers -= 1
+        if rw.waiting_writers == 0 and rw.active_writer is None:
+            yield pt.cond_broadcast(rw.readers_cond)
     yield pt.mutex_unlock(rw.mutex)
 
 
@@ -114,11 +124,18 @@ def wrlock_body(pt, rw: RwLock):
     yield pt.charge(costs.SEM_OVERHEAD)
     me = yield pt.self_id()
     yield pt.mutex_lock(rw.mutex)
+    # Install the cleanup handler *before* taking the queue claim: a
+    # cancellation landing between the two would otherwise leak a
+    # ``waiting_writers`` claim and block readers forever.  The claim
+    # flag tells the handler whether the claim is live.
+    claim = [False]
+    yield pt.cleanup_push(_writer_cancel_cleanup, (rw, claim))
+    claim[0] = True
     rw.waiting_writers += 1
-    yield pt.cleanup_push(_writer_cancel_cleanup, rw)
     while rw.active_writer is not None or rw.active_readers > 0:
         yield pt.cond_wait(rw.writers_cond, rw.mutex)
     rw.waiting_writers -= 1
+    claim[0] = False
     rw.active_writer = me
     rw.write_acquisitions += 1
     yield pt.cleanup_pop(False)

@@ -14,7 +14,7 @@ import itertools
 from typing import Optional
 
 from repro.core.attr import CondAttr, MutexAttr
-from repro.core.errors import EAGAIN, OK
+from repro.core.errors import EAGAIN, EBUSY, EINVAL, OK
 from repro.core.libbase import LibraryOps
 from repro.core.tcb import Tcb
 from repro.hw import costs
@@ -64,15 +64,31 @@ class SemOps(LibraryOps):
     ) -> Semaphore:
         del tcb
         self.rt.world.spend(costs.SEM_OVERHEAD, fire=False)
-        return Semaphore(self.rt, value=value, name=name)
+        sem = Semaphore(self.rt, value=value, name=name)
+        check = self.rt.check
+        if check is not None:
+            check.register_sem(sem)
+        return sem
 
     def lib_sem_destroy(self, tcb: Tcb, sem: Semaphore) -> int:
+        """Destroy both components, or neither.
+
+        Validating before mutating matters: destroying the condvar
+        first and then failing the mutex destroy (EBUSY) would leave
+        the semaphore half-destroyed and permanently unusable.
+        """
         rt = self.rt
         rt.world.spend(costs.ATTR_OP, fire=False)
+        if sem.cond.destroyed or sem.mutex.destroyed:
+            return EINVAL
+        if sem.cond.waiters or sem.mutex.locked or sem.mutex.waiters:
+            return EBUSY
+        # Both destroys are now guaranteed to succeed.
         err = rt.cond_ops.lib_cond_destroy(tcb, sem.cond)
-        if err != OK:
-            return err
-        return rt.mutex_ops.lib_mutex_destroy(tcb, sem.mutex)
+        assert err == OK
+        err = rt.mutex_ops.lib_mutex_destroy(tcb, sem.mutex)
+        assert err == OK
+        return OK
 
     def lib_sem_trywait(self, tcb: Tcb, sem: Semaphore) -> int:
         """Non-blocking P: EAGAIN when the count is zero."""

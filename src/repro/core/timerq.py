@@ -49,6 +49,7 @@ class TimerOps(LibraryOps):
         self._heap: List[Tuple[int, int, TimeoutHandle]] = []
         self._seq = itertools.count()
         self._armed_for: Optional[int] = None
+        self._draining = False
         self.alarms_taken = 0
 
     # -- public: thread sleep ----------------------------------------------------
@@ -87,7 +88,29 @@ class TimerOps(LibraryOps):
         return self._push(deadline, action)
 
     def cancel_timeout(self, handle: TimeoutHandle) -> None:
+        """Drop a queued deadline.
+
+        When the cancelled entry is at the head of the heap the UNIX
+        timer is armed for a deadline nobody wants any more: sweep the
+        cancelled heads and, if later deadlines remain, retarget the
+        timer at the real earliest -- otherwise it fires early and the
+        process takes a spurious SIGALRM with nothing due.
+
+        When the sweep empties the queue the stale one-shot stays
+        armed and only ``_armed_for`` is cleared: cancellations arrive
+        on signal-delivery paths (condvar wakeups, EINTR'd sleeps)
+        where an immediate disarm would cost a ``setitimer`` dearer
+        than the single self-cleaning alarm it avoids, and any
+        deadline pushed before then retargets the timer anyway.
+        """
         handle.cancelled = True
+        if self._heap and self._heap[0][2] is handle:
+            while self._heap and self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
+            if self._heap:
+                self._rearm()
+            else:
+                self._armed_for = None
 
     # -- queue mechanics ---------------------------------------------------------------
 
@@ -99,6 +122,12 @@ class TimerOps(LibraryOps):
 
     def _rearm(self) -> None:
         """Keep the single UNIX timer armed for the earliest deadline."""
+        if self._draining:
+            # ``on_alarm`` is popping due entries; an action that
+            # queues or cancels a deadline mid-drain must not touch the
+            # UNIX timer for entries the loop is about to pop.  One
+            # rearm happens when the drain completes.
+            return
         rt = self.rt
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
@@ -119,13 +148,17 @@ class TimerOps(LibraryOps):
         rt = self.rt
         self.alarms_taken += 1
         self._armed_for = None
-        now = rt.world.now
-        while self._heap and self._heap[0][0] <= now:
-            __, __, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            rt.world.spend(costs.TIMER_TICK, fire=False)
-            handle.action()
+        self._draining = True
+        try:
+            now = rt.world.now
+            while self._heap and self._heap[0][0] <= now:
+                __, __, handle = heapq.heappop(self._heap)
+                if handle.cancelled:
+                    continue
+                rt.world.spend(costs.TIMER_TICK, fire=False)
+                handle.action()
+        finally:
+            self._draining = False
         self._rearm()
 
     @property

@@ -143,6 +143,13 @@ class Observability:
         put("unix.syscalls", runtime.unix.total_syscalls,
             "UNIX kernel calls made by the library")
 
+        check = runtime.check
+        if check is not None:
+            put("check.invariant_checks", check.checks_run,
+                "invariant sweeps at kernel releases")
+            put("check.violations", check.violations_found,
+                "invariant rules that fired")
+
         for tcb in runtime.threads.values():
             safe = tcb.name.replace(" ", "_")
             put("thread.cpu_cycles.%s" % safe, tcb.cpu_cycles)

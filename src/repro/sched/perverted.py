@@ -108,6 +108,57 @@ class RandomSwitchPolicy(SchedulingPolicy):
         return self._rng.choice(ready)
 
 
+class EnumerableSwitchPolicy(SchedulingPolicy):
+    """Enumerate switch decisions instead of merely picking one.
+
+    The three policies above *pick* a hostile switch (always, or by
+    coin flip).  This one exposes the full decision: at every library
+    kernel exit with a non-empty ready queue there are
+    ``1 + len(ready)`` legal continuations -- keep running (what the
+    priority scheduler would do), or force a switch to any particular
+    ready thread.  The decision is delegated to the world's choice
+    source (:meth:`repro.sim.world.World.choose`), so the
+    ``repro.check`` explorer can walk the alternatives systematically
+    (DFS) or sample them (seeded random walk).  Without a choice
+    source attached every decision is 0 and the policy is inert.
+    """
+
+    name = "enumerable-switch"
+
+    def __init__(self) -> None:
+        self.forced_switches = 0
+        self.choice_points = 0
+        self._pick: Optional["Tcb"] = None
+
+    def on_kernel_exit(self, runtime: "PthreadsRuntime") -> None:
+        if runtime.current is None:
+            return
+        world = runtime.world
+        if world.choices is None:
+            return
+        ready = runtime.sched.ready.threads()
+        if not ready:
+            return
+        self.choice_points += 1
+        chosen = world.choose(1 + len(ready), tag="kernel-exit")
+        if chosen == 0:
+            return
+        self.forced_switches += 1
+        # Like the RR-ordered policy: the leaver goes to the lowest
+        # tail, and select() steers the dispatch at the chosen thread.
+        self._pick = ready[chosen - 1]
+        runtime.sched.pervert_current_to_lowest()
+
+    def select(self, runtime: "PthreadsRuntime") -> Optional["Tcb"]:
+        pick = self._pick
+        if pick is None:
+            return None
+        self._pick = None
+        if pick in runtime.sched.ready.threads():
+            return pick
+        return None
+
+
 def make_policy(name: str, seed: Optional[int] = None) -> SchedulingPolicy:
     """Policy factory keyed by the ``SCHED_*`` constant."""
     if name == cfg.SCHED_MUTEX_SWITCH:
@@ -116,6 +167,8 @@ def make_policy(name: str, seed: Optional[int] = None) -> SchedulingPolicy:
         return RoundRobinOrderedSwitchPolicy()
     if name == cfg.SCHED_RANDOM:
         return RandomSwitchPolicy(seed)
+    if name == EnumerableSwitchPolicy.name:
+        return EnumerableSwitchPolicy()
     if name in (cfg.SCHED_FIFO, cfg.SCHED_RR, cfg.SCHED_OTHER):
         return SchedulingPolicy()
     raise ValueError("unknown policy: %r" % (name,))

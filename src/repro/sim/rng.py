@@ -30,6 +30,12 @@ class DeterministicRng:
         """Uniform integer in [low, high]."""
         return self._rng.randint(low, high)
 
+    def randrange(self, n: int) -> int:
+        """Uniform integer in [0, n) (choice-point enumeration)."""
+        if n <= 0:
+            raise ValueError("randrange needs a positive bound: %r" % n)
+        return self._rng.randrange(n)
+
     def choice(self, items: Sequence[T]) -> T:
         if not items:
             raise ValueError("cannot choose from an empty sequence")

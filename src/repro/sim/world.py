@@ -52,6 +52,10 @@ class World:
         self.rng = DeterministicRng(seed)
         self.windows = RegisterWindows(self.clock, model)
         self.trace = trace
+        #: Schedule-exploration choice source (see ``repro.check``).
+        #: None in ordinary runs; when set, interruption sources ask it
+        #: which of several legal behaviours to take via :meth:`choose`.
+        self.choices = None
         self._defer_depth = 0
         self._firing = False
         #: Flat cost table (defaults + model overrides), indexed without
@@ -75,6 +79,19 @@ class World:
 
     def cycles_for_us(self, us: float) -> int:
         return self.model.cycles_for_us(us)
+
+    # -- schedule exploration ----------------------------------------------
+
+    def choose(self, options: int, tag: str = "") -> int:
+        """Pick one of ``options`` legal behaviours at a choice point.
+
+        Returns 0 (the default behaviour) in ordinary runs; under the
+        ``repro.check`` explorer, the attached choice source scripts or
+        enumerates the decision.  Costs nothing in virtual time.
+        """
+        if options <= 1 or self.choices is None:
+            return 0
+        return self.choices.choose(options, tag)
 
     # -- spending cycles ---------------------------------------------------
 

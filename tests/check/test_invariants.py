@@ -1,0 +1,109 @@
+"""The invariant rules: healthy state passes, corrupted state fires."""
+
+import pytest
+
+from repro.check.invariants import CheckContext, InvariantViolation
+from repro.check.workloads import cond_relay
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import PthreadsRuntime
+from repro.core.tcb import ThreadState
+
+
+def checked_runtime():
+    check = CheckContext()
+    runtime = PthreadsRuntime(
+        config=RuntimeConfig(pool_size=16), check=check
+    )
+    return runtime, check
+
+
+def test_healthy_run_passes_every_sweep():
+    runtime, check = checked_runtime()
+    runtime.main(cond_relay(waiters=2), priority=100)
+    runtime.run()
+    assert check.checks_run > 0
+    assert check.violations_found == 0
+    check.check_quiescent(runtime)  # must not raise
+
+
+def test_internal_objects_are_registered():
+    runtime, check = checked_runtime()
+    sem = runtime.sem_ops.lib_sem_init(None, 1)
+    rw = runtime.rwlock_ops.lib_rwlock_init(None, "r")
+    assert sem in check.sems
+    assert rw in check.rwlocks
+    assert sem.mutex in check.mutexes and sem.cond in check.conds
+
+
+def test_owner_cell_mismatch_fires():
+    runtime, check = checked_runtime()
+    mutex = runtime.mutex_ops.lib_mutex_init(None)
+    mutex.cell.value = 0xFF  # locked cell, no owner recorded
+    with pytest.raises(InvariantViolation, match="mutex-owner-cell"):
+        check.on_kernel_release(runtime)
+
+
+def test_counter_disagreement_fires():
+    runtime, check = checked_runtime()
+    mutex = runtime.mutex_ops.lib_mutex_init(None)
+    mutex.contentions += 1  # per-mutex count without the run-wide twin
+    with pytest.raises(InvariantViolation, match="mutex-counter-agreement"):
+        check.on_kernel_release(runtime)
+    assert check.violations_found == 1
+
+
+def test_dead_owner_fires():
+    runtime, check = checked_runtime()
+    runtime.main(cond_relay(waiters=1), priority=100)
+    runtime.run()
+    mutex = runtime.mutex_ops.lib_mutex_init(None)
+    dead = next(
+        t
+        for t in runtime.threads.values()
+        if t.state is ThreadState.TERMINATED
+    )
+    mutex.cell.value = 0xFF
+    mutex.owner = dead
+    with pytest.raises(InvariantViolation, match="mutex-owner-dead"):
+        check.on_kernel_release(runtime)
+
+
+def test_rwlock_negative_bookkeeping_fires():
+    runtime, check = checked_runtime()
+    rw = runtime.rwlock_ops.lib_rwlock_init(None, "r")
+    rw.waiting_writers = -1
+    with pytest.raises(InvariantViolation, match="rwlock-counts"):
+        check.on_kernel_release(runtime)
+
+
+def test_sem_half_destroy_fires():
+    runtime, check = checked_runtime()
+    sem = runtime.sem_ops.lib_sem_init(None, 1)
+    sem.cond.destroyed = True  # mutex still alive: torn object
+    with pytest.raises(InvariantViolation, match="sem-half-destroyed"):
+        check.on_kernel_release(runtime)
+
+
+def test_cleanup_imbalance_at_termination_fires():
+    runtime, check = checked_runtime()
+    runtime.main(cond_relay(waiters=1), priority=100)
+    runtime.run()
+    dead = next(
+        t
+        for t in runtime.threads.values()
+        if t.state is ThreadState.TERMINATED
+    )
+    dead.cleanup_stack.append(object())
+    with pytest.raises(InvariantViolation, match="cleanup-balance"):
+        check.on_kernel_release(runtime)
+
+
+def test_quiescent_rules_catch_leaked_writer_claim():
+    runtime, check = checked_runtime()
+    runtime.main(cond_relay(waiters=1), priority=100)
+    runtime.run()
+    rw = runtime.rwlock_ops.lib_rwlock_init(None, "r")
+    check.on_kernel_release(runtime)  # live rules: a claim may be mid-flight
+    rw.waiting_writers = 1  # ...but at quiescence it is a leak
+    with pytest.raises(InvariantViolation, match="quiescent-rwlock"):
+        check.check_quiescent(runtime)

@@ -1,0 +1,62 @@
+"""Choice sources: scripting, clamping, bounds, determinism."""
+
+import pytest
+
+from repro.check.schedule import ChoicePoint, ScriptedChoices
+from repro.sched.perverted import EnumerableSwitchPolicy, make_policy
+from repro.sim.rng import DeterministicRng
+from repro.sim.world import World
+
+
+def test_scripted_prefix_is_followed_then_defaults():
+    source = ScriptedChoices([2, 1])
+    assert source.choose(4) == 2
+    assert source.choose(2) == 1
+    assert source.choose(3) == 0  # past the prefix, no rng: default
+    assert source.vector == [2, 1, 0]
+    assert [p.options for p in source.trail] == [4, 2, 3]
+
+
+def test_scripted_decision_clamped_to_legal_range():
+    source = ScriptedChoices([7])
+    assert source.choose(3) == 2  # 7 is out of range: highest legal
+
+
+def test_branch_bound_clamps_options():
+    source = ScriptedChoices([5], max_branch=4)
+    # 10 alternatives offered, only 4 considered; scripted 5 clamps to 3.
+    assert source.choose(10) == 3
+    assert source.trail[0] == ChoicePoint(4, 3, "")
+
+
+def test_depth_bound_forces_defaults():
+    source = ScriptedChoices([], rng=DeterministicRng(7), max_depth=2)
+    taken = [source.choose(4) for __ in range(10)]
+    assert all(choice == 0 for choice in taken[2:])
+
+
+def test_random_tail_is_seed_deterministic():
+    a = ScriptedChoices([], rng=DeterministicRng(5))
+    b = ScriptedChoices([], rng=DeterministicRng(5))
+    assert [a.choose(4) for __ in range(20)] == [
+        b.choose(4) for __ in range(20)
+    ]
+
+
+def test_world_choose_defaults_without_source():
+    world = World()
+    assert world.choices is None
+    assert world.choose(5, tag="x") == 0
+    world.choices = ScriptedChoices([3])
+    assert world.choose(5, tag="x") == 3
+    assert world.choices.trail[0].tag == "x"
+    # Single-option points never consult (or record) the source.
+    assert world.choose(1) == 0
+    assert len(world.choices.trail) == 1
+
+
+def test_make_policy_knows_enumerable_switch():
+    policy = make_policy(EnumerableSwitchPolicy.name)
+    assert isinstance(policy, EnumerableSwitchPolicy)
+    with pytest.raises(ValueError):
+        make_policy("no-such-policy")

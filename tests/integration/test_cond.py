@@ -184,18 +184,28 @@ def test_bad_timeouts_and_destroy():
         m = yield pt.mutex_init()
         cv = yield pt.cond_init()
         yield pt.mutex_lock(m)
-        out["bad"] = yield pt.cond_timedwait(cv, m, 0)
+        # POSIX: an already-expired timeout is a timeout, not a usage
+        # error -- the call returns ETIMEDOUT with the mutex held.
+        out["expired"] = yield pt.cond_timedwait(cv, m, 0)
+        out["held"] = m.owner is (yield pt.self_id())
+        out["not_owner"] = yield pt.cond_timedwait(cv, m, -5.0)
         yield pt.mutex_unlock(m)
+        out["unlocked"] = yield pt.cond_timedwait(cv, m, 0)
         out["destroy"] = yield pt.cond_destroy(cv)
         out["again"] = yield pt.cond_destroy(cv)
         out["wait_dead"] = yield pt.cond_wait(cv, m)
+        out["timed_dead"] = yield pt.cond_timedwait(cv, m, 0)
 
     run_program(main)
     assert out == {
-        "bad": EINVAL,
+        "expired": ETIMEDOUT,
+        "held": True,
+        "not_owner": ETIMEDOUT,
+        "unlocked": EPERM,
         "destroy": OK,
         "again": EINVAL,
         "wait_dead": EINVAL,
+        "timed_dead": EINVAL,
     }
 
 
