@@ -1,0 +1,163 @@
+"""Server-architecture load sweeps: writes ``BENCH_net.json``.
+
+Marked ``net`` (excluded from tier-1; run directly)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_net_throughput.py -m net
+
+One virtual CPU serves an open-loop Poisson request stream at three
+offered loads; every number is virtual-time and bit-deterministic.
+The headline sweep disables the library's own TCB/stack cache
+(``pool_size=0``) to isolate the *architecture* comparison: with cold
+creates, thread-per-connection pays allocation plus zero-fill stack
+faults per connection, and the worker pool amortises thread lifecycle
+across connections -- the paper's create-caching argument restated at
+the server level.  A second sweep re-enables the cache and shows the
+gap narrow: ``pthread_create`` pre-caching is itself a thread pool,
+one layer down.
+
+Shape assertions (the acceptance bar for this subsystem):
+
+- at the highest client count the pooled server sustains at least 2x
+  the throughput of thread-per-connection;
+- the select dispatcher holds the best accept latency (connections
+  never wait on thread lifecycle to be picked up).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.net.scenario import run_scenario
+
+pytestmark = pytest.mark.net
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_net.json"
+
+ARCHS = ("perconn", "pool", "select")
+CLIENT_SWEEP = (50, 200, 1000)
+
+#: Open-loop load: one request per connection, arrivals ~Poisson(150us),
+#: no think time -- the connection mix, not any client's patience,
+#: determines the backlog.
+LOAD = dict(
+    requests_per_client=1,
+    service_cycles=300,
+    think_us=0.0,
+    arrival="poisson",
+    mean_gap_us=150.0,
+    workers=16,
+    seed=42,
+    latency_us=60.0,
+    first_class=True,  # identical completion path for all three archs
+)
+
+
+def _point(arch, clients, pool_size):
+    report = run_scenario(
+        arch=arch, clients=clients, pool_size=pool_size, **LOAD
+    )
+    assert report.requests_served == clients  # every request answered
+    assert report.refused == 0
+    return {
+        "arch": arch,
+        "clients": clients,
+        "pool_size": pool_size,
+        "elapsed_us": round(report.elapsed_us, 1),
+        "throughput_rps": round(report.throughput_rps, 1),
+        "latency_p50_us": round(report.latency_p50_us, 1),
+        "latency_p99_us": round(report.latency_p99_us, 1),
+        "accept_wait_p50_us": round(report.accept_wait_p50_us, 1),
+        "accept_wait_p99_us": round(report.accept_wait_p99_us, 1),
+        "accept_depth_max": report.accept_depth_max,
+        "queue_wait_p99_us": round(report.queue_wait_p99_us, 1),
+        "syscalls": report.syscalls,
+        "context_switches": report.context_switches,
+        "completions_sigio": report.completions_sigio,
+        "completions_fc": report.completions_fc,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """The full grid, computed once and persisted."""
+    results = [
+        _point(arch, clients, pool_size=0)
+        for clients in CLIENT_SWEEP
+        for arch in ARCHS
+    ]
+    cached = [_point(arch, CLIENT_SWEEP[-1], pool_size=64) for arch in ARCHS]
+    payload = {
+        "suite": "net-architecture-sweep",
+        "model": "sparc-ipx",
+        "load": {k: v for k, v in LOAD.items()},
+        "results": results,
+        "cache_on_results": cached,
+    }
+    with OUTPUT.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def _by(rows, arch, clients):
+    (row,) = [
+        r for r in rows if r["arch"] == arch and r["clients"] == clients
+    ]
+    return row
+
+
+def test_pool_doubles_perconn_throughput_at_saturation(sweep):
+    top = CLIENT_SWEEP[-1]
+    pool = _by(sweep["results"], "pool", top)
+    perconn = _by(sweep["results"], "perconn", top)
+    ratio = pool["throughput_rps"] / perconn["throughput_rps"]
+    assert ratio >= 2.0, (
+        "pool %.1f rps vs perconn %.1f rps (ratio %.2f)"
+        % (pool["throughput_rps"], perconn["throughput_rps"], ratio)
+    )
+
+
+def test_select_dispatcher_has_the_best_accept_latency(sweep):
+    top = CLIENT_SWEEP[-1]
+    rows = {a: _by(sweep["results"], a, top) for a in ARCHS}
+    for other in ("perconn", "pool"):
+        assert (
+            rows["select"]["accept_wait_p99_us"]
+            < rows[other]["accept_wait_p99_us"]
+        ), "select should accept fastest at p99 (vs %s)" % other
+        assert (
+            rows["select"]["accept_wait_p50_us"]
+            <= rows[other]["accept_wait_p50_us"]
+        )
+
+
+def test_create_cache_narrows_the_architecture_gap(sweep):
+    """Re-enabling the TCB/stack cache is the paper's create-caching
+    claim: perconn's per-connection thread create gets cheap, so the
+    pool's advantage shrinks (but does not vanish -- syscalls and
+    context switches still favour long-lived workers)."""
+    top = CLIENT_SWEEP[-1]
+    cold_ratio = (
+        _by(sweep["results"], "pool", top)["throughput_rps"]
+        / _by(sweep["results"], "perconn", top)["throughput_rps"]
+    )
+    warm_pool = _by(sweep["cache_on_results"], "pool", top)
+    warm_perconn = _by(sweep["cache_on_results"], "perconn", top)
+    warm_ratio = warm_pool["throughput_rps"] / warm_perconn["throughput_rps"]
+    assert warm_ratio < cold_ratio
+    assert warm_ratio > 1.0
+
+
+def test_sweep_is_deterministic(sweep):
+    """Re-running one grid point reproduces its row bit-for-bit."""
+    again = _point("pool", CLIENT_SWEEP[0], pool_size=0)
+    assert again == _by(sweep["results"], "pool", CLIENT_SWEEP[0])
+
+
+def test_output_file_is_valid_json(sweep):
+    on_disk = json.loads(OUTPUT.read_text())
+    assert on_disk["results"] == sweep["results"]
+    assert len(on_disk["results"]) == len(ARCHS) * len(CLIENT_SWEEP)

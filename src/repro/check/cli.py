@@ -47,6 +47,12 @@ WORKLOADS.update(
             lambda scale: check_workloads.writer_cancel(hold_us=500.0 * scale),
             100,
         ),
+        "pooled_server": (
+            lambda scale: check_workloads.pooled_server(
+                clients=3 * scale, workers=2
+            ),
+            100,
+        ),
     }
 )
 

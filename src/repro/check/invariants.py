@@ -58,6 +58,7 @@ class CheckContext:
         self.conds: List["Cond"] = []
         self.rwlocks: List["RwLock"] = []
         self.sems: List["Semaphore"] = []
+        self.workqueues: List[object] = []
         self.checks_run = 0
         self.violations_found = 0
 
@@ -79,6 +80,17 @@ class CheckContext:
     def register_sem(self, sem: "Semaphore") -> None:
         self.sems.append(sem)
 
+    def register_workqueue(self, wq: object) -> None:
+        """An application-level work queue (see repro.net.servers).
+
+        Duck-typed: anything with ``items``/``enqueued``/``dequeued``/
+        ``closed`` counters can register.  The rules audit the counter
+        arithmetic at every kernel release -- a dequeue that lost an
+        item (or an item taken twice) breaks the books immediately,
+        under whichever schedule the explorer found it.
+        """
+        self.workqueues.append(wq)
+
     # -- rule plumbing ------------------------------------------------------
 
     def _fail(self, rule: str, detail: str) -> None:
@@ -93,6 +105,7 @@ class CheckContext:
         self._check_conds(runtime)
         self._check_rwlocks()
         self._check_sems()
+        self._check_workqueues()
         self._check_threads(runtime)
 
     # -- state rules --------------------------------------------------------
@@ -229,6 +242,23 @@ class CheckContext:
                     % (s, s.mutex.destroyed, s.cond.destroyed),
                 )
 
+    def _check_workqueues(self) -> None:
+        for wq in self.workqueues:
+            enq = wq.enqueued
+            deq = wq.dequeued
+            depth = len(wq.items)
+            if deq > enq:
+                self._fail(
+                    "workqueue-counts",
+                    "%r: dequeued %d exceeds enqueued %d" % (wq, deq, enq),
+                )
+            if enq - deq != depth:
+                self._fail(
+                    "workqueue-depth",
+                    "%r: enqueued %d - dequeued %d != depth %d"
+                    % (wq, enq, deq, depth),
+                )
+
     def _check_threads(self, runtime: "PthreadsRuntime") -> None:
         for tcb in runtime.all_threads():
             if tcb.effective_priority < tcb.base_priority:
@@ -279,6 +309,18 @@ class CheckContext:
                 self._fail(
                     "quiescent-cond",
                     "%r still has waiters at end of run" % c,
+                )
+        for wq in self.workqueues:
+            if wq.items or not wq.closed:
+                self._fail(
+                    "quiescent-workqueue",
+                    "%r not drained and closed at end of run" % wq,
+                )
+            if wq.dequeued != wq.enqueued:
+                self._fail(
+                    "quiescent-workqueue",
+                    "%r: %d enqueued but only %d ever dequeued"
+                    % (wq, wq.enqueued, wq.dequeued),
                 )
         for rw in self.rwlocks:
             if (

@@ -49,6 +49,41 @@ def cond_relay(waiters: int = 2):
     return main
 
 
+def pooled_server(clients: int = 3, workers: int = 2):
+    """A small pooled network server under deterministic load.
+
+    The full architecture from :mod:`repro.net.servers`: one acceptor
+    feeding ``workers`` worker threads through the condvar-protected
+    :class:`~repro.net.servers.WorkQueue`, serving ``clients``
+    kernel-resident clients.  The queue registers with the checker, so
+    every explored schedule audits the enqueue/dequeue bookkeeping and
+    the end-of-run drain -- the lost-wakeup and shutdown races a
+    hand-rolled work queue invites live exactly in those windows.
+    """
+    from repro.net.scenario import build_main
+    from repro.net.servers import Collector
+
+    def main(pt):
+        collector = Collector()
+        inner = build_main(
+            "pool",
+            collector,
+            clients=clients,
+            requests_per_client=1,
+            workers=workers,
+            arrival="uniform",
+            mean_gap_us=120.0,
+            think_us=40.0,
+            service_cycles=200,
+            latency_us=30.0,
+        )
+        result = yield from inner(pt)
+        assert collector.requests_served == clients
+        return result
+
+    return main
+
+
 def _holding_reader(pt, rw, hold_us):
     yield pt.rwlock_rdlock(rw)
     yield pt.delay_us(hold_us)

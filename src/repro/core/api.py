@@ -291,6 +291,46 @@ class PT:
     def write(self, fd: int, nbytes: int, device: str = "disk0") -> LibCall:
         return LibCall("write", (fd, nbytes), {"device": device})
 
+    # -- sockets (the simulated network stack; see repro.core.netlib) -------------------------------------
+
+    def socket(self) -> LibCall:
+        """A new socket fd (-1 when no network stack is attached)."""
+        return LibCall("socket")
+
+    def bind(self, fd: int, port: int) -> LibCall:
+        """Bind a socket to a port -> err."""
+        return LibCall("bind", (fd, port))
+
+    def listen(self, fd: int, backlog: int = 8) -> LibCall:
+        """Start listening -> err."""
+        return LibCall("listen", (fd, backlog))
+
+    def accept(self, fd: int) -> LibCall:
+        """Block for a connection -> ``(err, conn_fd)``."""
+        return LibCall("accept", (fd,))
+
+    def connect(self, fd: int, port: int) -> LibCall:
+        """Connect to a listening port -> ``(err, fd)``."""
+        return LibCall("connect", (fd, port))
+
+    def send(self, fd: int, nbytes: int, meta: Any = None) -> LibCall:
+        """Send a message -> ``(err, nbytes)``; blocks on backpressure."""
+        return LibCall("send", (fd, nbytes), {"meta": meta})
+
+    def recv(self, fd: int) -> LibCall:
+        """Receive one message -> ``(err, msg_or_None)`` (None = EOF)."""
+        return LibCall("recv", (fd,))
+
+    def select(
+        self, fds: Any, timeout_us: Optional[float] = None
+    ) -> LibCall:
+        """Wait for readiness on any of ``fds`` -> ``(err, ready_fds)``."""
+        return LibCall("select", (list(fds),), {"timeout_us": timeout_us})
+
+    def close(self, fd: int) -> LibCall:
+        """Close a descriptor (socket or device mapping) -> err."""
+        return LibCall("net_close", (fd,))
+
     # -- jumps ----------------------------------------------------------------------------------------------
 
     def jmp_buf(self) -> LibCall:

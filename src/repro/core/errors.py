@@ -23,6 +23,12 @@ EINVAL = 22
 EDEADLK = 35
 ETIMEDOUT = 60
 ENOSPC = 28
+EBADF = 9
+EPIPE = 32
+ENOTCONN = 57
+EISCONN = 56
+EADDRINUSE = 48
+ECONNREFUSED = 61
 
 _NAMES = {
     OK: "OK",
@@ -36,6 +42,12 @@ _NAMES = {
     EDEADLK: "EDEADLK",
     ETIMEDOUT: "ETIMEDOUT",
     ENOSPC: "ENOSPC",
+    EBADF: "EBADF",
+    EPIPE: "EPIPE",
+    ENOTCONN: "ENOTCONN",
+    EISCONN: "EISCONN",
+    EADDRINUSE: "EADDRINUSE",
+    ECONNREFUSED: "ECONNREFUSED",
 }
 
 

@@ -16,6 +16,7 @@ from repro.core.errors import EINVAL
 from repro.core.libbase import BLOCKED, LibraryOps
 from repro.core.tcb import Tcb
 from repro.hw import costs
+from repro.unix import net as _net
 
 
 class IoOps(LibraryOps):
@@ -50,7 +51,20 @@ class IoOps(LibraryOps):
 
     def _io(self, tcb: Tcb, op: str, fd: int, nbytes: int, device: str) -> Any:
         rt = self.rt
-        dev = rt.io_devices.get(device)
+        # Descriptor-first routing: an fd installed in the runtime's
+        # fd table names its device (or socket) directly, as on UNIX.
+        # Unmapped fds fall back to the legacy ``device=`` keyword --
+        # the fallback charges nothing, so pre-fd-table programs run
+        # bit-identically (pinned by test_fdtable_regression).
+        dev = rt.fds.get(fd)
+        if dev is None:
+            dev = rt.io_devices.get(device)
+        elif isinstance(dev, _net.Socket):
+            # Sockets share the descriptor space: read/recv and
+            # write/send are the same call on a socket fd.
+            if op == "read":
+                return rt.net_ops.lib_recv(tcb, fd)
+            return rt.net_ops.lib_send(tcb, fd, nbytes)
         if dev is None:
             return (EINVAL, 0)
         if nbytes < 0:

@@ -67,6 +67,10 @@ class ThreadPool:
             stack.reset()
             return tcb_addr, stack
         self.misses += 1
+        # A freshly allocated stack is cold: its first use takes
+        # zero-fill page faults.  Cached stacks stay resident, which is
+        # the cache's whole justification -- hits skip this entirely.
+        self._world.spend(costs.STACK_FAULT_IN, fire=False)
         return self._allocate(want)
 
     def release(self, tcb_addr: int, stack: Stack) -> None:

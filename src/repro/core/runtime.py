@@ -23,6 +23,7 @@ from repro.core import config as cfg
 from repro.core.attr import ThreadAttr
 from repro.core.dispatcher import Dispatcher
 from repro.core.errors import PthreadsInternalError
+from repro.core.fdtable import FdTable
 from repro.core.kernel import LibKernel
 from repro.core.libbase import BLOCKED
 from repro.core.pool import ThreadPool
@@ -33,6 +34,7 @@ from repro.sim.ops import Invoke, LibCall, SysCall, Work
 from repro.sim.world import DeadlockError, World
 from repro.unix.io import IoDevice
 from repro.unix.kernel import UnixKernel
+from repro.unix.net import NetStack
 from repro.unix.signals import (
     InterruptFrame,
     ProcessSignals,
@@ -139,8 +141,15 @@ class PthreadsRuntime:
 
         self._pt = PT(self)
 
-        # Devices and timers.
+        # Devices, descriptors, networking, and timers.
         self.io_devices: Dict[str, IoDevice] = {}
+        #: The per-process descriptor table (fd -> device/socket).
+        #: Construction and resolution are free, so runtimes that
+        #: never install an entry behave exactly as before it existed.
+        self.fds = FdTable()
+        #: The simulated socket layer, or None until
+        #: :meth:`add_net_stack` attaches one.
+        self.net: Optional[NetStack] = None
         self._install_universal_handler()
         self.timer = IntervalTimer(self.world, self.unix, self.proc)
         self._slicer: Optional[IntervalTimer] = None
@@ -160,6 +169,7 @@ class PthreadsRuntime:
         from repro.core.fakecall import FakeCalls
         from repro.core.iolib import IoOps
         from repro.core.jmp import JmpOps
+        from repro.core.netlib import NetOps
         from repro.core.mutex import MutexOps
         from repro.core.once import OnceOps
         from repro.core.protocols import ProtocolManager
@@ -187,6 +197,7 @@ class PthreadsRuntime:
         self.jmp_ops = JmpOps(self)
         self.timer_ops = TimerOps(self)
         self.io_ops = IoOps(self)
+        self.net_ops = NetOps(self)
         self.rwlock_ops = RwLockOps(self)
         self.barrier_ops = BarrierOps(self)
         self.stdio_ops = StdioOps(self)
@@ -203,6 +214,7 @@ class PthreadsRuntime:
             self.jmp_ops,
             self.timer_ops,
             self.io_ops,
+            self.net_ops,
             self.rwlock_ops,
             self.barrier_ops,
             self.stdio_ops,
@@ -300,6 +312,25 @@ class PthreadsRuntime:
         )
         self.io_devices[name] = device
         return device
+
+    def add_net_stack(
+        self, first_class: bool = False, **kwargs: Any
+    ) -> NetStack:
+        """Attach the simulated socket layer (idle until used).
+
+        ``first_class=True`` routes completions through the Marsh &
+        Scott kernel/user channel instead of SIGIO demultiplexing --
+        the same switch :meth:`add_io_device` offers for disks.
+        Construction spends no cycles: a runtime with networking
+        attached but idle is bit-identical to one without it.
+        """
+        channel = None
+        if first_class:
+            channel = self._ensure_first_class()
+        self.net = NetStack(
+            self.world, self.unix, self.proc, channel=channel, **kwargs
+        )
+        return self.net
 
     def _ensure_first_class(self):
         from repro.unix.firstclass import FirstClassInterface

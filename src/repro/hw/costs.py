@@ -53,11 +53,29 @@ UNIX_SIGNAL_DELIVER = "unix_signal_deliver"  # push interrupt frame, run handler
 UNIX_SIGRETURN = "unix_sigreturn"  # pop interrupt frame, restore global state
 PROC_SWITCH = "proc_switch"  # full UNIX process context switch
 
+# Simulated networking (charged by the unix/net.py socket services).
+SOCKET_WORK = "socket_work"  # in-kernel work of socket()
+BIND_WORK = "bind_work"  # bind/listen bookkeeping
+ACCEPT_WORK = "accept_work"  # dequeue one connection from the accept queue
+CONNECT_WORK = "connect_work"  # connection setup bookkeeping
+SEND_WORK = "send_work"  # copy into the socket tx path
+RECV_WORK = "recv_work"  # copy out of the socket rx buffer
+SELECT_WORK = "select_work"  # select/poll fixed entry cost
+SELECT_PER_FD = "select_per_fd"  # per-descriptor readiness probe
+NET_DELIVER = "net_deliver"  # in-kernel packet arrival bookkeeping
+
 # Memory allocation.
 HEAP_ALLOC = "heap_alloc"  # malloc-level allocation (no sbrk)
 HEAP_FREE = "heap_free"
 POOL_POP = "pool_pop"  # take a pre-cached TCB/stack from the pool
 POOL_PUSH = "pool_push"
+# A cache-missed stack is cold memory: the first pushes onto it take
+# zero-fill page faults (~50-90us each on SunOS 4.x SPARCstations, per
+# contemporary lmbench-style measurements), a handful of pages for a
+# 64KB stack's initial working set.  Cached stacks are resident -- not
+# re-faulting them is exactly why the library keeps the TCB/stack
+# cache -- so this is charged only on the miss path.
+STACK_FAULT_IN = "stack_fault_in"
 TCB_INIT = "tcb_init"  # initialise a thread control block
 STACK_SETUP = "stack_setup"  # prepare a fresh thread stack
 
@@ -125,6 +143,15 @@ _DEFAULT_CYCLES: Dict[str, int] = {
     SETITIMER_WORK: 80,
     KILL_WORK: 120,
     SBRK_WORK: 400,
+    SOCKET_WORK: 180,
+    BIND_WORK: 60,
+    ACCEPT_WORK: 90,
+    CONNECT_WORK: 140,
+    SEND_WORK: 80,
+    RECV_WORK: 80,
+    SELECT_WORK: 120,
+    SELECT_PER_FD: 12,
+    NET_DELIVER: 40,
     UNIX_SIGNAL_DELIVER: 6160,
     UNIX_SIGRETURN: 1100,
     PROC_SWITCH: 4900,
@@ -132,6 +159,7 @@ _DEFAULT_CYCLES: Dict[str, int] = {
     HEAP_FREE: 180,
     POOL_POP: 20,
     POOL_PUSH: 16,
+    STACK_FAULT_IN: 8000,  # ~4 zero-fill faults at ~50us on the IPX
     TCB_INIT: 180,
     STACK_SETUP: 90,
     ENTER_KERNEL: 8,
@@ -219,6 +247,7 @@ SPARC_1PLUS = CostModel(
         LONGJMP_RESTORE: 130,
         TCB_INIT: 300,
         STACK_SETUP: 130,
+        STACK_FAULT_IN: 9000,  # slower memory system: pricier faults
         HEAP_ALLOC: 640,
         CREATE_MISC: 140,
         COND_WAIT_SETUP: 120,

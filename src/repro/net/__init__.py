@@ -1,0 +1,35 @@
+"""Simulated multithreaded servers + deterministic load generation.
+
+The top of the networking tentpole: three server architectures
+(:mod:`repro.net.servers`) built from the thread library's own
+primitives, driven by an open-loop kernel-resident load generator
+(:mod:`repro.net.loadgen`), packaged into reproducible scenarios with
+virtual-time reports (:mod:`repro.net.scenario`) and a CLI
+(``python -m repro.net``).
+
+Layering (see ``docs/NETWORKING.md``): the kernel half of the stack is
+:mod:`repro.unix.net` (sockets, accept queues, link delays, select);
+the library half is :mod:`repro.core.netlib` (thread-blocking entry
+points over the non-blocking kernel services).
+"""
+
+from repro.net.loadgen import ARRIVALS, LoadGenerator
+from repro.net.scenario import ScenarioReport, build_main, run_scenario
+from repro.net.servers import (
+    ARCHITECTURES,
+    Collector,
+    WorkQueue,
+    build_server,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "ARCHITECTURES",
+    "Collector",
+    "LoadGenerator",
+    "ScenarioReport",
+    "WorkQueue",
+    "build_main",
+    "build_server",
+    "run_scenario",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.net``."""
+
+import sys
+
+from repro.net.cli import main
+
+sys.exit(main())

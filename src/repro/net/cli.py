@@ -1,0 +1,129 @@
+"""``python -m repro.net`` -- run a server-under-load scenario.
+
+Everything printed is derived from virtual time and deterministic
+counters; the same arguments always print the same report.
+
+Examples::
+
+    python -m repro.net serve --arch pool --clients 1000 --seed 42
+    python -m repro.net serve --arch select --clients 200 --arrival bursty
+    python -m repro.net compare --clients 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.net.loadgen import ARRIVALS
+from repro.net.scenario import run_scenario
+from repro.net.servers import ARCHITECTURES
+
+
+def _add_scenario_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--clients", type=int, default=50,
+                     help="number of load-generator clients")
+    sub.add_argument("--requests", type=int, default=3,
+                     help="requests per client connection")
+    sub.add_argument("--workers", type=int, default=16,
+                     help="worker threads (pool architecture)")
+    sub.add_argument("--seed", type=int, default=42,
+                     help="world seed (drives arrival times)")
+    sub.add_argument("--model", default="sparc-ipx",
+                     help="machine model")
+    sub.add_argument("--arrival", choices=ARRIVALS, default="poisson",
+                     help="client inter-arrival process")
+    sub.add_argument("--mean-gap-us", type=float, default=40.0,
+                     help="mean inter-arrival gap (us)")
+    sub.add_argument("--burst", type=int, default=8,
+                     help="clients per burst (bursty arrivals)")
+    sub.add_argument("--think-us", type=float, default=150.0,
+                     help="client think time between requests (us)")
+    sub.add_argument("--service-cycles", type=int, default=400,
+                     help="application cycles per request")
+    sub.add_argument("--latency-us", type=float, default=60.0,
+                     help="one-way link latency (us)")
+    sub.add_argument("--req-bytes", type=int, default=256,
+                     help="request size (bytes)")
+    sub.add_argument("--resp-bytes", type=int, default=1024,
+                     help="response size (bytes)")
+    sub.add_argument("--first-class", choices=("auto", "on", "off"),
+                     default="auto",
+                     help="completion path: first-class channel vs SIGIO "
+                          "(auto = first-class for the select arch)")
+
+
+def _first_class(value: str) -> Optional[bool]:
+    return {"auto": None, "on": True, "off": False}[value]
+
+
+def _run(arch: str, args: argparse.Namespace):
+    return run_scenario(
+        arch=arch,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        workers=args.workers,
+        seed=args.seed,
+        model=args.model,
+        arrival=args.arrival,
+        mean_gap_us=args.mean_gap_us,
+        burst=args.burst,
+        think_us=args.think_us,
+        service_cycles=args.service_cycles,
+        latency_us=args.latency_us,
+        req_bytes=args.req_bytes,
+        resp_bytes=args.resp_bytes,
+        first_class=_first_class(args.first_class),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    report = _run(args.arch, args)
+    print(report.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run every architecture under the identical load, side by side."""
+    reports = [_run(arch, args) for arch in sorted(ARCHITECTURES)]
+    hdr = "%-10s %12s %12s %12s %12s %10s" % (
+        "arch", "elapsed_us", "thruput_rps", "lat_p50_us",
+        "lat_p99_us", "syscalls",
+    )
+    print(hdr)
+    print("-" * len(hdr))
+    for r in reports:
+        print("%-10s %12.1f %12.1f %12.1f %12.1f %10d" % (
+            r.arch, r.elapsed_us, r.throughput_rps,
+            r.latency_p50_us, r.latency_p99_us, r.syscalls,
+        ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="simulated multithreaded servers under deterministic "
+                    "load (virtual time only)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    serve = subs.add_parser("serve", help="run one architecture")
+    serve.add_argument("--arch", choices=sorted(ARCHITECTURES),
+                       default="pool", help="server architecture")
+    _add_scenario_args(serve)
+    serve.set_defaults(fn=cmd_serve)
+
+    compare = subs.add_parser(
+        "compare", help="run all architectures under identical load"
+    )
+    _add_scenario_args(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

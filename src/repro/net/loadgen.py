@@ -1,0 +1,148 @@
+"""Deterministic open-loop load generator for the simulated network.
+
+Clients live *in the kernel* (remote peers), not in the library: they
+are pure event-driven state machines over
+:meth:`~repro.unix.net.NetStack.remote_connect` /
+``remote_send`` / ``remote_close``, so generating load costs the
+process under test nothing but the deliveries themselves.  Arrival
+times, and nothing else, come from a salted fork of the world RNG --
+the same seed always produces the same arrival schedule, byte counts,
+and therefore the same run.
+
+Open-loop: client arrivals follow the configured process regardless of
+how the server is coping (the server being slow does not slow the
+offered load -- queues grow instead, which is exactly what the
+architecture comparison wants to expose).  Within one connection the
+client is closed-loop: it sends, waits for the reply, thinks for
+``think_us``, then sends again, ``requests_per_client`` times, then
+closes.
+
+Each request's ``meta`` carries the send timestamp; the server echoes
+``meta`` in its reply, and the reply's arrival at the client closes the
+end-to-end latency sample (two link traversals plus all server-side
+queueing and service).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.unix.net import NetStack, Message
+
+ARRIVALS = ("poisson", "bursty", "uniform")
+
+
+class LoadGenerator:
+    """Open-loop client fleet over a :class:`~repro.unix.net.NetStack`.
+
+    ``arrival`` selects the inter-arrival process:
+
+    - ``poisson``: exponential gaps with mean ``mean_gap_us`` (drawn
+      from the salted world RNG);
+    - ``bursty``: ``burst`` clients arrive simultaneously, bursts are
+      spaced ``mean_gap_us * burst`` apart (same offered rate, maximal
+      short-term pressure on the accept queue);
+    - ``uniform``: fixed ``mean_gap_us`` gaps.
+    """
+
+    def __init__(
+        self,
+        stack: NetStack,
+        port: int,
+        clients: int,
+        requests_per_client: int = 3,
+        req_bytes: int = 256,
+        arrival: str = "poisson",
+        mean_gap_us: float = 40.0,
+        burst: int = 8,
+        think_us: float = 150.0,
+        start_us: float = 10.0,
+        rng_salt: int = 0x6E65,  # "ne"
+        collector: Optional[Any] = None,
+    ) -> None:
+        if arrival not in ARRIVALS:
+            raise ValueError(
+                "unknown arrival process %r (have: %s)"
+                % (arrival, ", ".join(ARRIVALS))
+            )
+        self._stack = stack
+        self._world = stack._world
+        self._port = port
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.req_bytes = req_bytes
+        self.arrival = arrival
+        self.mean_gap_us = mean_gap_us
+        self.burst = max(1, burst)
+        self.think_us = think_us
+        self.start_us = start_us
+        self._rng = self._world.rng.fork(rng_salt)
+        self._collector = collector
+        # -- results (virtual time only) --
+        self.latencies_us: List[float] = []
+        self.requests_sent = 0
+        self.replies = 0
+        self.refused = 0
+        self.completed = 0  # clients that finished all requests + closed
+
+    # -- schedule ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every client arrival now; costs zero cycles."""
+        world = self._world
+        t = self.start_us
+        for i in range(self.clients):
+            if self.arrival == "poisson":
+                t += self._rng.expovariate(self.mean_gap_us)
+            elif self.arrival == "bursty":
+                if i and i % self.burst == 0:
+                    t += self.mean_gap_us * self.burst
+            else:  # uniform
+                t += self.mean_gap_us
+            world.schedule_in(
+                max(1, world.cycles_for_us(t - world.now_us)),
+                lambda cid=i: self._arrive(cid),
+                name="client-%d-arrive" % i,
+            )
+
+    # -- one client's state machine ------------------------------------------
+
+    def _arrive(self, cid: int) -> None:
+        state: Dict[str, Any] = {"sent": 0}
+        sock = self._stack.remote_connect(
+            self._port,
+            on_connected=lambda s: self._send_next(s, cid, state),
+            on_rx=lambda s, msg: self._on_reply(s, cid, state, msg),
+        )
+        if sock is None:
+            self.refused += 1
+            if self._collector is not None:
+                self._collector.refused += 1
+
+    def _send_next(self, sock, cid: int, state: Dict[str, Any]) -> None:
+        meta = {
+            "t0": self._world.now_us,
+            "cid": cid,
+            "rid": state["sent"],
+        }
+        state["sent"] += 1
+        self.requests_sent += 1
+        self._stack.remote_send(sock, self.req_bytes, meta)
+
+    def _on_reply(
+        self, sock, cid: int, state: Dict[str, Any], msg: Message
+    ) -> None:
+        self.replies += 1
+        latency = self._world.now_us - msg.meta["t0"]
+        self.latencies_us.append(latency)
+        if self._collector is not None:
+            self._collector.latencies_us.append(latency)
+        if state["sent"] >= self.requests_per_client:
+            self._stack.remote_close(sock)
+            self.completed += 1
+            return
+        self._world.schedule_in(
+            max(1, self._world.cycles_for_us(self.think_us)),
+            lambda: self._send_next(sock, cid, state),
+            name="client-%d-think" % cid,
+        )

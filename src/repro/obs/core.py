@@ -143,6 +143,34 @@ class Observability:
         put("unix.syscalls", runtime.unix.total_syscalls,
             "UNIX kernel calls made by the library")
 
+        pool = runtime.pool
+        put("pool.hits", pool.hits, "TCB/stack cache hits at create")
+        put("pool.misses", pool.misses,
+            "creates that paid full allocation (cold stack)")
+        put("pool.returns", pool.returns,
+            "TCB/stack pairs returned to the cache at reclaim")
+
+        net = getattr(runtime, "net", None)
+        if net is not None:
+            put("net.connections_opened", net.connections_opened,
+                "connections established through the accept queue")
+            put("net.connections_refused", net.connections_refused,
+                "connects refused (no listener or backlog full)")
+            put("net.messages_delivered", net.messages_delivered,
+                "messages delivered into receive buffers")
+            put("net.bytes_delivered", net.bytes_delivered,
+                "payload bytes delivered")
+            put("net.eof_delivered", net.eof_delivered,
+                "orderly end-of-stream deliveries")
+            put("net.completions_sigio", net.sigio_completions,
+                "blocking-call completions via SIGIO")
+            put("net.completions_first_class", net.fc_completions,
+                "blocking-call completions via the first-class channel")
+            put("net.backpressure_stalls", net.backpressure_stalls,
+                "sends that blocked on a full peer buffer")
+            put("net.select_calls", net.select_calls,
+                "select syscalls issued")
+
         check = runtime.check
         if check is not None:
             put("check.invariant_checks", check.checks_run,

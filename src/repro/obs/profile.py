@@ -87,6 +87,16 @@ CATEGORY_OF_KEY: Dict[str, str] = {
     costs.KILL_WORK: SYSCALLS,
     costs.SBRK_WORK: SYSCALLS,
     costs.PROC_SWITCH: SYSCALLS,
+    # Network syscalls (repro.unix.net) -- in-kernel work per service.
+    costs.SOCKET_WORK: SYSCALLS,
+    costs.BIND_WORK: SYSCALLS,
+    costs.ACCEPT_WORK: SYSCALLS,
+    costs.CONNECT_WORK: SYSCALLS,
+    costs.SEND_WORK: SYSCALLS,
+    costs.RECV_WORK: SYSCALLS,
+    costs.SELECT_WORK: SYSCALLS,
+    costs.SELECT_PER_FD: SYSCALLS,
+    costs.NET_DELIVER: SYSCALLS,
     # Signal machinery (UNIX delivery and the library's own model).
     costs.UNIX_SIGNAL_DELIVER: SIGNAL_DELIVERY,
     costs.UNIX_SIGRETURN: SIGNAL_DELIVERY,
@@ -122,6 +132,7 @@ CATEGORY_OF_KEY: Dict[str, str] = {
     costs.POOL_PUSH: MEMORY,
     costs.TCB_INIT: MEMORY,
     costs.STACK_SETUP: MEMORY,
+    costs.STACK_FAULT_IN: MEMORY,
     # Everything else in the library.
     costs.SETJMP_SAVE: LIBRARY_MISC,
     costs.LONGJMP_RESTORE: LIBRARY_MISC,

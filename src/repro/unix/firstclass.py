@@ -82,6 +82,16 @@ class FirstClassInterface:
         request.complete_time = self.world.now
         self._notify(request.requester, request)
 
+    def notify(self, datum: Any, request: Any) -> None:
+        """Kernel side: generic completion with the result already set.
+
+        Disk completions go through :meth:`complete` (which stamps the
+        byte count); network completions (:mod:`repro.unix.net`) carry
+        richer results and arrive here with ``request.result`` filled
+        in.  Same channel, same soft-interrupt cost, same upcall.
+        """
+        self._notify(datum, request)
+
     def _notify(self, datum: Any, request: IoRequest) -> None:
         self.world.spend_cycles(SOFT_INTERRUPT_CYCLES, fire=False)
         self.notifications += 1

@@ -1,0 +1,601 @@
+"""Simulated sockets: the kernel side of the networking subsystem.
+
+The paper's asynchronous I/O layer wraps every potentially blocking
+UNIX call in a non-blocking issue plus a ``SIGIO`` completion directed
+at the requesting thread (delivery-model rule 4).  Disks exercise that
+machinery one request at a time; serving network traffic is the
+workload class the ROADMAP aims at, and it needs the full UNIX socket
+surface: listening sockets with accept queues, connected sockets with
+bounded receive buffers (backpressure), link latency/bandwidth, and a
+``select`` service for single-threaded dispatchers.
+
+This module is the *kernel* half.  Every service a thread invokes is a
+syscall charged through :meth:`UnixKernel._enter` (enter/exit overhead
+plus in-kernel work), exactly like the services in
+:mod:`repro.unix.kernel`.  All services are non-blocking, as the
+paper's library requires: a call that cannot complete returns "would
+block" and the *library* (:mod:`repro.core.netlib`) parks the calling
+thread and registers a :class:`NetRequest`.  When the kernel-side
+event arrives (a connection established, a message delivered, buffer
+space freed) the request completes through one of the two completion
+paths the paper discusses:
+
+- ``SIGIO`` through the universal handler, demultiplexed to the
+  requesting thread by delivery rule 4 (the shipping design); or
+- the first-class Marsh & Scott channel
+  (:class:`repro.unix.firstclass.FirstClassInterface`), which hands
+  the completion datum straight to the user-level scheduler at
+  soft-interrupt cost (the paper's Open Problems proposal).
+
+Messages are bookkeeping-only (a byte count plus metadata), like every
+other payload in the simulation.  Construction of the stack spends no
+cycles, so a runtime with networking present but idle is bit-identical
+to one without it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.hw import costs
+from repro.sim.world import World
+from repro.unix.kernel import UnixKernel
+from repro.unix.sigset import SIGIO
+from repro.unix.signals import SigCause
+
+
+@dataclass
+class Message:
+    """One application message (bookkeeping only, no payload bytes)."""
+
+    nbytes: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+    sent_at: int = 0
+    delivered_at: int = 0
+
+
+@dataclass
+class NetRequest:
+    """One parked network operation awaiting a kernel-side event.
+
+    The shape mirrors :class:`repro.unix.io.IoRequest` so both
+    completion paths work unchanged: ``requester`` names the thread to
+    wake (rule 4) and ``result`` is the value its library call returns.
+    ``finisher`` lets the library map the raw kernel object to the
+    caller-visible value (e.g. allocate an fd for an accepted socket)
+    at completion time, with the kernel flag protection the waker
+    already holds.
+    """
+
+    reqid: int
+    op: str  # "accept" | "connect" | "recv" | "send" | "select"
+    sock: Optional["Socket"]
+    requester: Any
+    issue_time: int
+    nbytes: int = 0
+    meta: Optional[Dict[str, Any]] = None
+    entries: Optional[List[Tuple[int, "Socket"]]] = None  # select only
+    finisher: Optional[Callable[[Any], Any]] = None
+    done: bool = False
+    cancelled: bool = False
+    result: Any = None
+    complete_time: int = 0
+
+
+class Socket:
+    """One simulated socket (listening, connected, or kernel-owned).
+
+    ``kernel_owned`` marks remote endpoints driven by the load
+    generator: they live entirely inside the kernel, consume arriving
+    messages through ``on_rx`` immediately (no buffering), and never
+    issue syscalls -- so simulated clients cost no library threads.
+    """
+
+    def __init__(
+        self, stack: "NetStack", rx_capacity: int, kernel_owned: bool = False
+    ) -> None:
+        self.sid = next(stack._sock_ids)
+        self.stack = stack
+        self.state = "new"  # new | bound | listening | connecting | connected | closed
+        self.port: Optional[int] = None
+        self.kernel_owned = kernel_owned
+        # Listening side.
+        self.backlog = 0
+        self.claims = 0  # connections admitted but still in flight
+        self.accept_queue: deque = deque()  # (Socket, enqueued_at_cycles)
+        self.pending_accepts: deque = deque()  # NetRequests
+        # Connected side.
+        self.peer: Optional["Socket"] = None
+        self.rx: deque = deque()  # Messages
+        self.rx_bytes = 0
+        self.rx_inflight = 0  # bytes transmitted but not yet delivered
+        self.rx_capacity = rx_capacity
+        self.rx_eof = False
+        self.pending_recvs: deque = deque()  # NetRequests
+        self.waiting_senders: deque = deque()  # NetRequests (space in *this* rx)
+        self.pending_connect: Optional[NetRequest] = None
+        # select/poll watchers.
+        self.selectors: List[NetRequest] = []
+        # Kernel-owned endpoint callbacks.
+        self.on_connected: Optional[Callable[["Socket"], None]] = None
+        self.on_rx: Optional[Callable[["Socket", Message], None]] = None
+        self.on_eof: Optional[Callable[["Socket"], None]] = None
+
+    def readable(self) -> bool:
+        """select()'s readiness rule for this socket."""
+        if self.state == "listening":
+            return bool(self.accept_queue)
+        return bool(self.rx) or self.rx_eof
+
+    def __repr__(self) -> str:
+        return "Socket(#%d, %s, port=%s, rx=%d)" % (
+            self.sid, self.state, self.port, self.rx_bytes,
+        )
+
+
+#: EOF sentinel returned by ``sys_recv`` on a half-closed socket.
+EOF = None
+
+
+class NetStack:
+    """One machine's socket layer.
+
+    Parameters
+    ----------
+    latency_us:
+        One-way link latency (mean when ``deterministic=False``).
+    bandwidth_bytes_per_us:
+        Link bandwidth; 0 means infinite (latency only).
+    deterministic:
+        Fixed latency vs. exponential with that mean (drawn from the
+        world RNG, so runs stay reproducible).
+    channel:
+        Optional :class:`~repro.unix.firstclass.FirstClassInterface`;
+        when set, completions bypass SIGIO entirely.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        kernel: UnixKernel,
+        proc: Any,
+        latency_us: float = 150.0,
+        bandwidth_bytes_per_us: float = 0.0,
+        deterministic: bool = True,
+        rx_capacity: int = 65536,
+        channel: Any = None,
+    ) -> None:
+        if latency_us <= 0:
+            raise ValueError("latency must be positive: %r" % latency_us)
+        self._world = world
+        self._kernel = kernel
+        self._proc = proc
+        self.latency_us = latency_us
+        self.bandwidth_bytes_per_us = bandwidth_bytes_per_us
+        self.deterministic = deterministic
+        self.rx_capacity = rx_capacity
+        self.channel = channel
+        self._req_ids = itertools.count(1)
+        self._sock_ids = itertools.count(1)
+        self.listeners: Dict[int, Socket] = {}
+        # Counters (harvested by the observability layer).
+        self.connections_opened = 0
+        self.connections_refused = 0
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        self.sigio_completions = 0
+        self.fc_completions = 0
+        self.backpressure_stalls = 0
+        self.select_calls = 0
+        self.eof_delivered = 0
+        # Accept-path measurements (cycles; the scenario layer converts).
+        self.accept_waits: List[int] = []
+        self.accept_depths: List[int] = []
+
+    # -- syscall surface (each charged like a unix/kernel.py service) --------
+
+    def sys_socket(self) -> Socket:
+        self._kernel._enter("socket", costs.SOCKET_WORK)
+        return Socket(self, self.rx_capacity)
+
+    def sys_bind(self, sock: Socket, port: int) -> bool:
+        """Bind to a port; False when the port is taken."""
+        self._kernel._enter("bind", costs.BIND_WORK)
+        if port in self.listeners:
+            return False
+        sock.port = port
+        sock.state = "bound"
+        return True
+
+    def sys_listen(self, sock: Socket, backlog: int) -> None:
+        self._kernel._enter("listen", costs.BIND_WORK)
+        sock.backlog = max(1, backlog)
+        sock.state = "listening"
+        self.listeners[sock.port] = sock
+
+    def sys_accept(self, sock: Socket) -> Optional[Socket]:
+        """Non-blocking accept: a connected socket, or None (would block)."""
+        self._kernel._enter("accept", costs.ACCEPT_WORK)
+        return self._accept_pop(sock)
+
+    def sys_connect(self, sock: Socket, port: int) -> bool:
+        """Issue a connection attempt; admission decided at issue time.
+
+        Returns False when refused (no listener, or its accept queue --
+        counting attempts already in flight -- is full).  On True the
+        connection establishes after one link latency; the caller
+        parks a ``"connect"`` request to learn when.
+        """
+        self._kernel._enter("connect", costs.CONNECT_WORK)
+        listener = self.listeners.get(port)
+        if listener is None or not self._admit_connection(listener):
+            self.connections_refused += 1
+            return False
+        listener.claims += 1
+        server_side = Socket(self, self.rx_capacity)
+        self._pair(sock, server_side, port)
+        sock.state = "connecting"
+        self._world.schedule_in(
+            self._link_delay(0),
+            lambda: self._establish(listener, server_side, sock),
+            name="net-establish#%d" % server_side.sid,
+        )
+        return True
+
+    def sys_send(self, sock: Socket, nbytes: int, meta: Optional[dict]) -> Optional[int]:
+        """Non-blocking send: bytes queued on the link, or None (would
+        block -- the peer's receive buffer is full)."""
+        self._kernel._enter("send", costs.SEND_WORK)
+        peer = sock.peer
+        assert peer is not None
+        if not self._rx_admit(peer, nbytes):
+            return None
+        self._transmit(peer, nbytes, meta)
+        return nbytes
+
+    def sys_recv(self, sock: Socket) -> Any:
+        """Non-blocking recv: a :class:`Message`, :data:`EOF`, or the
+        string ``"block"`` when nothing is available yet."""
+        self._kernel._enter("recv", costs.RECV_WORK)
+        if sock.rx:
+            msg = self._rx_pop(sock)
+            self._drain_senders(sock)
+            return msg
+        if sock.rx_eof:
+            return EOF
+        return "block"
+
+    def sys_select(self, entries: List[Tuple[int, Socket]]) -> List[int]:
+        """One readiness scan over ``entries`` ((fd, socket) pairs).
+
+        Charged as one syscall plus a per-descriptor probe, like the
+        real thing; returns the ready fds (possibly empty).
+        """
+        self._kernel._enter("select", costs.SELECT_WORK)
+        if entries:
+            self._world.spend(
+                costs.SELECT_PER_FD, times=len(entries), fire=False
+            )
+        self.select_calls += 1
+        return [fd for fd, sock in entries if sock.readable()]
+
+    def sys_close(self, sock: Socket) -> None:
+        self._kernel._enter("net_close", costs.SOCKET_WORK)
+        self._close(sock)
+
+    # -- would-block registration (no extra syscall; the issue above
+    #    already expressed interest, as with FASYNC on a real kernel) ------
+
+    def _new_request(self, op: str, sock: Optional[Socket], requester: Any,
+                     finisher: Optional[Callable] = None, **extra: Any) -> NetRequest:
+        return NetRequest(
+            reqid=next(self._req_ids),
+            op=op,
+            sock=sock,
+            requester=requester,
+            issue_time=self._world.now,
+            finisher=finisher,
+            **extra,
+        )
+
+    def wait_accept(self, sock: Socket, requester: Any,
+                    finisher: Optional[Callable] = None) -> NetRequest:
+        request = self._new_request("accept", sock, requester, finisher)
+        sock.pending_accepts.append(request)
+        return request
+
+    def wait_connect(self, sock: Socket, requester: Any,
+                     finisher: Optional[Callable] = None) -> NetRequest:
+        request = self._new_request("connect", sock, requester, finisher)
+        sock.pending_connect = request
+        return request
+
+    def wait_recv(self, sock: Socket, requester: Any,
+                  finisher: Optional[Callable] = None) -> NetRequest:
+        request = self._new_request("recv", sock, requester, finisher)
+        sock.pending_recvs.append(request)
+        return request
+
+    def wait_send(self, sock: Socket, requester: Any, nbytes: int,
+                  meta: Optional[dict],
+                  finisher: Optional[Callable] = None) -> NetRequest:
+        """Park a backpressured send on the *peer's* receive buffer."""
+        request = self._new_request(
+            "send", sock, requester, finisher, nbytes=nbytes, meta=meta
+        )
+        sock.peer.waiting_senders.append(request)
+        self.backpressure_stalls += 1
+        return request
+
+    def wait_select(self, entries: List[Tuple[int, Socket]],
+                    requester: Any) -> NetRequest:
+        request = self._new_request(
+            "select", None, requester, None, entries=list(entries)
+        )
+        for __, sock in entries:
+            sock.selectors.append(request)
+        return request
+
+    def cancel_request(self, request: NetRequest) -> None:
+        """Teardown for a cancelled/timed-out waiter: deregister it so
+        the kernel never wakes a thread that stopped waiting."""
+        if request.done or request.cancelled:
+            return
+        request.cancelled = True
+        sock = request.sock
+        if request.op == "accept":
+            _discard(sock.pending_accepts, request)
+        elif request.op == "recv":
+            _discard(sock.pending_recvs, request)
+        elif request.op == "send":
+            if sock.peer is not None:
+                _discard(sock.peer.waiting_senders, request)
+        elif request.op == "connect":
+            if sock.pending_connect is request:
+                sock.pending_connect = None
+        elif request.op == "select":
+            self._deregister_select(request)
+
+    # -- load-generator surface (kernel-resident remote hosts) ---------------
+
+    def remote_connect(
+        self,
+        port: int,
+        on_connected: Optional[Callable] = None,
+        on_rx: Optional[Callable] = None,
+        on_eof: Optional[Callable] = None,
+    ) -> Optional[Socket]:
+        """A remote host connects: no syscall charge (it is not this
+        machine's kernel entering), same admission and latency rules."""
+        listener = self.listeners.get(port)
+        if listener is None or not self._admit_connection(listener):
+            self.connections_refused += 1
+            return None
+        listener.claims += 1
+        client = Socket(self, self.rx_capacity, kernel_owned=True)
+        client.on_connected = on_connected
+        client.on_rx = on_rx
+        client.on_eof = on_eof
+        server_side = Socket(self, self.rx_capacity)
+        self._pair(client, server_side, port)
+        client.state = "connecting"
+        self._world.schedule_in(
+            self._link_delay(0),
+            lambda: self._establish(listener, server_side, client),
+            name="net-establish#%d" % server_side.sid,
+        )
+        return client
+
+    def remote_send(self, sock: Socket, nbytes: int,
+                    meta: Optional[dict] = None) -> None:
+        """A remote host sends (no syscall charge).  Remote senders are
+        never backpressured mid-simulation: over-admission queues on
+        the link and counts as a stall."""
+        peer = sock.peer
+        if peer is None or peer.state == "closed":
+            return
+        if not self._rx_admit(peer, nbytes):
+            self.backpressure_stalls += 1
+        self._transmit(peer, nbytes, meta)
+
+    def remote_close(self, sock: Socket) -> None:
+        self._close(sock)
+
+    # -- kernel-internal machinery -------------------------------------------
+
+    def _pair(self, a: Socket, b: Socket, port: int) -> None:
+        a.peer = b
+        b.peer = a
+        a.port = port
+        b.port = port
+
+    def _admit_connection(self, listener: Socket) -> bool:
+        if listener.state != "listening":
+            return False
+        return len(listener.accept_queue) + listener.claims < listener.backlog
+
+    def _link_delay(self, nbytes: int) -> int:
+        delay_us = self.latency_us
+        if not self.deterministic:
+            delay_us = self._world.rng.expovariate(self.latency_us)
+        if self.bandwidth_bytes_per_us > 0 and nbytes:
+            delay_us += nbytes / self.bandwidth_bytes_per_us
+        return max(self._world.cycles_for_us(delay_us), 1)
+
+    def _establish(self, listener: Socket, server_side: Socket,
+                   client: Socket) -> None:
+        """Link event: the connection reaches the listener."""
+        self._world.spend(costs.NET_DELIVER, fire=False)
+        listener.claims -= 1
+        if listener.state != "listening":
+            self.connections_refused += 1
+            client.state = "closed"
+            server_side.state = "closed"
+            return
+        server_side.state = "connected"
+        client.state = "connected"
+        self.connections_opened += 1
+        listener.accept_queue.append((server_side, self._world.now))
+        self.accept_depths.append(len(listener.accept_queue))
+        if listener.pending_accepts:
+            request = listener.pending_accepts.popleft()
+            conn = self._accept_pop(listener)
+            self._complete(request, conn)
+        else:
+            self._notify_selectors(listener)
+        # Tell the connecting side.
+        if client.pending_connect is not None:
+            request, client.pending_connect = client.pending_connect, None
+            self._complete(request, client)
+        elif client.on_connected is not None:
+            client.on_connected(client)
+
+    def _accept_pop(self, sock: Socket) -> Optional[Socket]:
+        if not sock.accept_queue:
+            return None
+        conn, enqueued_at = sock.accept_queue.popleft()
+        self.accept_waits.append(self._world.now - enqueued_at)
+        return conn
+
+    def _rx_admit(self, sock: Socket, nbytes: int) -> bool:
+        if sock.kernel_owned:
+            return True  # remote endpoints consume on arrival
+        return sock.rx_bytes + sock.rx_inflight + nbytes <= sock.rx_capacity
+
+    def _rx_pop(self, sock: Socket) -> Message:
+        msg = sock.rx.popleft()
+        sock.rx_bytes -= msg.nbytes
+        return msg
+
+    def _transmit(self, dst: Socket, nbytes: int,
+                  meta: Optional[dict]) -> None:
+        dst.rx_inflight += nbytes
+        msg = Message(nbytes=nbytes, meta=dict(meta or {}),
+                      sent_at=self._world.now)
+        self._world.schedule_in(
+            self._link_delay(nbytes),
+            lambda: self._deliver(dst, msg),
+            name="net-deliver",
+        )
+
+    def _deliver(self, dst: Socket, msg: Message) -> None:
+        """Link event: a message arrives at ``dst``."""
+        self._world.spend(costs.NET_DELIVER, fire=False)
+        dst.rx_inflight -= msg.nbytes
+        if dst.state == "closed":
+            return  # arrived after close: dropped on the floor
+        msg.delivered_at = self._world.now
+        self.messages_delivered += 1
+        self.bytes_delivered += msg.nbytes
+        if dst.kernel_owned:
+            if dst.on_rx is not None:
+                dst.on_rx(dst, msg)
+            return
+        if dst.pending_recvs:
+            # Direct handoff to the parked receiver: the bytes never
+            # occupy the buffer, so that space stays free -- re-admit
+            # any sender parked on it before the handoff.
+            request = dst.pending_recvs.popleft()
+            self._world.spend(costs.RECV_WORK, fire=False)
+            self._complete(request, msg)
+            self._drain_senders(dst)
+            return
+        dst.rx.append(msg)
+        dst.rx_bytes += msg.nbytes
+        self._notify_selectors(dst)
+
+    def _drain_senders(self, sock: Socket) -> None:
+        """Receive-buffer space freed: resume backpressured senders."""
+        while sock.waiting_senders:
+            request = sock.waiting_senders[0]
+            if not self._rx_admit(sock, request.nbytes):
+                return
+            sock.waiting_senders.popleft()
+            self._transmit(sock, request.nbytes, request.meta)
+            self._complete(request, request.nbytes)
+
+    def _close(self, sock: Socket) -> None:
+        if sock.state == "closed":
+            return
+        was_listening = sock.state == "listening"
+        sock.state = "closed"
+        if was_listening and self.listeners.get(sock.port) is sock:
+            del self.listeners[sock.port]
+        peer = sock.peer
+        if peer is not None and peer.state not in ("closed",):
+            self._world.schedule_in(
+                self._link_delay(0),
+                lambda: self._deliver_eof(peer),
+                name="net-eof#%d" % peer.sid,
+            )
+
+    def _deliver_eof(self, sock: Socket) -> None:
+        self._world.spend(costs.NET_DELIVER, fire=False)
+        if sock.state == "closed" or sock.rx_eof:
+            return
+        sock.rx_eof = True
+        self.eof_delivered += 1
+        if sock.kernel_owned:
+            if sock.on_eof is not None:
+                sock.on_eof(sock)
+            return
+        # Buffered data drains first; EOF only wakes an *empty* socket.
+        if not sock.rx:
+            while sock.pending_recvs:
+                self._complete(sock.pending_recvs.popleft(), EOF)
+        self._notify_selectors(sock)
+
+    # -- completion (both of the paper's paths) ------------------------------
+
+    def _complete(self, request: NetRequest, raw: Any) -> None:
+        if request.cancelled:
+            return
+        request.done = True
+        request.complete_time = self._world.now
+        if request.finisher is not None:
+            request.result = request.finisher(raw)
+        else:
+            request.result = raw
+        if self.channel is not None:
+            # First-class path: the datum goes straight to the
+            # user-level scheduler through shared memory.
+            self.fc_completions += 1
+            self.channel.notify(request.requester, request)
+            return
+        self.sigio_completions += 1
+        cause = SigCause(kind="io", thread=request.requester, data=request)
+        self._world.spend(costs.INSN, fire=False)
+        self._kernel.post_signal(self._proc, SIGIO, cause)
+
+    def _notify_selectors(self, sock: Socket) -> None:
+        if not sock.selectors:
+            return
+        for request in list(sock.selectors):
+            if request.done or request.cancelled:
+                continue
+            ready = [fd for fd, s in request.entries if s.readable()]
+            if ready:
+                self._deregister_select(request)
+                self._complete(request, ready)
+
+    def _deregister_select(self, request: NetRequest) -> None:
+        for __, sock in request.entries:
+            if request in sock.selectors:
+                sock.selectors.remove(request)
+
+    def __repr__(self) -> str:
+        return "NetStack(conns=%d, msgs=%d, stalls=%d)" % (
+            self.connections_opened,
+            self.messages_delivered,
+            self.backpressure_stalls,
+        )
+
+
+def _discard(queue: deque, request: NetRequest) -> None:
+    try:
+        queue.remove(request)
+    except ValueError:
+        pass

@@ -49,11 +49,39 @@ def _observed_runtime(model: str) -> PthreadsRuntime:
     )
 
 
-@pytest.fixture(params=["obs-off", "obs-on"])
+def _net_idle_runtime(model: str) -> PthreadsRuntime:
+    """``metrics._runtime`` with a network stack attached but idle.
+
+    Attaching the stack is pure construction -- no socket is ever
+    created, so the networking subsystem must not move virtual time by
+    a single cycle."""
+    rt = PthreadsRuntime(
+        model=model,
+        config=RuntimeConfig(timeslice_us=None, pool_size=8),
+    )
+    rt.add_net_stack()
+    return rt
+
+
+def _net_idle_observed_runtime(model: str) -> PthreadsRuntime:
+    """Idle network stack *and* the full observability stack."""
+    rt = _observed_runtime(model)
+    rt.add_net_stack()
+    return rt
+
+
+@pytest.fixture(
+    params=["obs-off", "obs-on", "net-idle", "net-idle-obs-on"]
+)
 def obs_mode(request, monkeypatch):
-    """Run the suite bare and with observability fully enabled."""
-    if request.param == "obs-on":
-        monkeypatch.setattr(metrics_mod, "_runtime", _observed_runtime)
+    """Run the suite bare, observed, and with an idle network stack."""
+    runtimes = {
+        "obs-on": _observed_runtime,
+        "net-idle": _net_idle_runtime,
+        "net-idle-obs-on": _net_idle_observed_runtime,
+    }
+    if request.param in runtimes:
+        monkeypatch.setattr(metrics_mod, "_runtime", runtimes[request.param])
     return request.param
 
 

@@ -1,0 +1,107 @@
+"""Cancellation windows around ``IoOps._io``.
+
+Two windows matter:
+
+- a cancellation *pending at entry* acts before the request is issued
+  -- the device never sees it;
+- a cancellation landing *while the thread waits* frees the thread
+  immediately, and the in-flight request still completes in the kernel
+  without leaking or corrupting anything (the late completion finds no
+  waiter and is ignored, exactly like a stale SIGIO).
+"""
+
+from repro.core.config import PTHREAD_CANCELED
+from repro.core.errors import OK
+from tests.conftest import make_runtime
+
+
+def test_pending_cancel_acts_before_the_request_is_issued():
+    out = {}
+
+    def victim(pt):
+        yield pt.read(3, 4096)
+        out["returned"] = True  # must never run
+
+    def main(pt):
+        rt = pt.runtime
+        device = rt.io_devices["disk0"]
+        t = yield pt.create(victim)
+        # The victim is lower priority: it has not run yet, so the
+        # cancel is pending when it *enters* the read call.
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        assert err == OK
+        out["cancelled"] = value is PTHREAD_CANCELED
+        out["inflight"] = len(device.inflight)
+        out["completed"] = device.completed
+
+    rt = make_runtime()
+    rt.add_io_device("disk0", latency_us=500.0)
+    rt.main(main, priority=90)
+    rt.run()
+    assert out == {"cancelled": True, "inflight": 0, "completed": 0}
+
+
+def test_cancel_of_an_io_wait_frees_the_thread_without_leaking():
+    out = {}
+
+    def victim(pt):
+        yield pt.read(3, 4096)
+        out["returned"] = True  # must never run
+
+    def main(pt):
+        rt = pt.runtime
+        device = rt.io_devices["disk0"]
+        t = yield pt.create(victim)
+        yield pt.delay_us(100)  # victim is parked on the device
+        assert len(device.inflight) == 1
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        assert err == OK
+        out["cancelled"] = value is PTHREAD_CANCELED
+        # The thread is free long before the 5 ms disk completes.
+        out["joined_at"] = rt.world.now_us
+        out["still_inflight"] = len(device.inflight)
+        yield pt.delay_us(6000)  # outlive the disk so its event fires
+
+    rt = make_runtime()
+    device = rt.add_io_device("disk0", latency_us=5000.0)
+    rt.main(main, priority=90)
+    rt.run()
+    assert out["cancelled"] is True
+    assert out["joined_at"] < 5000.0
+    assert out["still_inflight"] == 1  # the kernel still owns it then
+    # ...but by end of run the completion fired, found no waiter, and
+    # retired the request: nothing leaks, nothing crashes.
+    assert len(device.inflight) == 0
+    assert device.completed == 1
+    assert "returned" not in out
+
+
+def test_late_completion_does_not_wake_the_cancelled_thread_again():
+    """After the cancel, the victim's slot can be reused; the stale
+    completion must not deliver into whatever runs there next."""
+    out = {"woken": 0}
+
+    def victim(pt):
+        yield pt.read(3, 1024)
+        out["woken"] += 1
+
+    def innocent(pt):
+        yield pt.delay_us(6000)  # alive when the stale completion fires
+        out["innocent_done"] = True
+
+    def main(pt):
+        t = yield pt.create(victim)
+        yield pt.delay_us(100)
+        yield pt.cancel(t)
+        err, value = yield pt.join(t)
+        assert value is PTHREAD_CANCELED
+        bystander = yield pt.create(innocent)
+        yield pt.join(bystander)
+
+    rt = make_runtime()
+    rt.add_io_device("disk0", latency_us=5000.0)
+    rt.main(main, priority=90)
+    rt.run()
+    assert out == {"woken": 0, "innocent_done": True}

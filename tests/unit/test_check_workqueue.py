@@ -1,0 +1,104 @@
+"""Work-queue invariant rules (the checker side of repro.net.servers)."""
+
+import pytest
+
+from repro.check.invariants import CheckContext, InvariantViolation
+from repro.net.servers import WorkQueue
+from tests.conftest import make_runtime
+
+
+class _FakeQueue:
+    """Anything with the four attributes can register (duck typing)."""
+
+    def __init__(self, items=(), enqueued=0, dequeued=0, closed=True):
+        self.items = list(items)
+        self.enqueued = enqueued
+        self.dequeued = dequeued
+        self.closed = closed
+
+    def __repr__(self):
+        return "FakeQueue(enq=%d, deq=%d, depth=%d)" % (
+            self.enqueued, self.dequeued, len(self.items)
+        )
+
+
+def test_consistent_queue_passes():
+    ctx = CheckContext()
+    ctx.register_workqueue(
+        _FakeQueue(items=["a"], enqueued=3, dequeued=2, closed=False)
+    )
+    ctx._check_workqueues()  # no violation
+
+
+def test_dequeue_overrun_is_caught():
+    ctx = CheckContext()
+    ctx.register_workqueue(_FakeQueue(enqueued=2, dequeued=3))
+    with pytest.raises(InvariantViolation) as err:
+        ctx._check_workqueues()
+    assert err.value.rule == "workqueue-counts"
+
+
+def test_lost_item_breaks_the_depth_rule():
+    # Enqueued 3, dequeued 1, but only one item on the list: an item
+    # vanished without being dequeued (the lost-wakeup signature).
+    ctx = CheckContext()
+    ctx.register_workqueue(
+        _FakeQueue(items=["a"], enqueued=3, dequeued=1, closed=False)
+    )
+    with pytest.raises(InvariantViolation) as err:
+        ctx._check_workqueues()
+    assert err.value.rule == "workqueue-depth"
+
+
+def test_quiescent_requires_drained_and_closed():
+    rt = make_runtime()
+    ctx = CheckContext()
+    ctx.attach(rt)
+    ctx.register_workqueue(
+        _FakeQueue(items=["left-over"], enqueued=1, dequeued=0, closed=True)
+    )
+    with pytest.raises(InvariantViolation) as err:
+        ctx.check_quiescent(rt)
+    assert err.value.rule == "quiescent-workqueue"
+
+
+def test_quiescent_requires_every_item_served():
+    rt = make_runtime()
+    ctx = CheckContext()
+    ctx.attach(rt)
+    ctx.register_workqueue(_FakeQueue(enqueued=4, dequeued=4, closed=False))
+    with pytest.raises(InvariantViolation) as err:
+        ctx.check_quiescent(rt)
+    assert err.value.rule == "quiescent-workqueue"
+
+
+def test_real_workqueue_registers_with_an_attached_checker():
+    """The pool server registers its queue when the runtime carries a
+    check context; the explorer relies on this wiring."""
+    from repro.net.scenario import build_main
+    from repro.net.servers import Collector
+
+    from repro.core.config import RuntimeConfig
+    from repro.core.runtime import PthreadsRuntime
+
+    ctx = CheckContext()
+    rt = PthreadsRuntime(
+        model="sparc-ipx",
+        config=RuntimeConfig(pool_size=16, timeslice_us=None),
+        check=ctx,
+    )
+    collector = Collector()
+    main = build_main(
+        "pool", collector, clients=2, requests_per_client=1, workers=2,
+        arrival="uniform", mean_gap_us=60.0, think_us=20.0,
+        service_cycles=100, latency_us=25.0,
+    )
+    rt.main(main, priority=100)
+    rt.run()
+    assert len(ctx.workqueues) == 1
+    wq = ctx.workqueues[0]
+    assert isinstance(wq, WorkQueue)
+    assert wq.closed
+    assert wq.enqueued == wq.dequeued == 2
+    assert not wq.items
+    ctx.check_quiescent(rt)  # clean run: every rule satisfied

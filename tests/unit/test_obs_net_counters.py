@@ -1,0 +1,63 @@
+"""Observability harvest of the networking and pool counters.
+
+The harvest is read-only bookkeeping: it must expose the kernel socket
+counters and the TCB/stack-cache counters in the metrics registry, and
+the scenario layer must fold its latency histogram in alongside them.
+"""
+
+from repro.net.scenario import run_scenario
+from repro.obs import Observability
+
+
+def _observed_scenario(**kwargs):
+    obs = Observability()
+    report = run_scenario(
+        arch="pool",
+        clients=5,
+        requests_per_client=2,
+        workers=2,
+        seed=9,
+        arrival="uniform",
+        mean_gap_us=70.0,
+        think_us=50.0,
+        service_cycles=250,
+        latency_us=40.0,
+        obs=obs,
+        **kwargs,
+    )
+    return report, obs.registry.snapshot()
+
+
+def test_harvest_exposes_net_counters():
+    report, snap = _observed_scenario()
+    assert snap["net.connections_opened"] == 5
+    assert snap["net.connections_refused"] == 0
+    assert snap["net.messages_delivered"] > 0
+    assert snap["net.bytes_delivered"] > 0
+    assert snap["net.eof_delivered"] >= 5  # one per orderly close
+    assert snap["net.completions_sigio"] == report.completions_sigio
+    assert snap["net.completions_first_class"] == report.completions_fc
+    assert snap["net.backpressure_stalls"] == report.backpressure_stalls
+    assert snap["net.select_calls"] >= 0
+
+
+def test_harvest_exposes_pool_counters():
+    __, snap = _observed_scenario()
+    # The acceptor plus two workers all came from the cache, and every
+    # reclaimed thread went back.
+    assert snap["pool.hits"] > 0
+    assert snap["pool.misses"] == 0
+    assert snap["pool.returns"] > 0
+
+
+def test_pool_misses_surface_when_the_cache_is_disabled():
+    __, snap = _observed_scenario(pool_size=0)
+    assert snap["pool.hits"] == 0
+    assert snap["pool.misses"] > 0
+
+
+def test_scenario_folds_request_latencies_into_a_histogram():
+    report, snap = _observed_scenario()
+    hist = snap["net.request_latency_us"]
+    assert hist["count"] == report.replies
+    assert hist["max"] >= hist["mean"] > 0

@@ -1,0 +1,119 @@
+"""Pool acquire/release round trips and the fault-in cost split.
+
+The thread-reclaim path hands every TCB/stack pair back through
+:meth:`ThreadPool.release`; a pair that does not fit (odd stack size,
+pool already full) must be freed outright -- both heap blocks, no
+drift.  And the zero-fill fault-in charge belongs to the *miss* path
+only: cached stacks are resident, which is the cache's justification.
+"""
+
+from repro.core.attr import ThreadAttr
+from repro.core.errors import OK
+from repro.core.pool import TCB_BYTES, ThreadPool
+from repro.hw import costs
+from repro.hw.costs import SPARC_IPX
+from repro.hw.memory import Heap
+from tests.conftest import make_runtime
+
+
+def _make(size, stack_size=8192):
+    from repro.sim.world import World
+
+    world = World("sparc-ipx")
+    heap = Heap(world.clock, SPARC_IPX)
+    return world, heap, ThreadPool(world, heap, size, stack_size)
+
+
+def test_default_pair_round_trips_through_the_pool():
+    world, heap, pool = _make(2)
+    baseline = heap.allocated_bytes
+    tcb_addr, stack = pool.acquire()
+    pool.release(tcb_addr, stack)
+    assert heap.allocated_bytes == baseline  # entry cached, not freed
+    assert len(pool) == 2
+    assert pool.hits == 1 and pool.returns == 1
+
+
+def test_oversized_stack_bypasses_pool_and_frees_both_blocks():
+    world, heap, pool = _make(2, stack_size=8192)
+    baseline = heap.allocated_bytes
+    tcb_addr, stack = pool.acquire(stack_size=32768)
+    assert pool.misses == 1  # wrong size never comes from the cache
+    assert heap.allocated_bytes == baseline + TCB_BYTES + 32768
+    pool.release(tcb_addr, stack)
+    assert heap.allocated_bytes == baseline  # TCB and stack both freed
+    assert len(pool) == 2  # cache untouched
+    assert pool.returns == 0
+
+
+def test_release_to_a_full_pool_frees_the_pair():
+    world, heap, pool = _make(1)
+    a = pool.acquire()
+    b_tcb, b_stack = pool.acquire()  # miss: dynamically allocated
+    pool.release(*a)  # pool back at capacity
+    after_refill = heap.allocated_bytes
+    pool.release(b_tcb, b_stack)  # no room: freed outright
+    assert heap.allocated_bytes == after_refill - TCB_BYTES - 8192
+
+
+def test_fault_in_charged_on_miss_only():
+    world, heap, pool = _make(1)
+    t0 = world.now
+    pool.acquire()  # hit
+    hit_cost = world.now - t0
+    t0 = world.now
+    pool.acquire()  # miss: allocation plus cold-stack fault-in
+    miss_cost = world.now - t0
+    fault_cycles = SPARC_IPX.cost(costs.STACK_FAULT_IN)
+    assert hit_cost < fault_cycles
+    assert miss_cost >= fault_cycles
+
+
+def test_prefill_is_not_charged_fault_in():
+    # Pool construction pre-allocates its entries but does not pay the
+    # zero-fill charge (they fault on first use, long before any thread
+    # is measured) -- the Table 2 create figure is a pool-hit
+    # measurement and must stay pinned.  Per-entry prefill cost is
+    # therefore exactly the allocation work a miss pays *minus* the
+    # fault-in surcharge.
+    world1, __, _pool1 = _make(1)
+    prefill_one = world1.now
+    world8, __, pool8 = _make(8)
+    assert world8.now == 8 * prefill_one  # allocation work only, x8
+    assert pool8.misses == 0
+    t0 = world8.now
+    pool8.acquire(stack_size=8192 * 2)  # forced miss
+    miss_cost = world8.now - t0
+    assert miss_cost >= prefill_one + SPARC_IPX.cost(costs.STACK_FAULT_IN)
+
+
+def test_thread_lifecycle_returns_custom_stack_memory():
+    """End to end: create/join with a non-default stack size must give
+    every byte back when the thread is reclaimed."""
+
+    def worker(pt):
+        yield pt.work(100)
+
+    def main(pt, use_big_stack):
+        if use_big_stack:
+            t = yield pt.create(
+                worker, attr=ThreadAttr(stack_size=256 * 1024)
+            )
+        else:
+            t = yield pt.create(worker)
+        err, __ = yield pt.join(t)
+        assert err == OK
+
+    def run(use_big_stack):
+        rt = make_runtime()
+        rt.main(main, use_big_stack, priority=100)
+        rt.run()
+        return rt
+
+    small = run(False)
+    big = run(True)
+    # The oversized stack bypassed the pool on the way in and was freed
+    # on the way out: end-of-run heap usage matches the pooled run.
+    assert big.heap.allocated_bytes == small.heap.allocated_bytes
+    assert big.pool.misses == small.pool.misses + 1
+    assert big.pool.returns == small.pool.returns - 1
