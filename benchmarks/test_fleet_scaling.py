@@ -1,0 +1,164 @@
+"""Fleet scaling: parallel + snapshot sweeps vs sequential, wall clock.
+
+Marked ``fleet`` (excluded from tier-1; run directly)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_fleet_scaling.py -m fleet
+
+Writes ``BENCH_fleet.json``.  Two sweeps:
+
+- **DFS exploration** of a deep workload (``signal_storm`` at scale 8:
+  trail ~1600 choice points spread across the whole run).  The speedup
+  here is *algorithmic*, not parallel: prefix checkpoints let each DFS
+  child resume from a forked snapshot of its parent's world instead of
+  replaying the shared prefix from scratch, cutting simulated steps by
+  an order of magnitude -- which is why the ≥2x bar holds even on a
+  single-core host.
+- **Scenario compare grid** (architectures x arrivals x pool sizes).
+  Cells are independent worlds, so this one is pure parallel fan-out;
+  its wall-clock gain is bounded by the host's core count, and the ≥2x
+  bar applies only when the host has ≥4 cores.
+
+Both sweeps assert the determinism contract first -- parallel output
+equal to sequential, byte for byte -- because a fast wrong answer is
+worthless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.workloads import signal_storm
+from repro.check.explore import Explorer
+from repro.net.scenario import compare_scenarios
+
+pytestmark = pytest.mark.fleet
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+CORES = os.cpu_count() or 1
+
+
+def make_explorer() -> Explorer:
+    # Scale 8: the trail is ~1600 choice points and they are spread
+    # across the entire run, so deep DFS children share long prefixes
+    # -- the workload prefix snapshots were built for.
+    return Explorer(
+        lambda: signal_storm(victims=4, rounds=800),
+        priority=50,  # the bench registry's tuning for this workload
+        max_depth=2000,
+        max_branch=4,
+    )
+
+
+def timed_dfs(jobs: int, snapshot: bool):
+    explorer = make_explorer()
+    start = time.perf_counter()
+    report = explorer.explore_dfs(max_runs=40, jobs=jobs, snapshot=snapshot)
+    return report, time.perf_counter() - start
+
+
+def fleet_dict(stats) -> dict:
+    return {
+        "backend": stats.backend,
+        "jobs": stats.jobs,
+        "tasks": stats.tasks,
+        "snapshots_created": stats.snapshots_created,
+        "snapshot_hits": stats.snapshot_hits,
+        "snapshot_evictions": stats.snapshot_evictions,
+        "speculative_waste": stats.speculative_waste,
+        "fallbacks": stats.fallbacks,
+        "steps_executed": stats.steps_executed,
+        "steps_full": stats.steps_full,
+        "steps_saved": stats.steps_saved,
+    }
+
+
+def test_fleet_scaling_writes_bench_json():
+    if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only repo
+        pytest.skip("fleet benchmarks need fork")
+
+    # -- DFS sweep ----------------------------------------------------------
+    seq_report, seq_s = timed_dfs(jobs=1, snapshot=False)
+    snap_report, snap_s = timed_dfs(jobs=1, snapshot=True)
+    par_report, par_s = timed_dfs(jobs=4, snapshot=True)
+
+    # Determinism before speed: all three are the same exploration.
+    assert snap_report == seq_report
+    assert par_report == seq_report
+    assert par_report.render() == seq_report.render()
+
+    # Snapshots must save real simulated work, not just wall clock.
+    for fast in (snap_report, par_report):
+        assert fast.fleet.snapshot_hits > 0
+        assert fast.fleet.steps_executed < fast.fleet.steps_full
+    assert seq_report.fleet.steps_executed == seq_report.fleet.steps_full
+
+    dfs_speedup = seq_s / par_s
+    assert dfs_speedup >= 2.0, (
+        "DFS jobs=4 speedup %.2fx < 2x (seq %.2fs, par %.2fs)"
+        % (dfs_speedup, seq_s, par_s)
+    )
+
+    # -- scenario compare grid ---------------------------------------------
+    cells = [
+        dict(arch=arch, clients=120, requests_per_client=2, workers=16,
+             seed=42, arrival=arrival, pool_size=pool_size)
+        for arch in ("perconn", "pool", "select")
+        for arrival in ("poisson", "bursty")
+        for pool_size in (64, 0)
+    ]
+    start = time.perf_counter()
+    grid_seq = compare_scenarios(cells, jobs=1)
+    grid_seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    grid_par = compare_scenarios(cells, jobs=4)
+    grid_par_s = time.perf_counter() - start
+
+    assert grid_par == grid_seq
+    assert [r.render() for r in grid_par] == [r.render() for r in grid_seq]
+
+    grid_speedup = grid_seq_s / grid_par_s
+    if CORES >= 4:
+        # Fan-out gain needs cores to fan out onto.
+        assert grid_speedup >= 2.0, (
+            "grid jobs=4 speedup %.2fx < 2x on %d cores"
+            % (grid_speedup, CORES)
+        )
+    else:
+        # Single-core hosts only pay fork overhead; just require the
+        # parallel path not to be pathological.
+        assert grid_par_s < grid_seq_s * 3
+
+    payload = {
+        "host_cores": CORES,
+        "dfs": {
+            "workload": "signal_storm",
+            "scale": 8,
+            "max_runs": 40,
+            "max_depth": 2000,
+            "max_branch": 4,
+            "schedules_explored": seq_report.schedules_explored,
+            "sequential_s": round(seq_s, 3),
+            "snapshot_jobs1_s": round(snap_s, 3),
+            "jobs4_s": round(par_s, 3),
+            "speedup_snapshot_jobs1": round(seq_s / snap_s, 2),
+            "speedup_jobs4": round(dfs_speedup, 2),
+            "reports_identical": True,
+            "sequential_fleet": fleet_dict(seq_report.fleet),
+            "snapshot_fleet": fleet_dict(snap_report.fleet),
+            "jobs4_fleet": fleet_dict(par_report.fleet),
+        },
+        "compare_grid": {
+            "cells": len(cells),
+            "sequential_s": round(grid_seq_s, 3),
+            "jobs4_s": round(grid_par_s, 3),
+            "speedup_jobs4": round(grid_speedup, 2),
+            "reports_identical": True,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")

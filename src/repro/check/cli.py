@@ -112,24 +112,43 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_note(report) -> None:
+    """Fleet diagnostics go to stderr: stdout is the determinism
+    contract (byte-identical for any --jobs), execution detail is not."""
+    fleet = report.fleet
+    if fleet is None or fleet.backend == "inproc":
+        return
+    note = "fleet: backend=%s jobs=%d tasks=%d" % (
+        fleet.backend,
+        fleet.jobs,
+        fleet.tasks,
+    )
+    if fleet.snapshots_created:
+        note += " snapshots=%d hits=%d steps_saved=%d" % (
+            fleet.snapshots_created,
+            fleet.snapshot_hits,
+            fleet.steps_saved,
+        )
+    if fleet.fallbacks:
+        note += " fallbacks=%d" % fleet.fallbacks
+    print(note, file=sys.stderr)
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     explorer = make_explorer(args)
     with preseeded(args.preseed):
         if args.mode == "dfs":
-            report = explorer.explore_dfs(max_runs=args.runs)
+            report = explorer.explore_dfs(
+                max_runs=args.runs,
+                jobs=args.jobs,
+                snapshot=args.snapshots,
+            )
         else:
             report = explorer.explore_random(
-                runs=args.runs, seed=args.seed
+                runs=args.runs, seed=args.seed, jobs=args.jobs
             )
-        print(
-            "%s: %d schedules explored, %d invariant checks, %d failures"
-            % (
-                report.mode,
-                report.schedules_explored,
-                report.checks_run,
-                len(report.failures),
-            )
-        )
+        print(report.render())
+        _fleet_note(report)
         failure = report.first_failure
         if failure is None:
             print("no violations found")
@@ -152,8 +171,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
     explorer = make_explorer(args)
     decisions = _parse_decisions(args.decisions)
     with preseeded(args.preseed):
-        first = explorer.run_once(decisions)
-        second = explorer.run_once(decisions)
+        first = explorer.run_once(decisions, extract=True)
+        second = explorer.run_once(decisions, extract=True)
     diff = compare_schedules(first.schedule, second.schedule)
     if not diff:
         print("NOT DETERMINISTIC: %s" % diff.detail)
@@ -199,6 +218,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--runs", type=int, default=200)
     p_explore.add_argument(
         "--seed", type=int, default=1234, help="random-walk seed"
+    )
+    p_explore.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (output is byte-identical for any value)",
+    )
+    p_explore.add_argument(
+        "--snapshots",
+        dest="snapshots",
+        action="store_true",
+        default=None,
+        help="checkpoint DFS prefixes (default: on when --jobs > 1)",
+    )
+    p_explore.add_argument(
+        "--no-snapshots",
+        dest="snapshots",
+        action="store_false",
+        help="replay every DFS schedule from scratch",
     )
     p_explore.set_defaults(fn=cmd_explore)
 

@@ -23,8 +23,9 @@ Two search modes over the decision tree:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.invariants import CheckContext, InvariantViolation
 from repro.check.schedule import ChoicePoint, ScriptedChoices
@@ -32,6 +33,7 @@ from repro.core.config import RuntimeConfig
 from repro.core.runtime import PthreadsRuntime
 from repro.debug.replay import ScheduleStep, extract_schedule
 from repro.debug.trace import Tracer
+from repro.fleet import FleetPool, FleetStats, SnapshotEngine
 from repro.sched.perverted import EnumerableSwitchPolicy
 from repro.sim.frames import ProgramCrash
 from repro.sim.rng import DeterministicRng
@@ -69,6 +71,10 @@ class RunResult:
     schedule: List[ScheduleStep]
     elapsed_us: float
     checks_run: int
+    steps: int = 0  # executor steps the run took
+    #: choice index -> runtime state digest, for requested probe depths
+    #: (snapshot-integrity testing; empty in ordinary runs).
+    probe_digests: Dict[int, str] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -83,10 +89,35 @@ class ExploreReport:
     schedules_explored: int = 0
     checks_run: int = 0
     failures: List[RunResult] = field(default_factory=list)
+    #: Unexplored decision prefixes abandoned because ``max_runs`` ran
+    #: out -- 0 means the search was exhaustive (or stopped on purpose).
+    frontier_remaining: int = 0
+    #: How the sweep executed (parallelism, snapshots, fallbacks).
+    #: Excluded from equality: two explorations are "the same" when
+    #: they found the same things, however they were scheduled.
+    fleet: Optional[FleetStats] = field(default=None, compare=False)
 
     @property
     def first_failure(self) -> Optional[RunResult]:
         return self.failures[0] if self.failures else None
+
+    def render(self) -> str:
+        """The CLI summary (identical wording to the pre-fleet output)."""
+        lines = [
+            "%s: %d schedules explored, %d invariant checks, %d failures"
+            % (
+                self.mode,
+                self.schedules_explored,
+                self.checks_run,
+                len(self.failures),
+            )
+        ]
+        if self.frontier_remaining:
+            lines.append(
+                "frontier truncated: %d unexplored decision prefixes "
+                "remain (raise --runs)" % self.frontier_remaining
+            )
+        return "\n".join(lines)
 
 
 class Explorer:
@@ -133,11 +164,28 @@ class Explorer:
         self,
         decisions: Any = (),
         rng: Optional[DeterministicRng] = None,
+        extract: Optional[bool] = None,
+        probe_depths: Sequence[int] = (),
+        _engine_child: Any = None,
     ) -> RunResult:
         """Run the workload once under the given decision prefix.
 
         Past the prefix, decisions default to 0 (deterministic replay)
         or are drawn from ``rng`` (random walk).
+
+        ``extract`` controls schedule extraction: the default (None)
+        extracts only for failing runs -- both search modes throw
+        passing-run schedules away, and extraction is a measurable
+        slice of per-run cost.  Pass True to always get the schedule
+        (replay/diff tooling), False to never.
+
+        ``probe_depths`` requests a :meth:`PthreadsRuntime.state_digest`
+        immediately before the given choice indices (recorded in
+        :attr:`RunResult.probe_digests`); the snapshot tests use it to
+        prove a resumed checkpoint sits in exactly the replayed state.
+
+        ``_engine_child`` is the :mod:`repro.fleet` worker-side hook;
+        ordinary callers leave it None.
         """
         choices = ScriptedChoices(
             decisions,
@@ -155,6 +203,17 @@ class Explorer:
             trace=tracer,
             check=check,
         )
+        probes: Dict[int, str] = {}
+        if _engine_child is not None:
+            _engine_child.attach(choices, runtime)
+        elif probe_depths:
+            wanted = frozenset(probe_depths)
+
+            def probe(index: int) -> None:
+                if index in wanted:
+                    probes[index] = runtime.state_digest()
+
+            choices.before_choice = probe
         failure: Optional[Failure] = None
         try:
             runtime.main(self.workload_factory(), priority=self.priority)
@@ -170,66 +229,132 @@ class Explorer:
                 check.check_quiescent(runtime)
             except InvariantViolation as exc:
                 failure = Failure("invariant", exc.rule, exc.detail)
+        if extract is None:
+            extract = failure is not None
         return RunResult(
-            decisions=list(decisions),
+            # A fleet resume rewrites the scripted vector mid-run, so
+            # the source of truth is the choice source, not our arg.
+            decisions=list(choices.decisions),
             vector=choices.vector,
             trail=list(choices.trail),
             failure=failure,
-            schedule=extract_schedule(tracer),
+            schedule=extract_schedule(tracer) if extract else [],
             elapsed_us=runtime.world.now_us,
             checks_run=check.checks_run,
+            steps=runtime.steps,
+            probe_digests=probes,
         )
 
     # -- systematic search --------------------------------------------------
 
     def explore_dfs(
-        self, max_runs: int = 200, stop_on_failure: bool = True
+        self,
+        max_runs: int = 200,
+        stop_on_failure: bool = True,
+        jobs: int = 1,
+        snapshot: Optional[bool] = None,
     ) -> ExploreReport:
-        """Bounded DFS over the decision tree, default schedule first."""
-        report = ExploreReport(mode="dfs")
+        """Bounded DFS over the decision tree, default schedule first.
+
+        ``jobs > 1`` speculatively runs upcoming frontier entries on a
+        fleet of forked workers; ``snapshot`` (default: on whenever the
+        fleet is) additionally checkpoints decision prefixes so child
+        schedules resume mid-run instead of replaying from an empty
+        world.  Neither changes a byte of the report: the DFS below is
+        the sequential algorithm, consuming results in its own order.
+        """
+        if snapshot is None:
+            snapshot = jobs > 1
+        stats = FleetStats()
+        engine = None
+        if (jobs > 1 or snapshot) and hasattr(os, "fork"):
+            engine = SnapshotEngine(
+                self, jobs=jobs, snapshot=snapshot, stats=stats
+            )
+            if not engine.start():
+                engine = None
+        report = ExploreReport(mode="dfs", fleet=stats)
         frontier: List[List[int]] = [[]]
         seen = set()
-        while frontier and report.schedules_explored < max_runs:
-            decisions = frontier.pop()
-            key = tuple(decisions)
-            if key in seen:
-                continue
-            seen.add(key)
-            result = self.run_once(decisions)
-            report.schedules_explored += 1
-            report.checks_run += result.checks_run
-            if result.failed:
-                report.failures.append(result)
-                if stop_on_failure:
-                    return report
-                continue  # don't expand below a failing schedule
-            # Every choice point past the scripted prefix took a
-            # recorded default: queue each untried alternative (LIFO,
-            # so deeper variations of the latest run go first).
-            for index in range(len(decisions), len(result.trail)):
-                if index >= self.max_depth:
-                    break
-                point = result.trail[index]
-                prefix = result.vector[:index]
-                for alternative in range(1, point.options):
-                    if alternative != point.chosen:
-                        frontier.append(prefix + [alternative])
+        try:
+            while frontier and report.schedules_explored < max_runs:
+                decisions = frontier.pop()
+                key = tuple(decisions)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if engine is not None:
+                    result = engine.run(decisions)
+                else:
+                    result = self.run_once(decisions)
+                    stats.tasks += 1
+                    stats.steps_executed += result.steps
+                    stats.steps_full += result.steps
+                report.schedules_explored += 1
+                report.checks_run += result.checks_run
+                if result.failed:
+                    report.failures.append(result)
+                    if stop_on_failure:
+                        return report  # a deliberate stop, not a cap
+                    continue  # don't expand below a failing schedule
+                # Every choice point past the scripted prefix took a
+                # recorded default: queue each untried alternative (LIFO,
+                # so deeper variations of the latest run go first).
+                for index in range(len(decisions), len(result.trail)):
+                    if index >= self.max_depth:
+                        break
+                    point = result.trail[index]
+                    prefix = result.vector[:index]
+                    for alternative in range(1, point.options):
+                        if alternative != point.chosen:
+                            frontier.append(prefix + [alternative])
+                if engine is not None:
+                    engine.prefetch(
+                        [d for d in frontier if tuple(d) not in seen]
+                    )
+            # ``max_runs`` may have truncated real work: say so (the
+            # CLI surfaces it; a silent cap reads as an exhaustive
+            # search when it was not).
+            report.frontier_remaining = len(
+                {tuple(d) for d in frontier} - seen
+            )
+        finally:
+            if engine is not None:
+                engine.close()
         return report
 
     # -- random walks -------------------------------------------------------
 
     def explore_random(
-        self, runs: int = 50, seed: int = 1234, stop_on_failure: bool = True
+        self,
+        runs: int = 50,
+        seed: int = 1234,
+        stop_on_failure: bool = True,
+        jobs: int = 1,
     ) -> ExploreReport:
-        """Seeded random walks; each run's trail replays it exactly."""
+        """Seeded random walks; each run's trail replays it exactly.
+
+        Walks are independent (walk ``i`` draws from ``fork(i)`` of the
+        base seed, not from a shared stream), so ``jobs > 1`` fans them
+        across a :class:`~repro.fleet.FleetPool` and reads the results
+        back in walk order -- the report is byte-identical to ``jobs=1``.
+        """
         report = ExploreReport(mode="random")
         base = DeterministicRng(seed)
-        for index in range(runs):
-            result = self.run_once((), rng=base.fork(index))
-            report.schedules_explored += 1
-            report.checks_run += result.checks_run
-            if result.failed:
-                report.failures.append(result)
-                if stop_on_failure:
-                    break
+        stats = FleetStats()
+        report.fleet = stats
+
+        def walk(index: int) -> RunResult:
+            return self.run_once((), rng=base.fork(index))
+
+        with FleetPool(walk, jobs=jobs, stats=stats) as pool:
+            for result in pool.imap(range(runs)):
+                stats.steps_executed += result.steps
+                stats.steps_full += result.steps
+                report.schedules_explored += 1
+                report.checks_run += result.checks_run
+                if result.failed:
+                    report.failures.append(result)
+                    if stop_on_failure:
+                        break
         return report

@@ -71,10 +71,17 @@ class ScriptedChoices:
         self.max_depth = max_depth
         self.max_branch = max_branch
         self.trail: List[ChoicePoint] = []
+        #: Optional hook called with the choice index before each
+        #: decision is made.  The fleet layer (:mod:`repro.fleet`)
+        #: installs one to take prefix snapshots / state probes at
+        #: choice points; ordinary runs leave it None and pay nothing.
+        self.before_choice = None
 
     def choose(self, options: int, tag: str = "") -> int:
         options = min(options, self.max_branch)
         index = len(self.trail)
+        if self.before_choice is not None:
+            self.before_choice(index)
         if index < len(self.decisions):
             chosen = min(self.decisions[index], options - 1)
         elif index >= self.max_depth or self.rng is None:

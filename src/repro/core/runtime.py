@@ -280,6 +280,43 @@ class PthreadsRuntime:
                 return tcb
         return None
 
+    # -- snapshot integrity -------------------------------------------------
+
+    def state_digest(self) -> str:
+        """A stable hash of the runtime's observable state.
+
+        Combines the world digest with the executor's own bookkeeping
+        and a per-thread summary.  Used by :mod:`repro.fleet` to verify
+        that resuming a forked prefix snapshot lands in exactly the
+        state a replay-from-scratch reaches at the same choice point.
+        """
+        import hashlib
+
+        threads = sorted(
+            "%d:%s:%s:%d:%s:%d:%d:%d"
+            % (
+                tcb.tid,
+                tcb.name,
+                tcb.state.value,
+                len(tcb.frames),
+                tcb.wait.kind if tcb.wait is not None else "-",
+                tcb.errno,
+                tcb.cpu_cycles,
+                tcb.context_switches_in,
+            )
+            for tcb in self.threads.values()
+            if not tcb.reclaimed
+        )
+        parts = [
+            self.world.state_digest(),
+            str(self.steps),
+            str(self.unix_errno),
+            str(self.terminated_by),
+            self.current.name if self.current is not None else "-",
+        ]
+        parts.extend(threads)
+        return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()
+
     # -- starting programs -------------------------------------------------------------
 
     def main(

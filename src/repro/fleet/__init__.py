@@ -1,0 +1,62 @@
+"""Deterministic parallel execution for sweeps (the *fleet* layer).
+
+The explorer (:mod:`repro.check`) and the scenario comparator
+(:mod:`repro.net`) both run many independent simulated worlds and then
+read the results in a fixed order.  This package makes those sweeps
+scale with host cores without giving up a byte of determinism:
+
+- :class:`FleetPool` (:mod:`repro.fleet.pool`) fans *independent* tasks
+  across a ``multiprocessing`` fork pool and yields results **in task
+  order**, falling back to plain in-process execution when processes
+  are unavailable.  Output is byte-identical to sequential by
+  construction: the consumer sees exactly the sequence it would have
+  computed itself.
+- :class:`SnapshotEngine` (:mod:`repro.fleet.snapshot`) accelerates
+  *dependent* sweeps -- the explorer's DFS, where every child schedule
+  shares a decision prefix with its parent.  Worker processes pause
+  forked copies of themselves at choice points (``fork(2)`` is the only
+  way to checkpoint a live generator-based simulation); the engine
+  resumes the deepest consistent checkpoint instead of replaying the
+  shared prefix from an empty world, turning O(depth^2) total replay
+  into ~O(depth).
+
+Both backends report what they did through :class:`FleetStats`, which
+:func:`repro.obs.core.Observability.harvest_fleet` turns into
+``fleet.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FleetStats:
+    """What a fleet-backed sweep actually did (observability payload).
+
+    ``steps_full`` is what every consumed run would have cost executed
+    from an empty world; ``steps_executed`` is what was actually
+    simulated after snapshot reuse.  The gap is the prefix-replay work
+    the snapshot engine saved.
+    """
+
+    backend: str = "inproc"  # "inproc" | "pool" | "engine"
+    jobs: int = 1
+    tasks: int = 0  # results consumed by the caller
+    speculative_waste: int = 0  # completed results the caller never used
+    fallbacks: int = 0  # tasks rerun in-process after a worker problem
+    snapshots_created: int = 0
+    snapshot_hits: int = 0  # runs resumed from a checkpoint
+    snapshot_evictions: int = 0  # checkpoints discarded by the LRU bound
+    steps_executed: int = 0  # simulator steps actually run
+    steps_full: int = 0  # steps a replay-from-scratch would have run
+
+    @property
+    def steps_saved(self) -> int:
+        return self.steps_full - self.steps_executed
+
+
+from repro.fleet.pool import FleetPool  # noqa: E402  (re-export)
+from repro.fleet.snapshot import EngineError, SnapshotEngine  # noqa: E402
+
+__all__ = ["FleetStats", "FleetPool", "SnapshotEngine", "EngineError"]

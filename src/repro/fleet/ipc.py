@@ -1,0 +1,57 @@
+"""Tiny framed-pickle protocol for the snapshot engine's sockets.
+
+Every message on an engine socket is a 4-byte big-endian length header
+followed by that many bytes of pickle.  Messages are dicts with a
+``"type"`` key; the payload types are plain data (decision vectors,
+:class:`~repro.check.explore.RunResult` instances, strings), so the
+default pickle protocol handles them.
+
+:func:`recv_msg` returns ``None`` on a clean EOF -- a peer that went
+away is an ordinary condition here (checkpoints die on eviction, the
+controller dies when its sweep ends), not an error.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Optional
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames (a desynced stream would otherwise ask us to
+#: allocate gigabytes).  Engine messages are at most a few kilobytes.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def send_msg(conn: socket.socket, msg: Any) -> None:
+    """Send one framed message (raises OSError if the peer is gone)."""
+    payload = pickle.dumps(msg)
+    conn.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(conn: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(conn: socket.socket) -> Optional[Any]:
+    """Receive one framed message; None on EOF before a full frame."""
+    header = _recv_exact(conn, _HEADER.size)
+    if header is None:
+        return None
+    (size,) = _HEADER.unpack(header)
+    if size > MAX_FRAME:
+        raise ValueError("oversized engine frame: %d bytes" % size)
+    payload = _recv_exact(conn, size)
+    if payload is None:
+        return None
+    return pickle.loads(payload)

@@ -1,0 +1,628 @@
+"""Prefix-snapshot execution engine for the explorer's decision tree.
+
+The DFS in :meth:`repro.check.explore.Explorer.explore_dfs` replays a
+shared decision prefix from an empty world for every child schedule:
+O(depth^2) total work.  A simulated world cannot be deep-copied -- the
+thread bodies are *live generators* -- so the only faithful checkpoint
+of a run in progress is the process itself.  This engine leans on
+``fork(2)`` exactly the way stateless model checkers in the Sthread
+tradition do:
+
+- A **runner** process executes one decision vector via the unmodified
+  ``Explorer.run_once``.  At stride-spaced choice points it forks; the
+  child becomes a **checkpoint**: a process paused inside ``choose()``
+  holding the complete simulation state for that decision prefix,
+  copy-on-write cheap.
+- Checkpoints register with the controller (key = the chosen-decision
+  prefix, plus a :meth:`~repro.core.runtime.PthreadsRuntime.state_digest`
+  for integrity tests) and then wait.  To run a vector that shares the
+  prefix, the controller picks the deepest *consistent* checkpoint and
+  sends it the new vector; the checkpoint forks a fresh runner that
+  rewrites its scripted decisions and simply keeps simulating from the
+  choice point -- the shared prefix is never re-executed.
+- Results come back over a transient socket, tagged with how many
+  simulator steps the resumed run actually executed, so the saving is
+  measurable (``fleet.steps_executed`` vs ``fleet.steps_full``).
+
+Determinism contract: a resumed run and a replay-from-scratch of the
+same vector are *the same computation* -- the checkpoint's past is an
+actual execution of the shared prefix, and ``fork`` preserves every
+byte of it (including the interpreter's hash seed).  The controller
+additionally re-runs any vector whose worker fails in-process, so the
+caller always gets exactly the result sequential execution would have
+produced.
+
+Consistency rule: checkpoint key ``k`` can serve vector ``D`` iff for
+every ``i < len(k)``, ``k[i] == (D[i] if i < len(D) else 0)`` -- past
+the end of a DFS vector every decision defaults to 0.  DFS vectors are
+built from recorded (already clamped) choices, so raw equality is
+exact; for arbitrary vectors it is conservative (may miss reuse, never
+resumes a wrong state).
+
+Process hygiene: the controller forks once per :meth:`start` (a
+double-fork, immediately reaped); everything else descends from the
+orphaned *genesis* process, ignores ``SIGCHLD`` so its own children
+self-reap, exits only through ``os._exit``, and treats socket EOF from
+the controller as an order to die.  Nothing here touches
+``multiprocessing`` state in the controller process.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import socket
+import tempfile
+import time
+import traceback
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.ipc import recv_msg, send_msg
+
+Key = Tuple[int, ...]
+
+
+class EngineError(Exception):
+    """The engine cannot serve runs; the caller should run in-process."""
+
+
+def _consistent(key: Key, decisions: Sequence[int]) -> bool:
+    """May a checkpoint with ``key`` serve ``decisions``? (see module doc)"""
+    for i, chosen in enumerate(key):
+        scripted = decisions[i] if i < len(decisions) else 0
+        if chosen != scripted:
+            return False
+    return True
+
+
+class _Checkpoint:
+    """Controller-side handle on one paused checkpoint process."""
+
+    __slots__ = ("conn", "key", "depth", "digest", "pid")
+
+    def __init__(self, conn, key: Key, depth: int, digest: str, pid: int):
+        self.conn = conn
+        self.key = key
+        self.depth = depth
+        self.digest = digest
+        self.pid = pid
+
+
+class EngineChild:
+    """Worker-side state threaded through ``Explorer.run_once``.
+
+    Installed as the :class:`~repro.check.schedule.ScriptedChoices`
+    ``before_choice`` hook; decides where to fork checkpoints and, in a
+    resumed process, carries the new request's identity back to the
+    runner frame that sends the result.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        req: int,
+        have_depths: Sequence[int],
+        stride: int,
+        cap: int,
+        max_depth: int,
+        digest: bool = False,
+    ) -> None:
+        self.path = path
+        self.req = req
+        #: Depths at which the controller already holds a checkpoint
+        #: consistent with this run's vector.  A consistent cached key
+        #: at depth ``d`` *is* this run's own prefix at ``d`` (that is
+        #: what consistency means), so a depth is a complete identifier
+        #: -- no need to ship whole prefix tuples to every worker.
+        self.have_depths = set(have_depths)
+        self.stride = stride
+        self.cap = cap
+        self.max_depth = max_depth
+        self.digest = digest
+        self.created = 0
+        self.resumed_depth: Optional[int] = None
+        self.steps_at_resume = 0
+        self._next_rel = stride
+        self._choices = None
+        self._runtime = None
+
+    def attach(self, choices, runtime) -> None:
+        self._choices = choices
+        self._runtime = runtime
+        choices.before_choice = self._at_choice_point
+
+    def _at_choice_point(self, index: int) -> None:
+        # Checkpoint placement: geometrically growing offsets from the
+        # resume point (stride, 2*stride, 4*stride, ... choice points
+        # past it).  The DFS visits deepest flips first, so the depths
+        # just past where *this* run resumed are exactly where its
+        # siblings will want to resume -- dense coverage there, log-
+        # sparse further out, O(log depth) forks per run total.
+        if self.stride <= 0 or self.created >= self.cap:
+            return
+        rel = index - (self.resumed_depth or 0)
+        if rel != self._next_rel or index >= self.max_depth:
+            return
+        self._next_rel *= 2
+        if index in self.have_depths:
+            return  # the controller already holds this prefix
+        self.have_depths.add(index)
+        self.created += 1
+        key = tuple(self._choices.vector)  # trail so far == prefix key
+        if os.fork() != 0:
+            return  # the runner carries on simulating immediately
+        # Child: becomes the checkpoint for ``key``.  Only a *resumed*
+        # grandchild ever returns from this call (back into choose()).
+        self._become_checkpoint(index, key)
+
+    def _become_checkpoint(self, index: int, key: Key) -> None:
+        try:
+            digest = self._runtime.state_digest() if self.digest else None
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.connect(self.path)
+            send_msg(
+                conn,
+                {
+                    "type": "register",
+                    "key": key,
+                    "depth": index,
+                    "digest": digest,
+                    "pid": os.getpid(),
+                },
+            )
+            while True:
+                msg = recv_msg(conn)
+                if msg is None or msg["type"] == "die":
+                    os._exit(0)
+                if msg["type"] != "resume":
+                    continue
+                if os.fork() != 0:
+                    continue  # checkpoint stays paused, serves more resumes
+                # Resumed runner: adopt the new request and vector, then
+                # return into choose() at ``index`` -- the simulation
+                # continues as if it had been scripted this way all along.
+                conn.close()
+                self.req = msg["req"]
+                self.have_depths = set(msg["have"])
+                self.created = 0
+                self.resumed_depth = index
+                self.steps_at_resume = self._runtime.steps
+                self._next_rel = self.stride
+                self._choices.decisions = list(msg["decisions"])
+                return
+        except BaseException:
+            os._exit(1)
+
+
+class SnapshotEngine:
+    """Controller for a fleet of checkpoint/runner processes.
+
+    Parameters
+    ----------
+    explorer:
+        The :class:`~repro.check.explore.Explorer` whose ``run_once``
+        defines the computation.  Workers inherit it (and the workload
+        factory closures pickle would refuse) through ``fork``.
+    jobs:
+        Maximum outstanding runs; ``prefetch`` speculates up to this
+        many frontier entries ahead of the sequential consumer.
+    snapshot:
+        When False, workers never fork checkpoints -- the engine is a
+        pure parallel fan-out from the empty world.
+    stride / cap / lru:
+        Checkpoint placement: fork every ``stride``-th choice depth, at
+        most ``cap`` per run, keeping at most ``lru`` checkpoints alive
+        (least-recently-used eviction).
+    """
+
+    def __init__(
+        self,
+        explorer,
+        jobs: int = 1,
+        snapshot: bool = True,
+        stride: int = 4,
+        cap: int = 24,
+        lru: int = 48,
+        stats: Optional[Any] = None,
+        timeout: float = 60.0,
+        digest: bool = False,
+    ) -> None:
+        self._explorer = explorer
+        self.jobs = max(1, jobs)
+        #: Speculating past the core count cannot overlap anything --
+        #: on a 1-core host every mispredicted speculative run is pure
+        #: added wall-clock -- so the effective speculation depth is
+        #: bounded by the hardware, whatever ``jobs`` asks for.
+        self.speculation = min(self.jobs, os.cpu_count() or 1)
+        self.stride = stride if snapshot else 0
+        self.cap = cap
+        self.lru_size = lru
+        self.stats = stats
+        self.timeout = timeout
+        self.digest = digest
+        self._dir: Optional[str] = None
+        self._path: Optional[str] = None
+        self._listener: Optional[socket.socket] = None
+        self._genesis: Optional[socket.socket] = None
+        self._lru: "OrderedDict[Key, _Checkpoint]" = OrderedDict()
+        self._unclassified: List[socket.socket] = []
+        self._results: Dict[Key, Tuple[Any, int, Optional[int]]] = {}
+        self._errors: Dict[Key, str] = {}
+        self._pending: Dict[int, Key] = {}
+        self._pending_keys: Dict[Key, int] = {}
+        self._req = 0
+        self._broken = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> bool:
+        """Launch the genesis worker; False means run in-process instead."""
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only repo
+            return False
+        self._dir = tempfile.mkdtemp(prefix="repro-fleet-")
+        self._path = os.path.join(self._dir, "engine.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self._path)
+        listener.listen(128)
+        self._listener = listener
+        # Double fork: the intermediate exits at once (and is reaped at
+        # once), so genesis and every process below it belong to init,
+        # never to the controller -- no zombies, no SIGCHLD surprises
+        # for multiprocessing users in this process.
+        pid = os.fork()
+        if pid == 0:
+            try:
+                if os.fork() == 0:
+                    self._genesis_main()  # never returns
+            except BaseException:
+                pass
+            os._exit(0)
+        os.waitpid(pid, 0)
+        conn = self._await_genesis()
+        if conn is None:
+            self.close()
+            return False
+        self._genesis = conn
+        if self.stats is not None:
+            self.stats.backend = "engine"
+            self.stats.jobs = self.jobs
+        return True
+
+    def _await_genesis(self) -> Optional[socket.socket]:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            ready, __, __ = select.select([self._listener], [], [], 0.5)
+            if not ready:
+                continue
+            conn, __ = self._listener.accept()
+            conn.settimeout(30.0)
+            try:
+                msg = recv_msg(conn)
+            except (OSError, ValueError):
+                conn.close()
+                continue
+            if msg is not None and msg.get("type") == "hello-genesis":
+                return conn
+            self._unclassified.append(conn)  # an early checkpoint, keep it
+        return None
+
+    def _genesis_main(self) -> None:
+        """Root worker: serves empty-prefix runs (never returns)."""
+        try:
+            signal.signal(signal.SIGCHLD, signal.SIG_IGN)  # self-reap runners
+            self._listener.close()  # inherited copy; controller owns it
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.connect(self._path)
+            send_msg(conn, {"type": "hello-genesis"})
+            while True:
+                msg = recv_msg(conn)
+                if msg is None or msg["type"] == "die":
+                    os._exit(0)
+                if msg["type"] == "resume" and os.fork() == 0:
+                    self._runner_main(conn, msg)  # never returns
+        except BaseException:
+            os._exit(1)
+
+    def _runner_main(self, inherited_conn, msg) -> None:
+        """Execute one vector and report; runs in a fresh fork."""
+        child = EngineChild(
+            self._path,
+            msg["req"],
+            msg["have"],
+            stride=self.stride,
+            cap=self.cap,
+            max_depth=self._explorer.max_depth,
+            digest=self.digest,
+        )
+        try:
+            inherited_conn.close()
+            result = self._explorer.run_once(
+                list(msg["decisions"]), _engine_child=child
+            )
+            out = {
+                "type": "result",
+                "req": child.req,
+                "result": result,
+                "executed": result.steps - child.steps_at_resume,
+                "resumed": child.resumed_depth,
+            }
+        except BaseException:
+            out = {
+                "type": "error",
+                "req": child.req,
+                "detail": traceback.format_exc(),
+            }
+        try:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.connect(self._path)
+            send_msg(conn, out)
+            conn.close()
+        except BaseException:
+            pass
+        os._exit(0)
+
+    def close(self) -> None:
+        """Tear the fleet down (checkpoints die on DIE or on our EOF)."""
+        if self.stats is not None:
+            self.stats.speculative_waste += len(self._results) + len(
+                self._pending
+            )
+        for handle in self._lru.values():
+            self._send_quietly(handle.conn, {"type": "die"})
+        self._lru.clear()
+        if self._genesis is not None:
+            self._send_quietly(self._genesis, {"type": "die"})
+            self._genesis = None
+        for conn in self._unclassified:
+            conn.close()
+        self._unclassified = []
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._path is not None and os.path.exists(self._path):
+            os.unlink(self._path)
+        if self._dir is not None and os.path.isdir(self._dir):
+            os.rmdir(self._dir)
+        self._dir = self._path = None
+
+    @staticmethod
+    def _send_quietly(conn, msg) -> None:
+        try:
+            send_msg(conn, msg)
+        except OSError:
+            pass
+        conn.close()
+
+    # -- running vectors -----------------------------------------------------
+
+    def run(self, decisions: Sequence[int]):
+        """The result for ``decisions`` -- exactly what ``run_once`` gives.
+
+        Serves from the speculative cache, dispatches and waits
+        otherwise, and silently re-runs in-process on any engine
+        trouble: the caller cannot observe which path was taken except
+        through the stats.
+        """
+        key = tuple(decisions)
+        stats = self.stats
+        if key not in self._results and key not in self._errors:
+            if not self._broken and key not in self._pending_keys:
+                try:
+                    self._dispatch(key)
+                except EngineError:
+                    self._broken = True
+            deadline = time.monotonic() + self.timeout
+            while (
+                not self._broken
+                and key not in self._results
+                and key not in self._errors
+            ):
+                if not self._pump(deadline):
+                    self._broken = True
+        if key in self._results:
+            result, executed, resumed = self._results.pop(key)
+            if stats is not None:
+                stats.tasks += 1
+                stats.steps_executed += executed
+                stats.steps_full += result.steps
+                if resumed is not None:
+                    stats.snapshot_hits += 1
+            return result
+        # Worker error, engine breakdown, or timeout: run it here.  The
+        # computation is identical, so the report stays byte-identical.
+        self._errors.pop(key, None)
+        self._forget_pending(key)
+        result = self._explorer.run_once(list(decisions))
+        if stats is not None:
+            stats.tasks += 1
+            stats.fallbacks += 1
+            stats.steps_executed += result.steps
+            stats.steps_full += result.steps
+        return result
+
+    def prefetch(self, upcoming: Sequence[Sequence[int]]) -> None:
+        """Speculatively dispatch future frontier entries (LIFO order).
+
+        Safe for byte-identity: results land in a cache the sequential
+        consumer drains in its own order; unconsumed ones are counted
+        as :attr:`~repro.fleet.FleetStats.speculative_waste`.
+        """
+        if self._broken:
+            return
+        budget = self.speculation - len(self._pending)
+        for decisions in reversed(list(upcoming)):
+            if budget <= 0:
+                return
+            key = tuple(decisions)
+            if (
+                key in self._results
+                or key in self._errors
+                or key in self._pending_keys
+            ):
+                continue
+            try:
+                self._dispatch(key)
+            except EngineError:
+                self._broken = True
+                return
+            budget -= 1
+
+    def checkpoint_digests(self) -> Dict[Key, str]:
+        """Key -> state digest of every live checkpoint (for tests)."""
+        return {key: cp.digest for key, cp in self._lru.items()}
+
+    # -- internals -----------------------------------------------------------
+
+    def _dispatch(self, key: Key) -> None:
+        self._req += 1
+        req = self._req
+        msg = {
+            "type": "resume",
+            "req": req,
+            "decisions": list(key),
+            # Only consistent cached prefixes matter to this run (they
+            # are the ones it could duplicate), and each is identified
+            # by its depth alone -- see EngineChild.have_depths.
+            "have": {
+                len(k) for k in self._lru if _consistent(k, key)
+            },
+        }
+        while True:
+            base = self._best_checkpoint(key)
+            if base is None:
+                if self._genesis is None:
+                    raise EngineError("no genesis worker")
+                try:
+                    send_msg(self._genesis, msg)
+                except OSError as exc:
+                    raise EngineError("genesis is gone: %s" % exc)
+                break
+            try:
+                send_msg(base.conn, msg)
+                break
+            except OSError:
+                self._drop_checkpoint(base.key)  # stale; try the next one
+        self._pending[req] = key
+        self._pending_keys[key] = req
+
+    def _best_checkpoint(self, key: Key) -> Optional[_Checkpoint]:
+        best = None
+        for cand_key, handle in self._lru.items():
+            if _consistent(cand_key, key):
+                if best is None or handle.depth > best.depth:
+                    best = handle
+        if best is not None:
+            self._lru.move_to_end(best.key)
+        return best
+
+    def _drop_checkpoint(self, key: Key) -> None:
+        handle = self._lru.pop(key, None)
+        if handle is not None:
+            handle.conn.close()
+
+    def _forget_pending(self, key: Key) -> None:
+        req = self._pending_keys.pop(key, None)
+        if req is not None:
+            self._pending.pop(req, None)
+
+    def _pump(self, deadline: float) -> bool:
+        """Wait for and handle at least one message; False on deadline."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            sockets = [self._listener]
+            if self._genesis is not None:
+                sockets.append(self._genesis)
+            sockets.extend(cp.conn for cp in self._lru.values())
+            sockets.extend(self._unclassified)
+            try:
+                ready, __, __ = select.select(
+                    sockets, [], [], min(0.5, remaining)
+                )
+            except OSError:
+                return False
+            if not ready:
+                continue
+            handled = False
+            for sock in ready:
+                handled |= self._service(sock)
+            if handled:
+                return True
+
+    def _service(self, sock) -> bool:
+        if sock is self._listener:
+            conn, __ = self._listener.accept()
+            conn.settimeout(30.0)
+            self._unclassified.append(conn)
+            return False  # not a message yet; keep pumping
+        if sock is self._genesis:
+            # Genesis never speaks after hello: readable means it died.
+            self._genesis.close()
+            self._genesis = None
+            self._broken = True
+            return True
+        try:
+            msg = recv_msg(sock)
+        except (OSError, ValueError):
+            msg = None
+        if sock in self._unclassified:
+            self._unclassified.remove(sock)
+            if msg is None:
+                sock.close()
+                return False
+            return self._classify(sock, msg)
+        # A checkpoint connection: only EOF/garbage is possible.
+        for key, handle in list(self._lru.items()):
+            if handle.conn is sock:
+                self._drop_checkpoint(key)
+                return True
+        sock.close()
+        return False
+
+    def _classify(self, conn, msg) -> bool:
+        kind = msg.get("type")
+        if kind == "register":
+            key = tuple(msg["key"])
+            if key in self._lru:
+                self._send_quietly(conn, {"type": "die"})  # duplicate
+                return True
+            self._lru[key] = _Checkpoint(
+                conn, key, msg["depth"], msg["digest"], msg["pid"]
+            )
+            if self.stats is not None:
+                self.stats.snapshots_created += 1
+            while len(self._lru) > self.lru_size:
+                __, evicted = self._lru.popitem(last=False)
+                self._send_quietly(evicted.conn, {"type": "die"})
+                if self.stats is not None:
+                    self.stats.snapshot_evictions += 1
+            return True
+        if kind in ("result", "error"):
+            conn.close()
+            key = self._pending.pop(msg["req"], None)
+            if key is None:
+                # A run we already gave up on (fallback raced it).
+                if self.stats is not None:
+                    self.stats.speculative_waste += 1
+                return True
+            self._pending_keys.pop(key, None)
+            if kind == "result":
+                self._results[key] = (
+                    msg["result"],
+                    msg["executed"],
+                    msg["resumed"],
+                )
+            else:
+                self._errors[key] = msg["detail"]
+            return True
+        conn.close()
+        return False
+
+    def __enter__(self) -> "SnapshotEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -16,8 +16,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.fleet import FleetStats
 from repro.net.loadgen import ARRIVALS
-from repro.net.scenario import run_scenario
+from repro.net.scenario import compare_scenarios, run_scenario
 from repro.net.servers import ARCHITECTURES
 
 
@@ -58,8 +59,8 @@ def _first_class(value: str) -> Optional[bool]:
     return {"auto": None, "on": True, "off": False}[value]
 
 
-def _run(arch: str, args: argparse.Namespace):
-    return run_scenario(
+def _cell(arch: str, args: argparse.Namespace) -> dict:
+    return dict(
         arch=arch,
         clients=args.clients,
         requests_per_client=args.requests,
@@ -78,6 +79,10 @@ def _run(arch: str, args: argparse.Namespace):
     )
 
 
+def _run(arch: str, args: argparse.Namespace):
+    return run_scenario(**_cell(arch, args))
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     report = _run(args.arch, args)
     print(report.render())
@@ -85,8 +90,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Run every architecture under the identical load, side by side."""
-    reports = [_run(arch, args) for arch in sorted(ARCHITECTURES)]
+    """Run every architecture under the identical load, side by side.
+
+    ``--jobs N`` runs the cells on worker processes; stdout stays
+    byte-identical (results merge by cell index), and the fleet note --
+    execution detail, not data -- goes to stderr.
+    """
+    cells = [_cell(arch, args) for arch in sorted(ARCHITECTURES)]
+    stats = FleetStats()
+    reports = compare_scenarios(cells, jobs=args.jobs, stats=stats)
+    if stats.backend != "inproc":
+        print(
+            "fleet: backend=%s jobs=%d tasks=%d"
+            % (stats.backend, stats.jobs, stats.tasks),
+            file=sys.stderr,
+        )
     hdr = "%-10s %12s %12s %12s %12s %10s" % (
         "arch", "elapsed_us", "thruput_rps", "lat_p50_us",
         "lat_p99_us", "syscalls",
@@ -119,6 +137,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare", help="run all architectures under identical load"
     )
     _add_scenario_args(compare)
+    compare.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (output is byte-identical for any value)",
+    )
     compare.set_defaults(fn=cmd_compare)
 
     args = parser.parse_args(argv)

@@ -16,10 +16,11 @@ workload built from it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.runtime import PthreadsRuntime
 from repro.core.config import RuntimeConfig
+from repro.fleet import FleetPool
 from repro.net.loadgen import LoadGenerator
 from repro.net.servers import Collector, build_server
 
@@ -278,3 +279,25 @@ def run_scenario(
             hist.observe(sample)
         obs.harvest()
     return report
+
+
+def _scenario_task(params: Dict[str, Any]) -> ScenarioReport:
+    """Run one comparison cell (module-level so workers can share it)."""
+    return run_scenario(**params)
+
+
+def compare_scenarios(
+    cells: Sequence[Dict[str, Any]],
+    jobs: int = 1,
+    stats: Optional[Any] = None,
+) -> List[ScenarioReport]:
+    """Run a grid of scenarios; reports come back in cell order.
+
+    Each cell is a ``run_scenario`` keyword dict.  Cells are fully
+    independent simulated worlds, so ``jobs > 1`` fans them across a
+    :class:`~repro.fleet.FleetPool`; because results are merged by cell
+    index, the returned list -- and anything rendered from it -- is
+    byte-identical to running the cells one by one.
+    """
+    with FleetPool(_scenario_task, jobs=jobs, stats=stats) as pool:
+        return list(pool.imap(list(cells)))

@@ -183,6 +183,39 @@ class Observability:
             put("thread.cpu_cycles.%s" % safe, tcb.cpu_cycles)
             put("thread.switches_in.%s" % safe, tcb.context_switches_in)
 
+    def harvest_fleet(self, stats: Any) -> None:
+        """Copy a sweep's :class:`repro.fleet.FleetStats` into metrics.
+
+        Fleet stats describe a whole sweep, not one runtime, so this is
+        separate from :meth:`harvest` and needs no attached runtime.
+        """
+        if stats is None or not self.registry.enabled:
+            return
+        registry = self.registry
+
+        def put(name: str, value: int, help: str = "") -> None:
+            registry.counter(name, help=help).set(value)
+
+        registry.gauge(
+            "fleet.jobs", help="worker processes the sweep ran on"
+        ).set(stats.jobs)
+        put("fleet.tasks", stats.tasks,
+            "sweep results consumed (sequential order)")
+        put("fleet.fallbacks", stats.fallbacks,
+            "tasks rerun in-process after a worker problem")
+        put("fleet.speculative_waste", stats.speculative_waste,
+            "speculative results the consumer never needed")
+        put("fleet.snapshots_created", stats.snapshots_created,
+            "prefix checkpoints forked and registered")
+        put("fleet.snapshot_hits", stats.snapshot_hits,
+            "runs resumed from a checkpoint instead of from scratch")
+        put("fleet.snapshot_evictions", stats.snapshot_evictions,
+            "checkpoints discarded by the LRU bound")
+        put("fleet.steps_executed", stats.steps_executed,
+            "simulator steps actually executed by the sweep")
+        put("fleet.steps_full", stats.steps_full,
+            "steps replay-from-scratch would have executed")
+
     # -- results -----------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

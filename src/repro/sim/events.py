@@ -162,3 +162,19 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+
+    def signature(self) -> Tuple[Tuple[int, int, str], ...]:
+        """The live events as a sorted ``(time, seq, name)`` tuple.
+
+        Tombstones are excluded, so two queues that went through
+        different cancel histories but hold the same pending work have
+        the same signature.  Used by the snapshot-integrity digests in
+        :mod:`repro.fleet`.
+        """
+        return tuple(
+            sorted(
+                (event.time, event.seq, event.name)
+                for (__, __, event) in self._heap
+                if not event.cancelled
+            )
+        )

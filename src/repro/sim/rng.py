@@ -55,3 +55,13 @@ class DeterministicRng:
     def fork(self, salt: int) -> "DeterministicRng":
         """Derive an independent stream (stable across runs)."""
         return DeterministicRng((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    # -- snapshot hooks (see repro.fleet) ---------------------------------
+
+    def getstate(self) -> tuple:
+        """The full generator state (for snapshot/restore and digests)."""
+        return self._rng.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._rng.setstate(state)

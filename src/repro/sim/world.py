@@ -205,6 +205,34 @@ class World:
         self.clock.advance_to(max(when, self.now))
         self.fire_due()
 
+    # -- snapshot integrity --------------------------------------------------
+
+    def state_digest(self) -> str:
+        """A stable hash of the world's observable state.
+
+        Two worlds that would behave identically from here on (same
+        clock, same RNG stream position, same pending events, same
+        register-window wear) produce the same digest.  The fleet layer
+        (:mod:`repro.fleet`) compares digests between a resumed
+        snapshot and a replay-from-scratch run to prove the snapshot
+        path is exact.
+        """
+        import hashlib
+
+        parts = (
+            self.model.name,
+            str(self.clock.cycles),
+            repr(self.rng.getstate()),
+            repr(self.events.signature()),
+            "%d/%d/%d"
+            % (
+                self.windows.flush_traps,
+                self.windows.underflow_traps,
+                self.windows.overflow_traps,
+            ),
+        )
+        return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()
+
     # -- tracing -------------------------------------------------------------
 
     def emit(self, kind: str, **fields) -> None:

@@ -1,0 +1,156 @@
+"""Parallel exploration: byte-identical reports, honest truncation.
+
+The fleet's determinism contract, tested end to end: for any ``jobs``
+value (and with or without prefix snapshots) both search modes must
+produce a report *equal* to the sequential one -- same schedules, same
+failures, same counts -- and the CLI must print the identical stdout.
+Execution detail (backend, snapshot hits, fallbacks) lives only in
+``report.fleet`` and on stderr.
+"""
+
+import os
+
+import pytest
+
+from repro.check.cli import main as check_main
+from repro.check.explore import Explorer
+from repro.check.workloads import cond_relay
+from repro.bench.workloads import signal_storm
+from repro.fleet import SnapshotEngine
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+
+
+def make_explorer(**kwargs):
+    kwargs.setdefault("max_depth", 24)
+    kwargs.setdefault("max_branch", 3)
+    return Explorer(
+        lambda: signal_storm(victims=4, rounds=100), **kwargs
+    )
+
+
+# -- report equality ----------------------------------------------------------
+
+
+@needs_fork
+def test_dfs_parallel_report_equals_sequential():
+    sequential = make_explorer().explore_dfs(max_runs=10, jobs=1,
+                                             snapshot=False)
+    assert sequential.fleet.backend == "inproc"
+    for jobs in (2, 4):
+        parallel = make_explorer().explore_dfs(max_runs=10, jobs=jobs)
+        assert parallel == sequential  # fleet stats excluded from ==
+        assert parallel.render() == sequential.render()
+        assert parallel.fleet.backend == "engine"
+        assert parallel.fleet.tasks == sequential.fleet.tasks
+
+
+@needs_fork
+def test_random_parallel_report_equals_sequential():
+    sequential = make_explorer().explore_random(runs=8, jobs=1)
+    for jobs in (2, 4):
+        parallel = make_explorer().explore_random(runs=8, jobs=jobs)
+        assert parallel == sequential
+        assert parallel.fleet.backend == "pool"
+
+
+@needs_fork
+def test_snapshots_execute_fewer_steps_for_the_same_report():
+    sequential = make_explorer().explore_dfs(max_runs=10, jobs=1,
+                                             snapshot=False)
+    snapshotted = make_explorer().explore_dfs(max_runs=10, jobs=1,
+                                              snapshot=True)
+    assert snapshotted == sequential
+    fleet = snapshotted.fleet
+    assert fleet.snapshots_created > 0
+    assert fleet.snapshot_hits > 0
+    # The point of resuming mid-run: strictly fewer simulated steps
+    # than the replay-from-scratch cost of the same schedules.
+    assert fleet.steps_executed < fleet.steps_full
+    assert sequential.fleet.steps_executed == sequential.fleet.steps_full
+
+
+@needs_fork
+def test_engine_run_matches_run_once():
+    explorer = make_explorer()
+    engine = SnapshotEngine(explorer, jobs=1, snapshot=True)
+    if not engine.start():
+        pytest.skip("engine could not start")
+    try:
+        # Walk a parent-then-child pair so the child resumes a prefix.
+        parent = engine.run([])
+        child_vector = parent.vector[:4] + [1]
+        resumed = engine.run(child_vector)
+        scratch = explorer.run_once(child_vector)
+        assert resumed == scratch
+    finally:
+        engine.close()
+
+
+# -- frontier truncation ------------------------------------------------------
+
+
+def test_frontier_remaining_reported_when_max_runs_truncates():
+    truncated = make_explorer().explore_dfs(max_runs=3)
+    assert truncated.frontier_remaining > 0
+    assert "frontier truncated" in truncated.render()
+    assert "%d unexplored" % truncated.frontier_remaining \
+        in truncated.render()
+
+    exhaustive = Explorer(
+        lambda: cond_relay(waiters=2), max_depth=8, max_branch=2
+    ).explore_dfs(max_runs=500)
+    assert exhaustive.frontier_remaining == 0
+    assert "frontier truncated" not in exhaustive.render()
+
+
+# -- lazy schedule extraction -------------------------------------------------
+
+
+def test_run_once_skips_schedule_extraction_for_passing_runs():
+    explorer = make_explorer()
+    passing = explorer.run_once(())
+    assert passing.failure is None
+    assert passing.schedule == []  # not extracted by default
+
+    asked = explorer.run_once((), extract=True)
+    assert asked.schedule  # same run, schedule on request
+    assert asked.vector == passing.vector
+
+    refused = explorer.run_once((), extract=False)
+    assert refused.schedule == []
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def run_cli(capsys, *extra):
+    argv = [
+        "explore", "--workload", "signal_storm", "--max-depth", "24",
+        "--max-branch", "3", "--runs", "8",
+    ] + list(extra)
+    code = check_main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@needs_fork
+@pytest.mark.parametrize("mode", ["dfs", "random"])
+def test_cli_stdout_identical_across_jobs(capsys, mode):
+    base_code, base_out, base_err = run_cli(capsys, "--mode", mode)
+    assert base_code == 0
+    assert "fleet:" not in base_err
+    code, out, err = run_cli(capsys, "--mode", mode, "--jobs", "2")
+    assert code == base_code
+    assert out == base_out  # the determinism contract, byte for byte
+    assert "fleet:" in err  # execution detail goes to stderr only
+
+
+@needs_fork
+def test_cli_no_snapshots_flag_keeps_output(capsys):
+    __, base_out, __ = run_cli(capsys, "--mode", "dfs")
+    __, out, err = run_cli(
+        capsys, "--mode", "dfs", "--jobs", "2", "--no-snapshots"
+    )
+    assert out == base_out
+    assert "snapshots=" not in err

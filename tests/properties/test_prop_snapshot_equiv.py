@@ -1,0 +1,71 @@
+"""Snapshot integrity: a resumed run is indistinguishable from scratch.
+
+Two properties over the fleet's fork-based prefix checkpoints:
+
+- **equivalence** -- for arbitrary decision vectors,
+  ``SnapshotEngine.run(D)`` returns a :class:`RunResult` *equal* (full
+  dataclass equality: vector, trail, failure, elapsed virtual time,
+  step count) to ``Explorer.run_once(D)`` executed from an empty world,
+  even though the engine resumes from mid-run checkpoints whenever one
+  is consistent with ``D``;
+- **state identity** -- every live checkpoint's runtime state digest
+  equals the digest a from-scratch replay of its key computes at the
+  same choice point: the forked child *is* the replayed prefix, not an
+  approximation of it.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workloads import signal_storm
+from repro.check.explore import Explorer
+from repro.fleet import SnapshotEngine
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="snapshots need fork"
+)
+
+
+def make_explorer() -> Explorer:
+    return Explorer(
+        lambda: signal_storm(victims=4, rounds=100),
+        max_depth=24,
+        max_branch=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    explorer = make_explorer()
+    eng = SnapshotEngine(explorer, jobs=1, snapshot=True, digest=True)
+    if not eng.start():
+        pytest.skip("engine could not start")
+    eng.explorer = explorer
+    yield eng
+    eng.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    decisions=st.lists(
+        st.integers(min_value=0, max_value=2), min_size=0, max_size=10
+    )
+)
+def test_resumed_run_equals_run_from_scratch(engine, decisions):
+    resumed = engine.run(decisions)
+    scratch = engine.explorer.run_once(decisions)
+    assert resumed == scratch
+
+
+def test_checkpoint_state_digest_matches_replayed_prefix(engine):
+    engine.run([])  # populate checkpoints along the default schedule
+    digests = engine.checkpoint_digests()
+    assert digests, "default schedule produced no checkpoints"
+    for key, digest in sorted(digests.items(), key=lambda kv: len(kv[0])):
+        depth = len(key)
+        scratch = engine.explorer.run_once(key, probe_depths=[depth])
+        assert scratch.probe_digests[depth] == digest, (
+            "checkpoint at depth %d diverged from replay" % depth
+        )

@@ -1,0 +1,55 @@
+"""Parallel scenario grids: cell-order merge keeps reports identical.
+
+``compare_scenarios`` fans independent simulated worlds across worker
+processes; because results merge by cell index, the report list -- and
+the CLI table rendered from it -- must be byte-identical to running
+the cells one at a time.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import FleetStats
+from repro.net.cli import main as net_main
+from repro.net.scenario import compare_scenarios, run_scenario
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+
+CELLS = [
+    dict(arch=arch, clients=6, requests_per_client=2, workers=4,
+         seed=7, pool_size=16)
+    for arch in ("perconn", "pool", "select")
+]
+
+
+def test_sequential_grid_matches_individual_runs():
+    reports = compare_scenarios(CELLS, jobs=1)
+    for cell, report in zip(CELLS, reports):
+        assert report == run_scenario(**cell)
+
+
+@needs_fork
+def test_parallel_grid_is_identical_to_sequential():
+    sequential = compare_scenarios(CELLS, jobs=1)
+    stats = FleetStats()
+    parallel = compare_scenarios(CELLS, jobs=2, stats=stats)
+    assert parallel == sequential
+    assert [r.render() for r in parallel] == [
+        r.render() for r in sequential
+    ]
+    assert stats.backend == "pool"
+    assert stats.tasks == len(CELLS)
+
+
+@needs_fork
+def test_compare_cli_stdout_identical_across_jobs(capsys):
+    argv = ["compare", "--clients", "6", "--requests", "2",
+            "--workers", "4", "--seed", "7"]
+    assert net_main(argv) == 0
+    base = capsys.readouterr()
+    assert "fleet:" not in base.err
+    assert net_main(argv + ["--jobs", "4"]) == 0
+    par = capsys.readouterr()
+    assert par.out == base.out  # byte-identical table
+    assert "fleet:" in par.err  # execution detail on stderr only
