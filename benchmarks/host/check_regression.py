@@ -1,0 +1,147 @@
+"""CI host-throughput regression gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/host/check_regression.py \
+        [--baseline BENCH_host.json] [--repeat N] [--tolerance 0.20]
+    PYTHONPATH=src python benchmarks/host/check_regression.py \
+        --current measured.json   # compare a prior measurement instead
+
+Reads the committed ``BENCH_host.json``, re-measures every workload at
+the *baseline's own scale* (so steps/s are comparable), and fails when
+any workload's ``steps_per_sec`` drops more than ``--tolerance`` below
+the committed number.  ``simulated_us`` must match the baseline
+exactly -- a mismatch means the simulation semantics changed and the
+baseline needs regenerating, which is a different problem than a slow
+host path and is reported as such.
+
+Host throughput is noisy (shared CI runners); the measurement keeps
+the best of ``--repeat`` runs, and the default 20% tolerance is wide
+enough that only a real fast-path regression trips it.  ``--repeat``
+defaults to the baseline's own recorded ``repeat``: best-of-N
+converges upward with N, so measuring with fewer repeats than the
+baseline systematically undershoots it and trips the gate on noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+
+def compare(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float,
+) -> List[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: List[str] = []
+    base_by_name = {r["workload"]: r for r in baseline["results"]}
+    cur_by_name = {r["workload"]: r for r in current["results"]}
+    if baseline.get("scale") != current.get("scale"):
+        failures.append(
+            "scale mismatch: baseline ran at %r, current at %r -- "
+            "steps/s are not comparable"
+            % (baseline.get("scale"), current.get("scale"))
+        )
+        return failures
+    for name, base in base_by_name.items():
+        cur = cur_by_name.get(name)
+        if cur is None:
+            failures.append("workload %r missing from current run" % name)
+            continue
+        if cur["simulated_us"] != base["simulated_us"]:
+            failures.append(
+                "%s: simulated time diverged (%r -> %r) -- semantics "
+                "changed; regenerate BENCH_host.json deliberately"
+                % (name, base["simulated_us"], cur["simulated_us"])
+            )
+            continue
+        floor = base["steps_per_sec"] * (1.0 - tolerance)
+        if cur["steps_per_sec"] < floor:
+            failures.append(
+                "%s: %.0f steps/s is %.1f%% below the committed %.0f "
+                "(floor %.0f at %.0f%% tolerance)"
+                % (
+                    name,
+                    cur["steps_per_sec"],
+                    100.0 * (1.0 - cur["steps_per_sec"] / base["steps_per_sec"]),
+                    base["steps_per_sec"],
+                    floor,
+                    100.0 * tolerance,
+                )
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_host.json")
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="a prior measurement JSON; omitted = measure now",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        help="best-of repeats; default: the baseline's recorded repeat",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--model", default="sparc-ipx")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    if args.current is not None:
+        with open(args.current) as fh:
+            current = json.load(fh)
+    else:
+        import os
+
+        # Runnable as a plain script: run.py lives beside this file.
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from run import run_suite
+
+        scale = baseline["scale"]
+        repeat = args.repeat
+        if repeat is None:
+            repeat = baseline.get("repeat", 3)
+        print(
+            "measuring at baseline scale=%d (repeat=%d, best-of)..."
+            % (scale, repeat)
+        )
+        results = run_suite(scale=scale, repeat=repeat, model=args.model)
+        current = {"scale": scale, "results": results}
+
+    failures = compare(baseline, current, args.tolerance)
+    base_by_name = {r["workload"]: r for r in baseline["results"]}
+    for r in current["results"]:
+        base = base_by_name.get(r["workload"])
+        ratio = (
+            r["steps_per_sec"] / base["steps_per_sec"] if base else float("nan")
+        )
+        print(
+            "%-18s  %10.0f steps/s  (baseline %10.0f, ratio %.2f)"
+            % (
+                r["workload"],
+                r["steps_per_sec"],
+                base["steps_per_sec"] if base else float("nan"),
+                ratio,
+            )
+        )
+    if failures:
+        print("\nHOST THROUGHPUT REGRESSION:", file=sys.stderr)
+        for msg in failures:
+            print("  - %s" % msg, file=sys.stderr)
+        return 1
+    print("\ngate passed (tolerance %.0f%%)" % (100.0 * args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

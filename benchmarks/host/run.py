@@ -74,6 +74,7 @@ def run_one(
     steps = None
     simulated_us = None
     switches = None
+    segment_counters = None
     for _ in range(repeat):
         main_fn = factory()
         start = time.perf_counter()
@@ -88,9 +89,11 @@ def run_one(
         simulated_us = stats["elapsed_us"]
         steps = rt.steps
         switches = stats["context_switches"]
+        if rt._segments is not None:
+            segment_counters = rt._segments.counters()
         if best_wall is None or wall < best_wall:
             best_wall = wall
-    return {
+    result = {
         "workload": name,
         "model": model,
         "wall_seconds": round(best_wall, 6),
@@ -100,6 +103,9 @@ def run_one(
         "simulated_us_per_sec": round(simulated_us / best_wall, 1),
         "context_switches": switches,
     }
+    if segment_counters is not None:
+        result["segments"] = segment_counters
+    return result
 
 
 def run_suite(

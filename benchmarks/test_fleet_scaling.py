@@ -112,12 +112,21 @@ def test_fleet_scaling_writes_bench_json():
         for arrival in ("poisson", "bursty")
         for pool_size in (64, 0)
     ]
-    start = time.perf_counter()
-    grid_seq = compare_scenarios(cells, jobs=1)
-    grid_seq_s = time.perf_counter() - start
-    start = time.perf_counter()
-    grid_par = compare_scenarios(cells, jobs=4)
-    grid_par_s = time.perf_counter() - start
+    # Best-of-3 (the standard noise-rejection estimator, same as the
+    # host-throughput runner): a single shot of a sub-second grid is
+    # dominated by host jitter.
+    def timed_grid(jobs):
+        best_s, best = None, None
+        for _ in range(3):
+            start = time.perf_counter()
+            reports = compare_scenarios(cells, jobs=jobs)
+            elapsed = time.perf_counter() - start
+            if best_s is None or elapsed < best_s:
+                best_s, best = elapsed, reports
+        return best, best_s
+
+    grid_seq, grid_seq_s = timed_grid(jobs=1)
+    grid_par, grid_par_s = timed_grid(jobs=4)
 
     assert grid_par == grid_seq
     assert [r.render() for r in grid_par] == [r.render() for r in grid_seq]
@@ -130,9 +139,10 @@ def test_fleet_scaling_writes_bench_json():
             % (grid_speedup, CORES)
         )
     else:
-        # Single-core hosts only pay fork overhead; just require the
-        # parallel path not to be pathological.
-        assert grid_par_s < grid_seq_s * 3
+        # With fewer cores than jobs the pool caps itself (down to the
+        # in-process loop on one core), so the parallel request must
+        # cost no more than sequential plus measurement jitter.
+        assert grid_par_s < grid_seq_s * 1.15
 
     payload = {
         "host_cores": CORES,

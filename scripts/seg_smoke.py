@@ -1,0 +1,104 @@
+"""Dev smoke: segment cache on/off digest + speed check (not a test).
+
+Mirrors benchmarks/host/run.py exactly (including signal_storm's
+priority-50 main) and, at SCALE=16, checks simulated time against the
+seed-commit oracle so interpreter edits can't silently drift semantics.
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.bench.workloads import (  # noqa: E402
+    create_join_churn,
+    lock_storm,
+    pipeline,
+    signal_storm,
+)
+from repro.core.config import RuntimeConfig  # noqa: E402
+
+SCALE = int(os.environ.get("SCALE", "16"))
+
+# (factory, main-thread priority) -- same shapes as benchmarks/host/run.py.
+WORKLOADS = {
+    "lock_storm": (
+        lambda: lock_storm(threads=8, iterations=25 * SCALE), 100),
+    "signal_storm": (
+        lambda: signal_storm(victims=4, rounds=100 * SCALE), 50),
+    "pipeline": (lambda: pipeline(stages=4, items=25 * SCALE), 100),
+    "create_join_churn": (
+        lambda: create_join_churn(rounds=12 * SCALE, burst=8), 100),
+}
+
+# Simulated microseconds at SCALE=16, measured at the seed commit.
+SEED_SIM_US_SCALE16 = {
+    "lock_storm": 25741.05,
+    "signal_storm": 260598.35,
+    "pipeline": 28677.9,
+    "create_join_churn": 154732.4,
+}
+
+
+def once(factory, priority, segments):
+    from repro.core.runtime import PthreadsRuntime
+
+    cfg = RuntimeConfig(timeslice_us=None, pool_size=64, segments=segments)
+    rt = PthreadsRuntime(config=cfg)
+    rt.main(factory(), priority=priority)
+    t0 = time.perf_counter()
+    rt.run()
+    dt = time.perf_counter() - t0
+    return {
+        "digest": rt.state_digest(),
+        "clock": rt.world.clock.cycles,
+        "sim_us": rt.world.now_us,
+        "steps": rt.steps,
+        "switches": rt.dispatcher.context_switches,
+        "dt": dt,
+        "sps": rt.steps / dt,
+        "seg": rt._segments.counters() if rt._segments else None,
+    }
+
+
+def main():
+    ok = True
+    for name, (factory, priority) in WORKLOADS.items():
+        off = once(factory, priority, False)
+        on = once(factory, priority, True)
+        same = (
+            off["digest"] == on["digest"]
+            and off["clock"] == on["clock"]
+            and off["steps"] == on["steps"]
+            and off["switches"] == on["switches"]
+        )
+        ok = ok and same
+        oracle = ""
+        if SCALE == 16:
+            want = SEED_SIM_US_SCALE16[name]
+            if abs(on["sim_us"] - want) > 1e-6 or abs(off["sim_us"] - want) > 1e-6:
+                ok = False
+                oracle = "  SIM-DRIFT want=%r got=%r" % (want, on["sim_us"])
+        print(
+            "%-18s %s  off=%7.0f/s on=%9.0f/s  x%.2f  steps=%d sw=%d%s" % (
+                name,
+                "OK " if same else "DIFF",
+                off["sps"], on["sps"], on["sps"] / off["sps"],
+                on["steps"], on["switches"], oracle,
+            )
+        )
+        if not same:
+            for k in ("digest", "clock", "steps", "switches"):
+                if off[k] != on[k]:
+                    print("   %s: off=%r on=%r" % (k, off[k], on[k]))
+        if on["seg"]:
+            interesting = {
+                k.split(".")[-1]: v for k, v in on["seg"].items() if v
+            }
+            print("   seg: %r" % (interesting,))
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

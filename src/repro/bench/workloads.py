@@ -22,25 +22,32 @@ def pipeline(stages: int, items: int, work_cycles: int = 500):
     """
 
     def stage_body(pt, inbox, outbox, m, cv_in, cv_out):
+        # Ops are immutable; building them once outside the loop keeps
+        # the per-item path free of op allocation (bit-identical run).
+        lock = pt.mutex_lock(m)
+        unlock = pt.mutex_unlock(m)
+        wait_in = pt.cond_wait(cv_in, m)
+        burn = pt.work(work_cycles)
+        signal_out = None if cv_out is None else pt.cond_signal(cv_out)
         while True:
-            yield pt.mutex_lock(m)
+            yield lock
             while not inbox:
-                yield pt.cond_wait(cv_in, m)
+                yield wait_in
             item = inbox.pop(0)
-            yield pt.mutex_unlock(m)
+            yield unlock
             if item is None:
                 if outbox is not None:
-                    yield pt.mutex_lock(m)
+                    yield lock
                     outbox.append(None)
-                    yield pt.cond_signal(cv_out)
-                    yield pt.mutex_unlock(m)
+                    yield signal_out
+                    yield unlock
                 return
-            yield pt.work(work_cycles)
+            yield burn
             if outbox is not None:
-                yield pt.mutex_lock(m)
+                yield lock
                 outbox.append(item)
-                yield pt.cond_signal(cv_out)
-                yield pt.mutex_unlock(m)
+                yield signal_out
+                yield unlock
 
     def main(pt):
         m = yield pt.mutex_init()
@@ -60,11 +67,14 @@ def pipeline(stages: int, items: int, work_cycles: int = 500):
                     )
                 )
             )
+        lock = pt.mutex_lock(m)
+        unlock = pt.mutex_unlock(m)
+        push = pt.cond_signal(conds[0])
         for item in list(range(items)) + [None]:
-            yield pt.mutex_lock(m)
+            yield lock
             queues[0].append(item)
-            yield pt.cond_signal(conds[0])
-            yield pt.mutex_unlock(m)
+            yield push
+            yield unlock
         for t in threads:
             yield pt.join(t)
         return {"items": items, "stages": stages}
@@ -108,11 +118,16 @@ def lock_storm(
     """Heavy contention on one mutex (protocol selectable)."""
 
     def worker(pt, m, stats):
+        # Prebound immutable ops: the loop body allocates nothing.
+        lock = pt.mutex_lock(m)
+        unlock = pt.mutex_unlock(m)
+        section = pt.work(section_cycles)
+        gap = pt.work(50)
         for _ in range(iterations):
-            yield pt.mutex_lock(m)
-            yield pt.work(section_cycles)
-            yield pt.mutex_unlock(m)
-            yield pt.work(50)
+            yield lock
+            yield section
+            yield unlock
+            yield gap
         stats["done"] += 1
 
     def main(pt):
@@ -158,8 +173,9 @@ def signal_storm(victims: int, rounds: int, gap_cycles: int = 2_000):
         yield  # pragma: no cover - makes it a generator
 
     def victim(pt):
+        nap = pt.delay_us(10_000_000)
         while True:
-            yield pt.delay_us(10_000_000)
+            yield nap
 
     def main(pt):
         yield pt.sigaction(SIGUSR1, handler)
@@ -174,9 +190,11 @@ def signal_storm(victims: int, rounds: int, gap_cycles: int = 2_000):
                     )
                 )
             )
+        kills = [pt.kill(v, SIGUSR1) for v in vs]
+        gap = pt.work(gap_cycles)
         for r in range(rounds):
-            yield pt.kill(vs[r % victims], SIGUSR1)
-            yield pt.work(gap_cycles)
+            yield kills[r % victims]
+            yield gap
         for v in vs:
             yield pt.cancel(v)
         for v in vs:
@@ -195,16 +213,15 @@ def create_join_churn(rounds: int, burst: int = 8, work_cycles: int = 200):
         yield pt.work(work_cycles)
 
     def main(pt):
+        attr = ThreadAttr(priority=40)  # attrs are read-only: share one
+        # Create ops are immutable: prebind one per burst slot so the
+        # round loop allocates no ops (joins take fresh handles, so
+        # they cannot be prebound).
+        creates = [pt.create(child, i, attr=attr) for i in range(burst)]
         for _ in range(rounds):
             ts = []
-            for i in range(burst):
-                ts.append(
-                    (
-                        yield pt.create(
-                            child, i, attr=ThreadAttr(priority=40)
-                        )
-                    )
-                )
+            for op in creates:
+                ts.append((yield op))
             for t in ts:
                 yield pt.join(t)
         return {"rounds": rounds, "burst": burst}

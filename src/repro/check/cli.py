@@ -112,11 +112,15 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fleet_note(report) -> None:
+def _fleet_note(report, requested_jobs: int = 1) -> None:
     """Fleet diagnostics go to stderr: stdout is the determinism
-    contract (byte-identical for any --jobs), execution detail is not."""
+    contract (byte-identical for any --jobs), execution detail is not.
+
+    Printed whenever parallelism was *requested*: on a small host the
+    core-count cap may have degraded the request to in-process, and
+    saying so beats silence."""
     fleet = report.fleet
-    if fleet is None or fleet.backend == "inproc":
+    if fleet is None or (requested_jobs <= 1 and fleet.backend == "inproc"):
         return
     note = "fleet: backend=%s jobs=%d tasks=%d" % (
         fleet.backend,
@@ -148,7 +152,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 runs=args.runs, seed=args.seed, jobs=args.jobs
             )
         print(report.render())
-        _fleet_note(report)
+        _fleet_note(report, requested_jobs=args.jobs)
         failure = report.first_failure
         if failure is None:
             print("no violations found")

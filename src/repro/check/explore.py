@@ -331,6 +331,7 @@ class Explorer:
         seed: int = 1234,
         stop_on_failure: bool = True,
         jobs: int = 1,
+        oversubscribe: bool = False,
     ) -> ExploreReport:
         """Seeded random walks; each run's trail replays it exactly.
 
@@ -347,7 +348,9 @@ class Explorer:
         def walk(index: int) -> RunResult:
             return self.run_once((), rng=base.fork(index))
 
-        with FleetPool(walk, jobs=jobs, stats=stats) as pool:
+        with FleetPool(
+            walk, jobs=jobs, stats=stats, oversubscribe=oversubscribe
+        ) as pool:
             for result in pool.imap(range(runs)):
                 stats.steps_executed += result.steps
                 stats.steps_full += result.steps

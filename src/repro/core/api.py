@@ -47,10 +47,11 @@ def _work_op(cycles: int) -> Work:
 class PT:
     """Op builder handed to every simulated thread body."""
 
-    __slots__ = ("runtime",)
+    __slots__ = ("runtime", "_seg_self_op")
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         self.runtime = runtime
+        self._seg_self_op = LibCall("self")
 
     # -- computation and structure ---------------------------------------------
 
@@ -91,7 +92,7 @@ class PT:
         return LibCall("exit", (value,))
 
     def self_id(self) -> LibCall:
-        return LibCall("self")
+        return self._seg_self_op
 
     def equal(self, a: Any, b: Any) -> LibCall:
         return LibCall("equal", (a, b))
@@ -134,13 +135,32 @@ class PT:
         return LibCall("mutex_destroy", (mutex,))
 
     def mutex_lock(self, mutex: Any) -> LibCall:
-        return LibCall("mutex_lock", (mutex,))
+        # Ops are immutable, so one per mutex is shared across calls;
+        # the segment cache additionally relies on the identity to
+        # match replayed ops with a single ``is``.
+        try:
+            return mutex._seg_lock_op
+        except AttributeError:
+            op = LibCall("mutex_lock", (mutex,))
+            try:
+                mutex._seg_lock_op = op
+            except (AttributeError, TypeError):
+                pass
+            return op
 
     def mutex_trylock(self, mutex: Any) -> LibCall:
         return LibCall("mutex_trylock", (mutex,))
 
     def mutex_unlock(self, mutex: Any) -> LibCall:
-        return LibCall("mutex_unlock", (mutex,))
+        try:
+            return mutex._seg_unlock_op
+        except AttributeError:
+            op = LibCall("mutex_unlock", (mutex,))
+            try:
+                mutex._seg_unlock_op = op
+            except (AttributeError, TypeError):
+                pass
+            return op
 
     def mutex_setprioceiling(self, mutex: Any, ceiling: int) -> LibCall:
         return LibCall("mutex_setprioceiling", (mutex, ceiling))
@@ -163,7 +183,15 @@ class PT:
         return LibCall("cond_timedwait", (cond, mutex, timeout_us))
 
     def cond_signal(self, cond: Any) -> LibCall:
-        return LibCall("cond_signal", (cond,))
+        try:
+            return cond._seg_signal_op
+        except AttributeError:
+            op = LibCall("cond_signal", (cond,))
+            try:
+                cond._seg_signal_op = op
+            except (AttributeError, TypeError):
+                pass
+            return op
 
     def cond_broadcast(self, cond: Any) -> LibCall:
         return LibCall("cond_broadcast", (cond,))

@@ -54,6 +54,13 @@ class Cond:
 class CondOps(LibraryOps):
     """Entry points for condition variables."""
 
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime)
+        # Watcher-free fast-path charges (see LibKernel.__init__).
+        table = runtime.world._costs
+        self._c_wait_setup = table[costs.COND_WAIT_SETUP]
+        self._c_signal = table[costs.COND_SIGNAL_WORK]
+
     ENTRIES = {
         "cond_init": "lib_cond_init",
         "cond_destroy": "lib_cond_destroy",
@@ -124,7 +131,11 @@ class CondOps(LibraryOps):
         if rt.cancel_ops.act_if_pending(tcb):
             return BLOCKED
         rt.kern.enter()
-        rt.world.spend(costs.COND_WAIT_SETUP, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.COND_WAIT_SETUP, fire=False)
+        else:
+            world.clock.cycles += self._c_wait_setup
         cond.bound_mutex = mutex
         cond.waiters.add(tcb)
         record = rt.block_current(
@@ -142,7 +153,8 @@ class CondOps(LibraryOps):
         # Atomic with the suspension: release the mutex (which may hand
         # it straight to a waiter).
         rt.mutex_ops.unlock_locked(tcb, mutex)
-        rt.world.emit("cond-wait", thread=tcb.name, cond=cond.name)
+        if world.trace is not None:
+            world.emit("cond-wait", thread=tcb.name, cond=cond.name)
         rt.kern.leave()
         return BLOCKED
 
@@ -161,7 +173,11 @@ class CondOps(LibraryOps):
         if cond.destroyed:
             return EINVAL
         rt.kern.enter()
-        rt.world.spend(costs.COND_SIGNAL_WORK, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.COND_SIGNAL_WORK, fire=False)
+        else:
+            world.clock.cycles += self._c_signal
         cond.signals_sent += 1
         self._wake_one(cond)
         rt.kern.leave()
@@ -192,7 +208,8 @@ class CondOps(LibraryOps):
         handle = record.data.get("timeout_handle") if record else None
         if handle is not None:
             rt.timer_ops.cancel_timeout(handle)
-        rt.world.emit("cond-wake", thread=waiter.name, cond=cond.name)
+        if rt.world.trace is not None:
+            rt.world.emit("cond-wake", thread=waiter.name, cond=cond.name)
         if mutex is None:
             if record is not None:
                 record.deliver(OK)

@@ -95,6 +95,12 @@ class RuntimeConfig:
     check_ceilings:
         Refuse (EINVAL) locking a ceiling mutex from a thread whose
         priority exceeds the ceiling, per the paper's recommendation.
+    segments:
+        Enable the executor's segment compiler (see
+        :mod:`repro.sim.segments`).  Purely a host-speed feature --
+        simulated behaviour is bit-identical either way, which the
+        property tests assert.  The ``REPRO_SEGMENTS=0`` environment
+        variable force-disables it regardless of this flag.
     """
 
     pool_size: int = 32
@@ -103,6 +109,7 @@ class RuntimeConfig:
     default_stack_size: int = DEFAULT_STACK_SIZE
     mixed_protocol_unlock: str = "linear-search"
     check_ceilings: bool = True
+    segments: bool = True
 
     def __post_init__(self) -> None:
         if self.pool_size < 0:

@@ -43,6 +43,13 @@ class Dispatcher:
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         self._runtime = runtime
+        # Pre-resolved cycle charges for the watcher-free fast path
+        # (see LibKernel.__init__): one dispatch makes 3-4 charges.
+        table = runtime.world._costs
+        self._c_select = table[costs.DISPATCH_SELECT]
+        self._c_overhead = table[costs.DISPATCH_OVERHEAD]
+        self._c_dequeue = table[costs.READY_DEQUEUE]
+        self._c_errno = table[costs.ERRNO_SWITCH]
         self.context_switches = 0
         self.dispatch_calls = 0
         self.signal_restarts = 0  # Figure 2's "signals caught?" loop
@@ -59,11 +66,18 @@ class Dispatcher:
             # to harvest later, so it is observed here (one attribute
             # load and an is-check on the disabled path).
             obs.on_dispatch(runtime)
+        clock = world.clock
         while True:
-            world.spend(costs.DISPATCH_SELECT, fire=False)
+            if clock._watchers:
+                world.spend(costs.DISPATCH_SELECT, fire=False)
+            else:
+                clock.cycles += self._c_select
             chosen = self._select()
             # Clear the flags before transferring control (Figure 2).
-            world.spend(costs.DISPATCH_OVERHEAD, fire=False)
+            if clock._watchers:
+                world.spend(costs.DISPATCH_OVERHEAD, fire=False)
+            else:
+                clock.cycles += self._c_overhead
             kern.dispatcher_flag = False
             kern.kernel_flag = False
             if kern.deferred_signals or kern.deferred_upcalls:
@@ -77,7 +91,13 @@ class Dispatcher:
                     runtime.sched.ready.enqueue(chosen, front=True)
                 self._drain_deferred_signals()
                 continue
-            self._transfer(chosen)
+            # Equivalent of ``with world.atomic():`` without the
+            # contextmanager machinery (one transfer per dispatch).
+            world._defer_depth += 1
+            try:
+                self._transfer_atomic(chosen)
+            finally:
+                world._defer_depth -= 1
             return
 
     # -- selection --------------------------------------------------------------
@@ -88,6 +108,22 @@ class Dispatcher:
         runtime = self._runtime
         policy = runtime.policy
         current = runtime.current
+
+        if policy is None and (
+            current is None or current.state is not ThreadState.RUNNING
+        ):
+            # No runner to compete with: the head of the ready queue
+            # wins outright, so dequeue it directly (identical to the
+            # peek-then-remove below -- remove of the head IS dequeue).
+            ready = runtime.sched.ready
+            if not ready._count:
+                return None
+            world = runtime.world
+            if world.clock._watchers:
+                world.spend(costs.READY_DEQUEUE, fire=False)
+            else:
+                world.clock.cycles += self._c_dequeue
+            return ready.dequeue()
 
         candidate: Optional[Tcb] = None
         if policy is not None:
@@ -104,7 +140,11 @@ class Dispatcher:
             # Preempted: head of its own level (it did not yield).
             runtime.sched.preempt_current_for_dispatch()
         if candidate is not None:
-            runtime.world.spend(costs.READY_DEQUEUE, fire=False)
+            world = runtime.world
+            if world.clock._watchers:
+                world.spend(costs.READY_DEQUEUE, fire=False)
+            else:
+                world.clock.cycles += self._c_dequeue
             runtime.sched.ready.remove(candidate)
         return candidate
 
@@ -123,16 +163,6 @@ class Dispatcher:
 
     # -- the context switch ---------------------------------------------------------
 
-    def _transfer(self, chosen: Optional[Tcb]) -> None:
-        # Equivalent of ``with world.atomic():`` without the
-        # contextmanager machinery (one transfer per dispatch).
-        world = self._runtime.world
-        world._defer_depth += 1
-        try:
-            self._transfer_atomic(chosen)
-        finally:
-            world._defer_depth -= 1
-
     def _transfer_atomic(self, chosen: Optional[Tcb]) -> None:
         runtime = self._runtime
         world = runtime.world
@@ -140,7 +170,8 @@ class Dispatcher:
         if chosen is old and chosen is not None:
             # No switch -- but if a signal interrupted this thread, it
             # returns from the universal handler right here.
-            self._pop_interrupt_frames(chosen)
+            if chosen.pending_interrupt_frames:
+                self._pop_interrupt_frames(chosen)
             return
         if chosen is None:
             # Nothing ready: the processor idles until an event.
@@ -155,7 +186,10 @@ class Dispatcher:
             # (even across an idle gap -- they are still in the file).
             world.windows.flush()
             occupant.errno = runtime.unix_errno
-        world.spend(costs.ERRNO_SWITCH, fire=False)
+        if world.clock._watchers:
+            world.spend(costs.ERRNO_SWITCH, fire=False)
+        else:
+            world.clock.cycles += self._c_errno
         runtime.unix_errno = chosen.errno
         if occupant is not chosen:
             world.windows.switch_in()
@@ -175,7 +209,8 @@ class Dispatcher:
                 from_thread=old.name if old else None,
             )
 
-        self._pop_interrupt_frames(chosen)
+        if chosen.pending_interrupt_frames:
+            self._pop_interrupt_frames(chosen)
 
     def _pop_interrupt_frames(self, tcb: Tcb) -> None:
         """Return from pending universal-handler frames.

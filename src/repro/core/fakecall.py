@@ -40,6 +40,11 @@ class UserAction:
 
         self.handler = handler
         self.mask = mask if mask is not None else SigSet()
+        # (sig, saved_bits, action_bits) -> merged wrapper mask.  SigSet
+        # instances on live masks are never mutated in place (they are
+        # always replaced), so the merged sets can be shared across
+        # wrapper invocations.
+        self._merge_cache: dict = {}
 
 
 class FakeCalls:
@@ -47,13 +52,19 @@ class FakeCalls:
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         self.rt = runtime
+        # Watcher-free fast-path charge (see LibKernel.__init__).
+        self._c_setup = runtime.world._costs[costs.FAKE_CALL_SETUP]
         self.installed = 0
 
     def install(
         self, tcb: Tcb, sig: int, cause: SigCause, action: UserAction
     ) -> None:
         rt = self.rt
-        rt.world.spend(costs.FAKE_CALL_SETUP, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.FAKE_CALL_SETUP, fire=False)
+        else:
+            world.clock.cycles += self._c_setup
         self.installed += 1
 
         reacquire = None
@@ -85,6 +96,11 @@ class FakeCalls:
                 "fake-call", thread=tcb.name, sig=sig,
                 interrupted_wait=was_blocked,
             )
+        on_pop = tcb._wrap_pop_cb
+        if on_pop is None:
+            on_pop = tcb._wrap_pop_cb = (
+                lambda value, _tcb=tcb: self._wrapper_popped(_tcb)
+            )
         rt.push_frame(
             tcb,
             _wrapper_body,
@@ -92,7 +108,7 @@ class FakeCalls:
             kind="wrapper",
             frame_bytes=160,
             deliver_to_caller=False,
-            on_pop=lambda value: self._wrapper_popped(tcb),
+            on_pop=on_pop,
         )
         if was_blocked:
             rt.sched.make_ready(tcb)
@@ -118,8 +134,6 @@ class FakeCalls:
 
 def _wrapper_body(pt, tcb: Tcb, sig: int, action: UserAction, reacquire):
     """The wrapper frame's code (paper, "Fake Calls")."""
-    from repro.unix.sigset import SigSet
-
     if reacquire is not None:
         # The handler interrupted a conditional wait: reacquire the
         # mutex first, so user code always sees it held.
@@ -128,8 +142,18 @@ def _wrapper_body(pt, tcb: Tcb, sig: int, action: UserAction, reacquire):
     # The wrapper runs as the (current) thread: the live errno is the
     # UNIX global; save and restore it around the user handler.
     saved_errno = pt.runtime.unix_errno
-    saved_mask = tcb.sigmask.copy()
-    tcb.sigmask = tcb.sigmask | action.mask | SigSet([sig])
+    # Masks are immutable in practice (always replaced, never mutated),
+    # so the saved mask is the object itself and the merged mask comes
+    # from the action's cache.
+    saved_mask = tcb.sigmask
+    key = (sig, saved_mask._bits, action.mask._bits)
+    merged = action._merge_cache.get(key)
+    if merged is None:
+        from repro.unix.sigset import SigSet
+
+        merged = saved_mask | action.mask | SigSet([sig])
+        action._merge_cache[key] = merged
+    tcb.sigmask = merged
     try:
         yield pt.call(action.handler, sig)
     except GeneratorExit:

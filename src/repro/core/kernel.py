@@ -29,6 +29,13 @@ class LibKernel:
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         self._runtime = runtime
+        # Pre-resolved cycle charges: enter/leave run several times per
+        # executor step, so the ``spend`` call (method + table lookup)
+        # is bypassed whenever no clock watcher needs to see the charge
+        # key (obs attribution re-enables the slow path).
+        table = runtime.world._costs
+        self._c_enter = table[costs.ENTER_KERNEL]
+        self._c_leave = table[costs.LEAVE_KERNEL]
         self.kernel_flag = False
         self.dispatcher_flag = False
         #: Signals caught by the universal handler while the kernel flag
@@ -47,12 +54,19 @@ class LibKernel:
                 "nested Pthreads kernel entry (monitor is not re-entrant)"
             )
         world = self._runtime.world
-        world.spend(costs.ENTER_KERNEL, fire=False)
+        clock = world.clock
+        if clock._watchers:
+            world.spend(costs.ENTER_KERNEL, fire=False)
+        else:
+            clock.cycles += self._c_enter
         self.kernel_flag = True
         self.enters += 1
         # Events due *now* fire inside the critical section, which is
         # exactly what exercises the defer-to-dispatcher machinery.
-        world.fire_due()
+        # (fire_due's horizon gate, checked inline.)
+        horizon = world.events._horizon
+        if horizon is not None and horizon <= clock.cycles:
+            world.fire_due()
 
     def leave(self) -> None:
         """Leave the kernel; run the dispatcher if it was requested."""
@@ -60,11 +74,18 @@ class LibKernel:
             raise PthreadsInternalError("leaving Pthreads kernel while outside")
         runtime = self._runtime
         world = runtime.world
-        world.spend(costs.LEAVE_KERNEL, fire=False)
+        clock = world.clock
+        if clock._watchers:
+            world.spend(costs.LEAVE_KERNEL, fire=False)
+        else:
+            clock.cycles += self._c_leave
         # Drain events that became due during the critical section while
         # the flag is still set: their signals take the log-and-defer
         # path and are handled by the dispatcher below (Figure 2).
-        world.fire_due()
+        events = world.events
+        horizon = events._horizon
+        if horizon is not None and horizon <= clock.cycles:
+            world.fire_due()
         policy = runtime.policy
         if policy is not None:
             policy.on_kernel_exit(runtime)
@@ -79,7 +100,9 @@ class LibKernel:
             runtime.dispatcher.run()
         else:
             self.kernel_flag = False
-        world.fire_due()
+        horizon = events._horizon
+        if horizon is not None and horizon <= clock.cycles:
+            world.fire_due()
 
     def request_dispatch(self) -> None:
         """Ask for the dispatcher on kernel exit (new thread ready,

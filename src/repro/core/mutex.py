@@ -93,6 +93,11 @@ class MutexOps(LibraryOps):
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         super().__init__(runtime)
+        # Watcher-free fast-path charges (see LibKernel.__init__).
+        table = runtime.world._costs
+        self._c_protocol = table[costs.PROTOCOL_CHECK]
+        self._c_fast_lock = table[costs.MUTEX_FAST_LOCK]
+        self._c_fast_unlock = table[costs.MUTEX_FAST_UNLOCK]
         #: Run-wide totals (per-mutex counts live on each Mutex, but
         #: mutexes are not enumerable from the runtime; these feed the
         #: observability harvest).
@@ -128,7 +133,11 @@ class MutexOps(LibraryOps):
         rt = self.rt
         if mutex.destroyed:
             return EINVAL
-        rt.world.spend(costs.PROTOCOL_CHECK, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.PROTOCOL_CHECK, fire=False)
+        else:
+            world.clock.cycles += self._c_protocol
         if mutex.protocol == cfg.PRIO_PROTECT and rt.config.check_ceilings:
             if tcb.base_priority > mutex.prioceiling:
                 # The paper: locking above the ceiling should be an
@@ -159,9 +168,12 @@ class MutexOps(LibraryOps):
     def _try_fast_acquire(self, tcb: Tcb, mutex: Mutex) -> bool:
         """Figure 4: ldstub + record owner, as a restartable sequence."""
         rt = self.rt
-        rt.world.spend(costs.MUTEX_FAST_LOCK, fire=False)
-        seq = mutex.lock_sequence
         clock = rt.world.clock
+        if clock._watchers:
+            rt.world.spend(costs.MUTEX_FAST_LOCK, fire=False)
+        else:
+            clock.cycles += self._c_fast_lock
+        seq = mutex.lock_sequence
         if seq.interrupt_hook is None and not clock._watchers:
             # No interruption source and no clock watchers: the
             # sequence below runs straight through, so charge its seven
@@ -251,12 +263,20 @@ class MutexOps(LibraryOps):
         rt = self.rt
         if mutex.destroyed:
             return EINVAL
-        rt.world.spend(costs.PROTOCOL_CHECK, fire=False)
+        world = rt.world
+        watched = bool(world.clock._watchers)
+        if watched:
+            world.spend(costs.PROTOCOL_CHECK, fire=False)
+        else:
+            world.clock.cycles += self._c_protocol
         if mutex.owner is not tcb:
             return EPERM
         if not mutex.waiters and mutex.protocol == cfg.PRIO_NONE:
             # Uncontended, no protocol: clear the byte and go.
-            rt.world.spend(costs.MUTEX_FAST_UNLOCK, fire=False)
+            if watched:
+                world.spend(costs.MUTEX_FAST_UNLOCK, fire=False)
+            else:
+                world.clock.cycles += self._c_fast_unlock
             mutex.cell.value = 0
             mutex.owner = None
             rt.protocols.on_released(tcb, mutex)
@@ -266,7 +286,10 @@ class MutexOps(LibraryOps):
                 )
             return OK
         rt.kern.enter()
-        rt.world.spend(costs.MUTEX_FAST_UNLOCK, fire=False)
+        if world.clock._watchers:
+            world.spend(costs.MUTEX_FAST_UNLOCK, fire=False)
+        else:
+            world.clock.cycles += self._c_fast_unlock
         self.unlock_locked(tcb, mutex)
         rt.kern.leave()
         return OK
@@ -278,7 +301,8 @@ class MutexOps(LibraryOps):
         unlock-and-wait).
         """
         rt = self.rt
-        rt.world.emit("mutex-unlock", thread=tcb.name, mutex=mutex.name)
+        if rt.world.trace is not None:
+            rt.world.emit("mutex-unlock", thread=tcb.name, mutex=mutex.name)
         rt.protocols.on_released(tcb, mutex)
         heir = mutex.waiters.pop_highest()
         if heir is None:
@@ -298,7 +322,8 @@ class MutexOps(LibraryOps):
             result = heir.wait.data.get("result", OK)
             heir.wait.deliver(result)
         rt.sched.make_ready(heir)
-        rt.world.emit("mutex-transfer", mutex=mutex.name, to=heir.name)
+        if rt.world.trace is not None:
+            rt.world.emit("mutex-transfer", mutex=mutex.name, to=heir.name)
 
     def grant_to_waker(self, tcb: Tcb, mutex: Mutex, result: int) -> bool:
         """Try to hand ``mutex`` to ``tcb`` (a condvar waker path).

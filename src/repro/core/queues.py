@@ -68,8 +68,23 @@ class ReadyQueue:
         self._count += 1
 
     def enqueue(self, tcb: Tcb, front: bool = False) -> None:
-        """Insert at the thread's current effective priority."""
-        self._file(tcb, tcb.effective_priority, front)
+        """Insert at the thread's current effective priority.
+
+        (The body is :meth:`_file` inlined -- enqueue runs on every
+        ready transition.)
+        """
+        priority = tcb.effective_priority
+        level = self._levels.get(priority)
+        if level is None:
+            level = self._levels[priority] = deque()
+        if not level:
+            insort(self._index, priority)
+        if front:
+            level.appendleft(tcb)
+        else:
+            level.append(tcb)
+        self._where[tcb] = priority
+        self._count += 1
 
     def enqueue_lowest_tail(self, tcb: Tcb) -> None:
         """Perverted-policy reposition: tail of the lowest priority queue.

@@ -17,6 +17,8 @@ resumes whatever thread the dispatcher chose.
 
 from __future__ import annotations
 
+import os
+from types import GeneratorType
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core import config as cfg
@@ -31,6 +33,7 @@ from repro.core.scheduler import Scheduler
 from repro.core.tcb import Tcb, ThreadState, WaitRecord
 from repro.sim.frames import Frame, ProgramCrash, SimException
 from repro.sim.ops import Invoke, LibCall, SysCall, Work
+from repro.sim.segments import _BLACKLISTED as _SEG_BLACKLISTED
 from repro.sim.world import DeadlockError, World
 from repro.unix.io import IoDevice
 from repro.unix.kernel import UnixKernel
@@ -140,6 +143,20 @@ class PthreadsRuntime:
         from repro.core.api import PT
 
         self._pt = PT(self)
+
+        # Segment compiler (see repro.sim.segments): replays recorded
+        # straight-line op runs.  Dynamic preconditions (clock
+        # watchers, choice sources, traces, policies) are re-checked on
+        # every step, so the cache is constructed unconditionally
+        # unless configured off.
+        self._max_steps: Optional[int] = None
+        self._until_cycles: Optional[int] = None
+        if self.config.segments and os.environ.get("REPRO_SEGMENTS") != "0":
+            from repro.sim.segments import SegmentSpace
+
+            self._segments: Optional[SegmentSpace] = SegmentSpace(self)
+        else:
+            self._segments = None
 
         # Devices, descriptors, networking, and timers.
         self.io_devices: Dict[str, IoDevice] = {}
@@ -403,7 +420,7 @@ class PthreadsRuntime:
             since=world.clock.cycles,
             interruptible=interruptible,
             teardown=teardown,
-            data=dict(data),
+            data=data,  # already a fresh dict (built from **data)
         )
         tcb.wait = record
         tcb.state = ThreadState.BLOCKED
@@ -428,6 +445,11 @@ class PthreadsRuntime:
         until_cycles = (
             self.world.cycles_for_us(until_us) if until_us is not None else None
         )
+        # Published for the segment cache: replayed batches must stop
+        # at exactly the op boundary where the interpreted executor
+        # would notice one of these bounds.
+        self._until_cycles = until_cycles
+        self._max_steps = max_steps
         clock = self.world.clock
         step = self._step_current
         idle_streak = 0
@@ -485,11 +507,27 @@ class PthreadsRuntime:
     def _step_current(self) -> None:
         tcb = self.current
         assert tcb is not None
-        self.steps += 1
         frame = tcb.frames._frames[-1]
         if frame.remaining_work > 0:
+            self.steps += 1
             self._do_work(tcb, frame)
             return
+        segments = self._segments
+        if segments is not None:
+            # Inline blacklist precheck: workloads whose streams never
+            # certify (signal/churn shapes) settle into _BLACKLISTED at
+            # every location, and this skips the try_step call for
+            # them.  Certifiable locations pay two extra dict hits.
+            gen = frame.gen
+            gi = gen.gi_frame
+            if gi is not None:
+                table = segments._by_code.get(gen.gi_code)
+                if (
+                    table is None
+                    or table.get(gi.f_lasti) is not _SEG_BLACKLISTED
+                ) and segments.try_step(tcb, frame):
+                    return  # step(s) performed, bookkeeping included
+        self.steps += 1
         clock = self.world.clock
         started = clock.cycles
         # Frame.resume inlined: one generator step per executor step
@@ -530,6 +568,36 @@ class PthreadsRuntime:
             tcb.cpu_cycles += clock.cycles - started
         elif isinstance(op, (Work, LibCall, SysCall, Invoke)):
             # Subclassed ops take the generic (slower) dispatch.
+            self._step_op_subclass(tcb, frame, op, started)
+        else:
+            raise ProgramCrash(
+                frame.name, TypeError("bad op yielded: %r" % (op,))
+            )
+
+    def _dispatch_op(self, tcb: Tcb, frame: Frame, op: Any) -> None:
+        """Dispatch an op already obtained from the generator.
+
+        The segment cache lands here when a replayed send yields an op
+        no compiled variant covers: the resume already happened, so
+        only the dispatch half of :meth:`_step_current` remains.
+        """
+        self.steps += 1
+        clock = self.world.clock
+        started = clock.cycles
+        op_class = op.__class__
+        if op_class is Work:
+            frame.remaining_work = op.cycles
+            self._do_work(tcb, frame)
+        elif op_class is LibCall:
+            self._libcall(tcb, frame, op)
+            tcb.cpu_cycles += clock.cycles - started
+        elif op_class is SysCall:
+            self._unix_syscall(tcb, frame, op)
+            tcb.cpu_cycles += clock.cycles - started
+        elif op_class is Invoke:
+            self._push_invoke(tcb, op)
+            tcb.cpu_cycles += clock.cycles - started
+        elif isinstance(op, (Work, LibCall, SysCall, Invoke)):
             self._step_op_subclass(tcb, frame, op, started)
         else:
             raise ProgramCrash(
@@ -588,7 +656,10 @@ class PthreadsRuntime:
             raise ProgramCrash(
                 frame.name, NameError("unknown library call: %r" % op.name)
             )
-        result = entry(tcb, *op.args, **op.kwargs)
+        if op.kwargs:
+            result = entry(tcb, *op.args, **op.kwargs)
+        else:
+            result = entry(tcb, *op.args)
         if result is not BLOCKED:
             frame.pending_value = result
 
@@ -616,9 +687,7 @@ class PthreadsRuntime:
 
         # Frames called from a signal wrapper (the user handler and
         # anything it calls) may keep using the redzone/signal stack.
-        in_handler = any(
-            f.kind in ("wrapper", "redirect") for f in tcb.frames
-        )
+        in_handler = tcb.frames._special > 0
         try:
             self.push_frame(
                 tcb,
@@ -653,8 +722,11 @@ class PthreadsRuntime:
         redzone -- the stand-in for a signal stack -- so signal
         handling still works at the brink of stack exhaustion.
         """
-        gen = fn(self._pt, *args, **(kwargs or {}))
-        if not hasattr(gen, "send"):
+        if kwargs:
+            gen = fn(self._pt, *args, **kwargs)
+        else:
+            gen = fn(self._pt, *args)
+        if type(gen) is not GeneratorType and not hasattr(gen, "send"):
             raise ProgramCrash(
                 getattr(fn, "__name__", str(fn)),
                 TypeError(
@@ -705,9 +777,13 @@ class PthreadsRuntime:
         if tcb.stack is not None:
             tcb.stack.pop(frame.frame_bytes)
         self.world.windows.restore()
-        self.world.emit(
-            "sim-exception", thread=tcb.name, frame=frame.name, exc=repr(exc)
-        )
+        if self.world.trace is not None:
+            self.world.emit(
+                "sim-exception",
+                thread=tcb.name,
+                frame=frame.name,
+                exc=repr(exc),
+            )
         if not tcb.frames:
             # Unhandled at the bottom: the thread terminates abnormally
             # (Ada: an unhandled exception completes the task).

@@ -24,7 +24,16 @@ class Scheduler:
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         self._runtime = runtime
+        # Watcher-free fast-path charge (see LibKernel.__init__).
+        self._c_enqueue = runtime.world._costs[costs.READY_ENQUEUE]
         self.ready = ReadyQueue()
+
+    def _charge_enqueue(self) -> None:
+        world = self._runtime.world
+        if world.clock._watchers:
+            world.spend(costs.READY_ENQUEUE, fire=False)
+        else:
+            world.clock.cycles += self._c_enqueue
 
     # -- making threads runnable ------------------------------------------------
 
@@ -35,18 +44,24 @@ class Scheduler:
         library internals).
         """
         world = self._runtime.world
-        world.spend(costs.READY_ENQUEUE, fire=False)
+        if world.clock._watchers:
+            world.spend(costs.READY_ENQUEUE, fire=False)
+        else:
+            world.clock.cycles += self._c_enqueue
         tcb.state = ThreadState.READY
         tcb.wait = None
         self.ready.enqueue(tcb, front=front)
-        current = self._runtime.current
+        runtime = self._runtime
+        current = runtime.current
         if current is None or (
             tcb.effective_priority > current.effective_priority
         ):
-            self._runtime.kern.request_dispatch()
+            runtime.kern.dispatcher_flag = True  # request_dispatch inline
         # Signals parked while the thread sat in an uninterruptible
-        # wait get their fake calls installed before it runs again.
-        self._runtime.sigdeliver.on_thread_runnable(tcb)
+        # wait get their fake calls installed before it runs again
+        # (guarded here: the pending list is empty in the common case).
+        if tcb.pending._order:
+            runtime.sigdeliver.on_thread_runnable(tcb)
 
     def take(self, tcb: Tcb) -> bool:
         """Remove a specific thread from the ready queue."""
@@ -84,14 +99,14 @@ class Scheduler:
         """Dispatcher-internal preemption: like :meth:`preempt_current`
         but without re-requesting a dispatch (we are already in one)."""
         current = self._must_current()
-        self._runtime.world.spend(costs.READY_ENQUEUE, fire=False)
+        self._charge_enqueue()
         current.state = ThreadState.READY
         self.ready.enqueue(current, front=True)
         self._runtime.current = None
 
     def _requeue_current(self, front: bool) -> None:
         current = self._must_current()
-        self._runtime.world.spend(costs.READY_ENQUEUE, fire=False)
+        self._charge_enqueue()
         current.state = ThreadState.READY
         self.ready.enqueue(current, front=front)
         self._runtime.current = None

@@ -47,6 +47,10 @@ class SignalDelivery:
 
     def __init__(self, runtime: "PthreadsRuntime") -> None:
         self.rt = runtime
+        # Watcher-free fast-path charges (see LibKernel.__init__).
+        table = runtime.world._costs
+        self._c_recipient = table[costs.SIG_RECIPIENT_RULES]
+        self._c_action = table[costs.SIG_ACTION_RULES]
         self.delivered_to_threads = 0
         self.pended_on_process = 0
         self._rechecking = False
@@ -56,7 +60,11 @@ class SignalDelivery:
     def direct_signal(self, sig: int, cause: SigCause) -> None:
         """Entry from the universal handler / deferred-signal drain."""
         rt = self.rt
-        rt.world.spend(costs.SIG_RECIPIENT_RULES, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.SIG_RECIPIENT_RULES, fire=False)
+        else:
+            world.clock.cycles += self._c_recipient
 
         # Timer expirations have library-internal armers to unpack
         # before the generic rules.
@@ -73,7 +81,8 @@ class SignalDelivery:
             # Rule 6: no eligible thread; pend on the process.
             self.pended_on_process += 1
             rt.process_pending.append((sig, cause))
-            rt.world.emit("signal-process-pend", sig=sig)
+            if world.trace is not None:
+                world.emit("signal-process-pend", sig=sig)
             return
         self.deliver_to_thread(recipient, sig, cause)
 
@@ -125,10 +134,14 @@ class SignalDelivery:
 
     def deliver_to_thread(self, tcb: Tcb, sig: int, cause: SigCause) -> None:
         rt = self.rt
-        rt.world.spend(costs.SIG_ACTION_RULES, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.SIG_ACTION_RULES, fire=False)
+        else:
+            world.clock.cycles += self._c_action
         self.delivered_to_threads += 1
-        if rt.world.trace is not None:
-            rt.world.emit("signal-thread", thread=tcb.name, sig=sig)
+        if world.trace is not None:
+            world.emit("signal-thread", thread=tcb.name, sig=sig)
 
         # I/O completion wake (delivery-model rule 4's action).
         if cause.kind == "io" and self._wake_io(tcb, cause):

@@ -17,7 +17,7 @@ from typing import Any, Optional
 from repro.core.errors import EINVAL, ESRCH, OK
 from repro.core.fakecall import UserAction
 from repro.core.libbase import BLOCKED, LibraryOps
-from repro.core.tcb import Tcb
+from repro.core.tcb import Tcb, ThreadState
 from repro.hw import costs
 from repro.unix.signals import SigCause
 from repro.unix.sigset import SIG_DFL, SIGCANCEL, SigSet, check_signal
@@ -120,8 +120,14 @@ class SignalOps(LibraryOps):
             return ESRCH
         rt.kern.enter()
         # Sending a signal to a lazy thread is synchronisation.
-        rt.thread_ops._ensure_active(target)
-        cause = SigCause(kind="directed", thread=target)
+        if target.state is ThreadState.EMBRYO:
+            rt.thread_ops._ensure_active(target)
+        # SigCause is frozen, so one directed-at-target instance serves
+        # every pthread_kill aimed at the same thread.
+        cause = target._kill_cause
+        if cause is None:
+            cause = SigCause(kind="directed", thread=target)
+            target._kill_cause = cause
         rt.sigdeliver.direct_signal(sig, cause)
         rt.kern.leave()
         return OK

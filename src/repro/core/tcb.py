@@ -169,6 +169,9 @@ class Tcb:
         "crashed_with",
         "cpu_cycles",
         "context_switches_in",
+        "_kill_cause",
+        "_wake_cb",
+        "_wrap_pop_cb",
     )
 
     def __init__(self, tid: int, name: str) -> None:
@@ -229,6 +232,13 @@ class Tcb:
         # Statistics.
         self.cpu_cycles = 0
         self.context_switches_in = 0
+
+        # Hot-path caches: the (frozen) directed-at-me SigCause reused
+        # by pthread_kill, the timer queue's wake-me callback, and the
+        # fake-call wrapper's on_pop callback.
+        self._kill_cause: Optional[SigCause] = None
+        self._wake_cb: Optional[Callable[[], None]] = None
+        self._wrap_pop_cb: Optional[Callable[[Any], Any]] = None
 
     # -- predicates --------------------------------------------------------
 

@@ -34,6 +34,17 @@ from repro.hw import costs
 class ThreadOps(LibraryOps):
     """Entry points for thread management."""
 
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime)
+        # Watcher-free fast-path charges (see LibKernel.__init__):
+        # create/exit/join dominate the churn workloads, where the
+        # spend-call overhead is a measurable fraction of a step.
+        table = runtime.world._costs
+        self._c_create = table[costs.CREATE_MISC]
+        self._c_activate = table[costs.TCB_INIT] + table[costs.STACK_SETUP]
+        self._c_exit = table[costs.EXIT_WORK]
+        self._c_join = table[costs.JOIN_WORK]
+
     ENTRIES = {
         "create": "lib_create",
         "join": "lib_join",
@@ -98,7 +109,11 @@ class ThreadOps(LibraryOps):
         rt = self.rt
         attr = (attr or ThreadAttr()).validated()
         rt.kern.enter()
-        rt.world.spend(costs.CREATE_MISC, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.CREATE_MISC, fire=False)
+        else:
+            world.clock.cycles += self._c_create
         tid = rt.new_tid()
         name = attr.name or "thread-%d" % tid
         new = Tcb(tid, name)
@@ -121,7 +136,8 @@ class ThreadOps(LibraryOps):
             new.meta_stack_size = attr.stack_size
         else:
             self._activate_locked(new, attr.stack_size)
-        rt.world.emit("create", thread=name, lazy=attr.lazy)
+        if world.trace is not None:
+            world.emit("create", thread=name, lazy=attr.lazy)
         rt.kern.leave()
         return new
 
@@ -129,8 +145,12 @@ class ThreadOps(LibraryOps):
         """Allocate resources and make the thread ready (kernel held)."""
         rt = self.rt
         tcb_addr, stack = rt.pool.acquire(stack_size)
-        rt.world.spend(costs.TCB_INIT, fire=False)
-        rt.world.spend(costs.STACK_SETUP, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.TCB_INIT, fire=False)
+            world.spend(costs.STACK_SETUP, fire=False)
+        else:
+            world.clock.cycles += self._c_activate
         new.stack = stack
         new.tcb_addr = tcb_addr
         new.lazy = False
@@ -172,10 +192,16 @@ class ThreadOps(LibraryOps):
         if target is tcb:
             return (EDEADLK, None)
         # join is an interruption point: honour a pending cancellation.
-        if rt.cancel_ops.act_if_pending(tcb):
+        # (cancel_pending gates the call -- act_if_pending is a no-op
+        # without it.)
+        if tcb.cancel_pending and rt.cancel_ops.act_if_pending(tcb):
             return BLOCKED
         rt.kern.enter()
-        rt.world.spend(costs.JOIN_WORK, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.JOIN_WORK, fire=False)
+        else:
+            world.clock.cycles += self._c_join
         if target.detached:
             rt.kern.leave()
             return (EINVAL, None)
@@ -222,7 +248,11 @@ class ThreadOps(LibraryOps):
         """``pthread_exit``: unwind, run cleanup + destructors, die."""
         rt = self.rt
         rt.kern.enter()
-        rt.world.spend(costs.EXIT_WORK, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.EXIT_WORK, fire=False)
+        else:
+            world.clock.cycles += self._c_exit
         tcb.exiting = True
         # Tear down the user frames; cleanup handlers run next, on a
         # fresh frame, in the dying thread's own context and priority.
@@ -251,20 +281,26 @@ class ThreadOps(LibraryOps):
     def _needs_exit_body(self, tcb: Tcb) -> bool:
         if tcb.cleanup_stack:
             return True
-        return self.rt.tsd_ops.has_live_destructors(tcb)
+        # No TSD values at all -> no live destructors, skip the scan.
+        return bool(tcb.tsd) and self.rt.tsd_ops.has_live_destructors(tcb)
 
     def lib_finalize_exit(self, tcb: Tcb, value: Any) -> Any:
         """Terminal step of thread exit (internal entry point)."""
         rt = self.rt
         rt.kern.enter()
-        rt.world.spend(costs.EXIT_WORK, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.EXIT_WORK, fire=False)
+        else:
+            world.clock.cycles += self._c_exit
         tcb.frames.unwind_all()
         tcb.exit_value = value
         tcb.state = ThreadState.TERMINATED
         tcb.exiting = False
         tcb.wait = None
         rt.thread_unlisted(tcb)
-        rt.world.emit("exit", thread=tcb.name)
+        if world.trace is not None:
+            world.emit("exit", thread=tcb.name)
         if tcb.joiner is not None:
             joiner = tcb.joiner
             tcb.joiner = None
@@ -289,8 +325,10 @@ class ThreadOps(LibraryOps):
             rt.pool.release(getattr(tcb, "tcb_addr", 0), tcb.stack)
             tcb.stack = None
         tcb.reclaimed = True
-        rt.thread_unlisted(tcb)
-        rt.world.emit("reclaim", thread=tcb.name)
+        # Every path here goes through lib_finalize_exit first, which
+        # already unlisted the thread -- no second unlist needed.
+        if rt.world.trace is not None:
+            rt.world.emit("reclaim", thread=tcb.name)
 
     # -- identity and scheduling parameters -----------------------------------------------
 

@@ -51,6 +51,8 @@ class TimerOps(LibraryOps):
         self._armed_for: Optional[int] = None
         self._draining = False
         self.alarms_taken = 0
+        # Watcher-free fast-path charge (see LibKernel.__init__).
+        self._c_tick = runtime.world._costs[costs.TIMER_TICK]
 
     # -- public: thread sleep ----------------------------------------------------
 
@@ -59,15 +61,20 @@ class TimerOps(LibraryOps):
         rt = self.rt
         if us <= 0:
             return EINVAL
-        if rt.cancel_ops.act_if_pending(tcb):
+        if tcb.cancel_pending and rt.cancel_ops.act_if_pending(tcb):
             return BLOCKED
         rt.kern.enter()
-        rt.world.spend(costs.TIMER_TICK, fire=False)
+        world = rt.world
+        if world.clock._watchers:
+            world.spend(costs.TIMER_TICK, fire=False)
+        else:
+            world.clock.cycles += self._c_tick
         record = rt.block_current(kind="delay", obj=None, interruptible=True)
-        handle = self._push(
-            rt.world.now + rt.world.cycles_for_us(us),
-            lambda: self._wake_sleeper(tcb),
-        )
+        # One wake-me closure per thread, built on first delay.
+        wake = tcb._wake_cb
+        if wake is None:
+            wake = tcb._wake_cb = lambda: self._wake_sleeper(tcb)
+        handle = self._push(rt.world.now + rt.world.cycles_for_us(us), wake)
         record.data["timeout_handle"] = handle
         rt.kern.leave()
         return BLOCKED

@@ -60,7 +60,13 @@ class FleetPool:
         mutable state: workers run forked copies, so writes they make
         are invisible to the parent (and to each other).
     jobs:
-        Worker-process count; ``<= 1`` means run in-process.
+        Requested worker-process count; ``<= 1`` means run in-process.
+        The effective count is capped at the host's core count: extra
+        workers on a saturated host cannot run concurrently, so they
+        only add fork and IPC overhead (on a single-core host a
+        ``jobs=4`` sweep was *slower* than sequential).  When the cap
+        leaves one worker, the pool degrades to the in-process loop --
+        same results, no fork tax.
     fresh_workers:
         Give every task a brand-new process (``maxtasksperchild=1``)
         with the garbage collector off.  Costs a fork per task; buys
@@ -75,9 +81,14 @@ class FleetPool:
         jobs: int = 1,
         fresh_workers: bool = False,
         stats: Optional[Any] = None,
+        oversubscribe: bool = False,
     ) -> None:
         self.fn = fn
         self.jobs = max(1, jobs)
+        if not oversubscribe:
+            # ``oversubscribe=True`` is for tests that must exercise
+            # the worker machinery regardless of the host's shape.
+            self.jobs = min(self.jobs, multiprocessing.cpu_count())
         self.fresh_workers = fresh_workers
         self.stats = stats
         self._pool = None
@@ -114,8 +125,17 @@ class FleetPool:
                 yield self.fn(payload)
             return
         payloads = list(payloads)
+        # Batch the IPC: one pickle round-trip per chunk instead of per
+        # cell.  Four chunks per worker keeps load balancing while
+        # cutting the per-task transport that dominated short cells.
+        # ``fresh_workers`` promises a new process per *payload*, so it
+        # keeps chunks of one.
+        if self.fresh_workers:
+            chunksize = 1
+        else:
+            chunksize = max(1, len(payloads) // (self.jobs * 4))
         for payload, outcome in zip(
-            payloads, self._pool.imap(_invoke, payloads)
+            payloads, self._pool.imap(_invoke, payloads, chunksize)
         ):
             if stats is not None:
                 stats.tasks += 1

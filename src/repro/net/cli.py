@@ -99,7 +99,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cells = [_cell(arch, args) for arch in sorted(ARCHITECTURES)]
     stats = FleetStats()
     reports = compare_scenarios(cells, jobs=args.jobs, stats=stats)
-    if stats.backend != "inproc":
+    if args.jobs > 1:
+        # Execution detail even when the core-count cap degraded the
+        # request to in-process -- the honest answer on a small host.
         print(
             "fleet: backend=%s jobs=%d tasks=%d"
             % (stats.backend, stats.jobs, stats.tasks),

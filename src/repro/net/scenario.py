@@ -290,14 +290,18 @@ def compare_scenarios(
     cells: Sequence[Dict[str, Any]],
     jobs: int = 1,
     stats: Optional[Any] = None,
+    oversubscribe: bool = False,
 ) -> List[ScenarioReport]:
     """Run a grid of scenarios; reports come back in cell order.
 
     Each cell is a ``run_scenario`` keyword dict.  Cells are fully
     independent simulated worlds, so ``jobs > 1`` fans them across a
-    :class:`~repro.fleet.FleetPool`; because results are merged by cell
+    :class:`~repro.fleet.FleetPool` (capped at the host's core count
+    unless ``oversubscribe``); because results are merged by cell
     index, the returned list -- and anything rendered from it -- is
     byte-identical to running the cells one by one.
     """
-    with FleetPool(_scenario_task, jobs=jobs, stats=stats) as pool:
+    with FleetPool(
+        _scenario_task, jobs=jobs, stats=stats, oversubscribe=oversubscribe
+    ) as pool:
         return list(pool.imap(list(cells)))

@@ -59,6 +59,7 @@ def run_observed(
     model: str = "sparc-ipx",
     scale: int = 1,
     trace: Optional[object] = None,
+    profile: bool = True,
 ) -> Tuple[Observability, Dict[str, Any]]:
     """Run one named workload with observability attached."""
     try:
@@ -68,7 +69,7 @@ def run_observed(
             "unknown workload %r (have: %s)"
             % (workload, ", ".join(sorted(WORKLOADS)))
         )
-    obs = Observability(trace=trace)
+    obs = Observability(trace=trace, profile=profile)
     stats = workloads.run_workload(
         factory(scale), model=model, priority=priority, obs=obs
     )
@@ -90,13 +91,17 @@ def _check_attribution(obs: Observability) -> None:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    obs, stats = run_observed(args.workload, model=args.model, scale=args.scale)
+    obs, stats = run_observed(
+        args.workload, model=args.model, scale=args.scale,
+        profile=not args.no_profile,
+    )
     _check_attribution(obs)
     print(obs.report())
-    print(
-        "attribution check: %d cycles attributed == %d on the clock"
-        % (obs.profiler.total_cycles, obs.profiler.attributed_span())
-    )
+    if obs.profiler is not None:
+        print(
+            "attribution check: %d cycles attributed == %d on the clock"
+            % (obs.profiler.total_cycles, obs.profiler.attributed_span())
+        )
     print(
         "workload summary: %.2f simulated us, %d context switches, "
         "%d syscalls"
@@ -163,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subs.add_parser("report", help="metrics + cycle attribution")
     _common(report)
+    report.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip cycle attribution; the segment cache stays live, so "
+        "the exec.segment.* counters show real replay activity",
+    )
     report.set_defaults(fn=cmd_report)
 
     trace = subs.add_parser("trace", help="export a trace file")

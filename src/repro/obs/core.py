@@ -143,6 +143,28 @@ class Observability:
         put("unix.syscalls", runtime.unix.total_syscalls,
             "UNIX kernel calls made by the library")
 
+        segments = runtime._segments
+        if segments is not None:
+            # exec.segment.*: the executor's replay cache.  All-zero
+            # counters under a cycle profiler are expected -- the
+            # profiler's clock watcher makes the cache bypass itself so
+            # attribution stays per-spend exact (run ``report`` with
+            # ``--no-profile`` to observe the cache at work).
+            helps = {
+                "exec.segment.compiled": "straight-line segments compiled",
+                "exec.segment.hits": "executor steps served by replay",
+                "exec.segment.misses": "replay attempts that fell back",
+                "exec.segment.steps_replayed": "ops retired via replay",
+                "exec.segment.cycles_replayed":
+                    "virtual cycles charged in batches",
+                "exec.segment.invalidations": "segments discarded",
+                "exec.segment.recordings": "certification passes started",
+                "exec.segment.record_failures":
+                    "certification passes abandoned",
+            }
+            for nm, value in segments.counters().items():
+                put(nm, value, helps.get(nm, ""))
+
         pool = runtime.pool
         put("pool.hits", pool.hits, "TCB/stack cache hits at create")
         put("pool.misses", pool.misses,

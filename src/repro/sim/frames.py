@@ -143,10 +143,14 @@ class Frame:
 class FrameStack:
     """A thread's stack of simulated frames (bottom first)."""
 
-    __slots__ = ("_frames",)
+    __slots__ = ("_frames", "_special")
 
     def __init__(self) -> None:
         self._frames: List[Frame] = []
+        # Count of wrapper/redirect frames on the stack, maintained at
+        # push/pop so "is a signal handler running?" is O(1) for the
+        # executor instead of a scan per Invoke.
+        self._special = 0
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -165,11 +169,16 @@ class FrameStack:
 
     def push(self, frame: Frame) -> None:
         self._frames.append(frame)
+        if frame.kind in ("wrapper", "redirect"):
+            self._special += 1
 
     def pop(self) -> Frame:
         if not self._frames:
             raise IndexError("pop from empty frame stack")
-        return self._frames.pop()
+        frame = self._frames.pop()
+        if self._special and frame.kind in ("wrapper", "redirect"):
+            self._special -= 1
+        return frame
 
     def unwind_to(self, depth: int) -> List[Frame]:
         """Close and drop frames above ``depth``; returns them (top first)."""
@@ -180,6 +189,8 @@ class FrameStack:
         dropped: List[Frame] = []
         while len(self._frames) > depth:
             frame = self._frames.pop()
+            if self._special and frame.kind in ("wrapper", "redirect"):
+                self._special -= 1
             frame.close()
             dropped.append(frame)
         return dropped

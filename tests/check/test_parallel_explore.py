@@ -49,7 +49,11 @@ def test_dfs_parallel_report_equals_sequential():
 def test_random_parallel_report_equals_sequential():
     sequential = make_explorer().explore_random(runs=8, jobs=1)
     for jobs in (2, 4):
-        parallel = make_explorer().explore_random(runs=8, jobs=jobs)
+        # oversubscribe: exercise the worker path even on hosts whose
+        # core count would cap the request down to in-process.
+        parallel = make_explorer().explore_random(
+            runs=8, jobs=jobs, oversubscribe=True
+        )
         assert parallel == sequential
         assert parallel.fleet.backend == "pool"
 

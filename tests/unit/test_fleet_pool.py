@@ -34,7 +34,9 @@ def test_pool_results_arrive_in_payload_order():
         return (n, total >= 0)
 
     stats = FleetStats()
-    with FleetPool(work, jobs=4, stats=stats) as pool:
+    with FleetPool(
+        work, jobs=4, stats=stats, oversubscribe=True
+    ) as pool:
         results = list(pool.imap([0, 1, 2, 3, 4]))
     assert [n for n, __ in results] == [0, 1, 2, 3, 4]
     assert stats.backend == "pool"
@@ -54,15 +56,35 @@ def test_worker_death_falls_back_in_process():
         return n * n
 
     stats = FleetStats()
-    with FleetPool(work, jobs=2, stats=stats) as pool:
+    with FleetPool(
+        work, jobs=2, stats=stats, oversubscribe=True
+    ) as pool:
         assert list(pool.imap(range(5))) == [0, 1, 4, 9, 16]
     assert stats.fallbacks == 1
 
 
 @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
 def test_fresh_workers_still_ordered():
-    with FleetPool(lambda x: x + 1, jobs=2, fresh_workers=True) as pool:
+    with FleetPool(
+        lambda x: x + 1, jobs=2, fresh_workers=True, oversubscribe=True
+    ) as pool:
         assert list(pool.imap(range(6))) == [1, 2, 3, 4, 5, 6]
+
+
+def test_jobs_capped_to_host_cores(monkeypatch):
+    """Workers beyond the core count only add fork/IPC overhead, so a
+    saturated host degrades to the in-process loop (identical output:
+    the ordering contract does not depend on the backend)."""
+    from repro.fleet import pool as pool_mod
+
+    monkeypatch.setattr(
+        pool_mod.multiprocessing, "cpu_count", lambda: 1
+    )
+    stats = FleetStats()
+    with FleetPool(lambda x: x * 2, jobs=4, stats=stats) as pool:
+        assert list(pool.imap([3, 1, 2])) == [6, 2, 4]
+    assert stats.backend == "inproc"
+    assert stats.jobs == 1
 
 
 def test_stats_steps_saved_property():

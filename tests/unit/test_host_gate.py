@@ -1,0 +1,73 @@
+"""The CI host-throughput regression gate's comparison logic.
+
+The gate itself (``benchmarks/host/check_regression.py``) re-measures
+in CI; these tests pin the pure comparison so the gate's pass/fail
+behaviour cannot drift silently.
+"""
+
+from benchmarks.host.check_regression import compare
+
+
+def _payload(scale, **per_workload):
+    return {
+        "scale": scale,
+        "results": [
+            {
+                "workload": name,
+                "steps_per_sec": sps,
+                "simulated_us": sim,
+            }
+            for name, (sps, sim) in per_workload.items()
+        ],
+    }
+
+
+BASE = _payload(16, lock_storm=(1_000_000.0, 25741.05),
+                churn=(100_000.0, 154732.4))
+
+
+def test_identical_measurement_passes():
+    assert compare(BASE, BASE, tolerance=0.20) == []
+
+
+def test_small_dip_within_tolerance_passes():
+    cur = _payload(16, lock_storm=(850_000.0, 25741.05),
+                   churn=(95_000.0, 154732.4))
+    assert compare(BASE, cur, tolerance=0.20) == []
+
+
+def test_regression_beyond_tolerance_fails():
+    cur = _payload(16, lock_storm=(700_000.0, 25741.05),
+                   churn=(100_000.0, 154732.4))
+    failures = compare(BASE, cur, tolerance=0.20)
+    assert len(failures) == 1
+    assert "lock_storm" in failures[0]
+    assert "below the committed" in failures[0]
+
+
+def test_speedup_always_passes():
+    cur = _payload(16, lock_storm=(9_000_000.0, 25741.05),
+                   churn=(500_000.0, 154732.4))
+    assert compare(BASE, cur, tolerance=0.20) == []
+
+
+def test_simulated_time_divergence_fails_loudly():
+    cur = _payload(16, lock_storm=(1_000_000.0, 25741.05),
+                   churn=(100_000.0, 154999.9))
+    failures = compare(BASE, cur, tolerance=0.20)
+    assert len(failures) == 1
+    assert "simulated time diverged" in failures[0]
+
+
+def test_scale_mismatch_is_not_comparable():
+    cur = _payload(64, lock_storm=(1_000_000.0, 25741.05),
+                   churn=(100_000.0, 154732.4))
+    failures = compare(BASE, cur, tolerance=0.20)
+    assert len(failures) == 1
+    assert "scale mismatch" in failures[0]
+
+
+def test_missing_workload_fails():
+    cur = _payload(16, lock_storm=(1_000_000.0, 25741.05))
+    failures = compare(BASE, cur, tolerance=0.20)
+    assert any("missing" in f for f in failures)

@@ -33,7 +33,12 @@ def test_sequential_grid_matches_individual_runs():
 def test_parallel_grid_is_identical_to_sequential():
     sequential = compare_scenarios(CELLS, jobs=1)
     stats = FleetStats()
-    parallel = compare_scenarios(CELLS, jobs=2, stats=stats)
+    # oversubscribe: the cross-process merge contract must be
+    # exercised even on a single-core host (where the default cap
+    # would degrade to in-process).
+    parallel = compare_scenarios(
+        CELLS, jobs=2, stats=stats, oversubscribe=True
+    )
     assert parallel == sequential
     assert [r.render() for r in parallel] == [
         r.render() for r in sequential

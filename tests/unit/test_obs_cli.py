@@ -26,6 +26,38 @@ class TestReport:
         with pytest.raises(SystemExit):
             cli.main(["report", "--workload", "no_such_thing"])
 
+    def test_report_shows_segment_counters(self, capsys):
+        """With profiling on, the cache bypasses itself (watcher rule)
+        and reports zeros; with ``--no-profile`` it replays for real.
+        Both runs simulate the exact same virtual time."""
+        assert cli.main(
+            ["report", "--workload", "lock_storm", "--scale", "1"]
+        ) == 0
+        profiled = capsys.readouterr().out
+        assert "exec.segment.hits" in profiled
+        hits = int(
+            profiled.split("exec.segment.hits")[1].split("#")[0].strip()
+        )
+        assert hits == 0
+
+        assert cli.main(
+            [
+                "report", "--workload", "lock_storm", "--scale", "1",
+                "--no-profile",
+            ]
+        ) == 0
+        live = capsys.readouterr().out
+        assert "-- cycle attribution" not in live
+        hits = int(
+            live.split("exec.segment.hits")[1].split("#")[0].strip()
+        )
+        assert hits > 0
+
+        def elapsed(out):
+            return out.split("elapsed=")[1].split(" ")[0]
+
+        assert elapsed(profiled) == elapsed(live)
+
 
 class TestTrace:
     def test_chrome_export_is_valid_json(self, tmp_path, capsys):
