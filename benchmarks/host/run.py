@@ -4,6 +4,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/host/run.py [--scale N] [--repeat R]
         [--output BENCH_host.json] [--model sparc-ipx]
+        [--records bench-records/host.json]
+
+The measurement loop itself lives in :mod:`repro.bench.suites` (shared
+with ``python -m repro.bench run --suite host``); this script keeps
+the historical interface: it writes the legacy ``BENCH_host.json``
+shape, optionally embeds a speedup column against a prior baseline,
+and with ``--records`` also emits the normalized schema records the
+evaluation harness archives and gates on.
 
 For each standard workload (lock storm, signal storm, pipeline,
 create/join churn) the runner executes the simulation ``--repeat``
@@ -25,98 +33,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
-import time
-from typing import Any, Callable, Dict, List
 
-from repro.bench import workloads
-
-
-def standard_workloads(scale: int) -> Dict[str, Dict[str, Any]]:
-    """The benchmark matrix.  ``scale`` multiplies iteration counts."""
-    return {
-        "lock_storm": {
-            "factory": lambda: workloads.lock_storm(
-                threads=8, iterations=25 * scale
-            ),
-            "priority": 100,
-        },
-        "signal_storm": {
-            "factory": lambda: workloads.signal_storm(
-                victims=4, rounds=100 * scale
-            ),
-            "priority": 50,
-        },
-        "pipeline": {
-            "factory": lambda: workloads.pipeline(
-                stages=4, items=25 * scale
-            ),
-            "priority": 100,
-        },
-        "create_join_churn": {
-            "factory": lambda: workloads.create_join_churn(
-                rounds=12 * scale, burst=8
-            ),
-            "priority": 100,
-        },
-    }
-
-
-def run_one(
-    name: str,
-    factory: Callable[[], Callable],
-    priority: int,
-    model: str,
-    repeat: int,
-) -> Dict[str, Any]:
-    """Run one workload ``repeat`` times; best wall time wins."""
-    best_wall = None
-    steps = None
-    simulated_us = None
-    switches = None
-    segment_counters = None
-    for _ in range(repeat):
-        main_fn = factory()
-        start = time.perf_counter()
-        stats = workloads.run_workload(main_fn, model=model, priority=priority)
-        wall = time.perf_counter() - start
-        rt = stats["runtime"]
-        if simulated_us is not None and simulated_us != stats["elapsed_us"]:
-            raise AssertionError(
-                "%s: non-deterministic simulated time (%r != %r)"
-                % (name, simulated_us, stats["elapsed_us"])
-            )
-        simulated_us = stats["elapsed_us"]
-        steps = rt.steps
-        switches = stats["context_switches"]
-        if rt._segments is not None:
-            segment_counters = rt._segments.counters()
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
-    result = {
-        "workload": name,
-        "model": model,
-        "wall_seconds": round(best_wall, 6),
-        "steps": steps,
-        "steps_per_sec": round(steps / best_wall, 1),
-        "simulated_us": simulated_us,
-        "simulated_us_per_sec": round(simulated_us / best_wall, 1),
-        "context_switches": switches,
-    }
-    if segment_counters is not None:
-        result["segments"] = segment_counters
-    return result
-
-
-def run_suite(
-    scale: int = 1, repeat: int = 3, model: str = "sparc-ipx"
-) -> List[Dict[str, Any]]:
-    results = []
-    for name, spec in standard_workloads(scale).items():
-        results.append(
-            run_one(name, spec["factory"], spec["priority"], model, repeat)
-        )
-    return results
+from repro.bench.suites import (  # noqa: F401  (re-exported for tests)
+    run_host,
+    run_host_rows as run_suite,
+    standard_workloads,
+)
 
 
 def main(argv=None) -> int:
@@ -126,6 +48,11 @@ def main(argv=None) -> int:
     parser.add_argument("--model", default="sparc-ipx")
     parser.add_argument("--output", default="BENCH_host.json")
     parser.add_argument(
+        "--records",
+        default=None,
+        help="also write normalized schema records (SuiteResult JSON)",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="prior BENCH_host.json; embeds its steps/s and the speedup "
@@ -133,7 +60,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    results = run_suite(scale=args.scale, repeat=args.repeat, model=args.model)
+    payload = run_host(scale=args.scale, repeat=args.repeat, model=args.model)
+    results = payload["results"]
     if args.baseline:
         with open(args.baseline) as fh:
             base = {r["workload"]: r for r in json.load(fh)["results"]}
@@ -152,16 +80,13 @@ def main(argv=None) -> int:
             r["speedup"] = round(
                 r["steps_per_sec"] / prior["steps_per_sec"], 2
             )
-    payload = {
-        "suite": "host-throughput",
-        "scale": args.scale,
-        "repeat": args.repeat,
-        "python": platform.python_version(),
-        "results": results,
-    }
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+    if args.records:
+        from repro.bench.adapters import host_suite_result
+
+        host_suite_result(payload).save(args.records)
     width = max(len(r["workload"]) for r in results)
     for r in results:
         print(
@@ -176,6 +101,8 @@ def main(argv=None) -> int:
             )
         )
     print("wrote %s" % args.output)
+    if args.records:
+        print("wrote %s" % args.records)
     return 0
 
 

@@ -5,7 +5,17 @@ under both search modes against the fixed library, asserting the
 invariant suite stays silent.  Run with ``-m check``::
 
     PYTHONPATH=src python -m pytest benchmarks -m check -q
+
+The final test runs the check *suite* proper
+(:func:`repro.bench.suites.run_check`, shared with ``python -m
+repro.bench run --suite check``) and writes the normalized schema
+records (``bench-records/check.json``, the artifact CI uploads and
+gates on): with a fixed seed the schedules explored and invariant
+checks run are deterministic, so a checker that silently stops
+checking shows up as a divergence.
 """
+
+from pathlib import Path
 
 import pytest
 
@@ -13,6 +23,8 @@ from repro.check.cli import WORKLOADS
 from repro.check.explore import Explorer
 
 pytestmark = pytest.mark.check
+
+RECORDS = Path(__file__).resolve().parent.parent / "bench-records" / "check.json"
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -31,3 +43,20 @@ def test_dfs_finds_nothing(name):
     explorer = Explorer(lambda: factory(1), priority=priority)
     report = explorer.explore_dfs(max_runs=60)
     assert report.failures == []
+
+
+def test_suite_writes_schema_records():
+    from repro.bench.adapters import check_suite_result
+    from repro.bench.schema import SuiteResult
+    from repro.bench.suites import run_check
+
+    payload = run_check(runs=15, seed=99)
+    assert {row["workload"] for row in payload["results"]} == set(WORKLOADS)
+    assert all(row["failures"] == 0 for row in payload["results"])
+
+    check_suite_result(payload).save(RECORDS)
+    result = SuiteResult.load(RECORDS)
+    assert result.suite == "check"
+    gated = [r for r in result.records if r.direction == "exact"]
+    # schedules + checks + failures per workload, all divergence oracles.
+    assert len(gated) == 3 * len(WORKLOADS)

@@ -4,7 +4,11 @@ Marked ``fleet`` (excluded from tier-1; run directly)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_fleet_scaling.py -m fleet
 
-Writes ``BENCH_fleet.json``.  Two sweeps:
+The sweep itself lives in :func:`repro.bench.suites.run_fleet` (shared
+with ``python -m repro.bench run --suite fleet``); this module runs
+it, persists the legacy ``BENCH_fleet.json`` payload plus the
+normalized schema records (``bench-records/fleet.json``, the artifact
+CI uploads and gates on), and asserts the scaling shapes.  Two sweeps:
 
 - **DFS exploration** of a deep workload (``signal_storm`` at scale 8:
   trail ~1600 choice points spread across the whole run).  The speedup
@@ -27,148 +31,69 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 import pytest
 
-from repro.bench.workloads import signal_storm
-from repro.check.explore import Explorer
-from repro.net.scenario import compare_scenarios
+from repro.bench.adapters import fleet_suite_result
+from repro.bench.suites import run_fleet
 
 pytestmark = pytest.mark.fleet
 
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_fleet.json"
+RECORDS = ROOT / "bench-records" / "fleet.json"
 
 CORES = os.cpu_count() or 1
-
-
-def make_explorer() -> Explorer:
-    # Scale 8: the trail is ~1600 choice points and they are spread
-    # across the entire run, so deep DFS children share long prefixes
-    # -- the workload prefix snapshots were built for.
-    return Explorer(
-        lambda: signal_storm(victims=4, rounds=800),
-        priority=50,  # the bench registry's tuning for this workload
-        max_depth=2000,
-        max_branch=4,
-    )
-
-
-def timed_dfs(jobs: int, snapshot: bool):
-    explorer = make_explorer()
-    start = time.perf_counter()
-    report = explorer.explore_dfs(max_runs=40, jobs=jobs, snapshot=snapshot)
-    return report, time.perf_counter() - start
-
-
-def fleet_dict(stats) -> dict:
-    return {
-        "backend": stats.backend,
-        "jobs": stats.jobs,
-        "tasks": stats.tasks,
-        "snapshots_created": stats.snapshots_created,
-        "snapshot_hits": stats.snapshot_hits,
-        "snapshot_evictions": stats.snapshot_evictions,
-        "speculative_waste": stats.speculative_waste,
-        "fallbacks": stats.fallbacks,
-        "steps_executed": stats.steps_executed,
-        "steps_full": stats.steps_full,
-        "steps_saved": stats.steps_saved,
-    }
 
 
 def test_fleet_scaling_writes_bench_json():
     if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only repo
         pytest.skip("fleet benchmarks need fork")
 
-    # -- DFS sweep ----------------------------------------------------------
-    seq_report, seq_s = timed_dfs(jobs=1, snapshot=False)
-    snap_report, snap_s = timed_dfs(jobs=1, snapshot=True)
-    par_report, par_s = timed_dfs(jobs=4, snapshot=True)
+    payload = run_fleet(max_runs=40, rounds=800, grid=True, grid_repeat=3)
+    dfs = payload["dfs"]
+    grid = payload["compare_grid"]
 
-    # Determinism before speed: all three are the same exploration.
-    assert snap_report == seq_report
-    assert par_report == seq_report
-    assert par_report.render() == seq_report.render()
+    # Determinism before speed: snapshot and parallel runs are the
+    # same exploration as sequential, byte for byte.
+    assert dfs["reports_identical"]
+    assert grid["reports_identical"]
 
     # Snapshots must save real simulated work, not just wall clock.
-    for fast in (snap_report, par_report):
-        assert fast.fleet.snapshot_hits > 0
-        assert fast.fleet.steps_executed < fast.fleet.steps_full
-    assert seq_report.fleet.steps_executed == seq_report.fleet.steps_full
-
-    dfs_speedup = seq_s / par_s
-    assert dfs_speedup >= 2.0, (
-        "DFS jobs=4 speedup %.2fx < 2x (seq %.2fs, par %.2fs)"
-        % (dfs_speedup, seq_s, par_s)
+    for phase in ("snapshot_fleet", "jobs4_fleet"):
+        assert dfs[phase]["snapshot_hits"] > 0
+        assert dfs[phase]["steps_executed"] < dfs[phase]["steps_full"]
+    assert (
+        dfs["sequential_fleet"]["steps_executed"]
+        == dfs["sequential_fleet"]["steps_full"]
     )
 
-    # -- scenario compare grid ---------------------------------------------
-    cells = [
-        dict(arch=arch, clients=120, requests_per_client=2, workers=16,
-             seed=42, arrival=arrival, pool_size=pool_size)
-        for arch in ("perconn", "pool", "select")
-        for arrival in ("poisson", "bursty")
-        for pool_size in (64, 0)
-    ]
-    # Best-of-3 (the standard noise-rejection estimator, same as the
-    # host-throughput runner): a single shot of a sub-second grid is
-    # dominated by host jitter.
-    def timed_grid(jobs):
-        best_s, best = None, None
-        for _ in range(3):
-            start = time.perf_counter()
-            reports = compare_scenarios(cells, jobs=jobs)
-            elapsed = time.perf_counter() - start
-            if best_s is None or elapsed < best_s:
-                best_s, best = elapsed, reports
-        return best, best_s
+    assert dfs["speedup_jobs4"] >= 2.0, (
+        "DFS jobs=4 speedup %.2fx < 2x (seq %.2fs, par %.2fs)"
+        % (dfs["speedup_jobs4"], dfs["sequential_s"], dfs["jobs4_s"])
+    )
 
-    grid_seq, grid_seq_s = timed_grid(jobs=1)
-    grid_par, grid_par_s = timed_grid(jobs=4)
-
-    assert grid_par == grid_seq
-    assert [r.render() for r in grid_par] == [r.render() for r in grid_seq]
-
-    grid_speedup = grid_seq_s / grid_par_s
     if CORES >= 4:
         # Fan-out gain needs cores to fan out onto.
-        assert grid_speedup >= 2.0, (
+        assert grid["speedup_jobs4"] >= 2.0, (
             "grid jobs=4 speedup %.2fx < 2x on %d cores"
-            % (grid_speedup, CORES)
+            % (grid["speedup_jobs4"], CORES)
         )
     else:
         # With fewer cores than jobs the pool caps itself (down to the
         # in-process loop on one core), so the parallel request must
         # cost no more than sequential plus measurement jitter.
-        assert grid_par_s < grid_seq_s * 1.15
+        assert grid["jobs4_s"] < grid["sequential_s"] * 1.15
 
-    payload = {
-        "host_cores": CORES,
-        "dfs": {
-            "workload": "signal_storm",
-            "scale": 8,
-            "max_runs": 40,
-            "max_depth": 2000,
-            "max_branch": 4,
-            "schedules_explored": seq_report.schedules_explored,
-            "sequential_s": round(seq_s, 3),
-            "snapshot_jobs1_s": round(snap_s, 3),
-            "jobs4_s": round(par_s, 3),
-            "speedup_snapshot_jobs1": round(seq_s / snap_s, 2),
-            "speedup_jobs4": round(dfs_speedup, 2),
-            "reports_identical": True,
-            "sequential_fleet": fleet_dict(seq_report.fleet),
-            "snapshot_fleet": fleet_dict(snap_report.fleet),
-            "jobs4_fleet": fleet_dict(par_report.fleet),
-        },
-        "compare_grid": {
-            "cells": len(cells),
-            "sequential_s": round(grid_seq_s, 3),
-            "jobs4_s": round(grid_par_s, 3),
-            "speedup_jobs4": round(grid_speedup, 2),
-            "reports_identical": True,
-        },
-    }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    fleet_suite_result(payload).save(RECORDS)
+
+    from repro.bench.schema import SuiteResult
+
+    result = SuiteResult.load(RECORDS)
+    assert result.suite == "fleet"
+    by_metric = {(r.workload, r.metric): r for r in result.records
+                 if not r.params or "phase" not in r.params}
+    assert by_metric[("dfs", "reports_identical")].value == 1
+    assert by_metric[("dfs", "schedules_explored")].direction == "exact"

@@ -4,6 +4,12 @@ Marked ``net`` (excluded from tier-1; run directly)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_net_throughput.py -m net
 
+The sweep itself lives in :func:`repro.bench.suites.run_net` (shared
+with ``python -m repro.bench run --suite net``); this module runs it,
+persists the legacy payload plus the normalized schema records
+(``bench-records/net.json``, the artifact CI uploads and gates on),
+and asserts the architecture shapes.
+
 One virtual CPU serves an open-loop Poisson request stream at three
 offered loads; every number is virtual-time and bit-deterministic.
 The headline sweep disables the library's own TCB/stack cache
@@ -30,75 +36,29 @@ from pathlib import Path
 
 import pytest
 
-from repro.net.scenario import run_scenario
+from repro.bench.adapters import net_suite_result
+from repro.bench.suites import (
+    NET_ARCHS as ARCHS,
+    NET_CLIENT_SWEEP as CLIENT_SWEEP,
+    run_net,
+    run_net_point,
+)
 
 pytestmark = pytest.mark.net
 
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_net.json"
-
-ARCHS = ("perconn", "pool", "select")
-CLIENT_SWEEP = (50, 200, 1000)
-
-#: Open-loop load: one request per connection, arrivals ~Poisson(150us),
-#: no think time -- the connection mix, not any client's patience,
-#: determines the backlog.
-LOAD = dict(
-    requests_per_client=1,
-    service_cycles=300,
-    think_us=0.0,
-    arrival="poisson",
-    mean_gap_us=150.0,
-    workers=16,
-    seed=42,
-    latency_us=60.0,
-    first_class=True,  # identical completion path for all three archs
-)
-
-
-def _point(arch, clients, pool_size):
-    report = run_scenario(
-        arch=arch, clients=clients, pool_size=pool_size, **LOAD
-    )
-    assert report.requests_served == clients  # every request answered
-    assert report.refused == 0
-    return {
-        "arch": arch,
-        "clients": clients,
-        "pool_size": pool_size,
-        "elapsed_us": round(report.elapsed_us, 1),
-        "throughput_rps": round(report.throughput_rps, 1),
-        "latency_p50_us": round(report.latency_p50_us, 1),
-        "latency_p99_us": round(report.latency_p99_us, 1),
-        "accept_wait_p50_us": round(report.accept_wait_p50_us, 1),
-        "accept_wait_p99_us": round(report.accept_wait_p99_us, 1),
-        "accept_depth_max": report.accept_depth_max,
-        "queue_wait_p99_us": round(report.queue_wait_p99_us, 1),
-        "syscalls": report.syscalls,
-        "context_switches": report.context_switches,
-        "completions_sigio": report.completions_sigio,
-        "completions_fc": report.completions_fc,
-    }
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_net.json"
+RECORDS = ROOT / "bench-records" / "net.json"
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    """The full grid, computed once and persisted."""
-    results = [
-        _point(arch, clients, pool_size=0)
-        for clients in CLIENT_SWEEP
-        for arch in ARCHS
-    ]
-    cached = [_point(arch, CLIENT_SWEEP[-1], pool_size=64) for arch in ARCHS]
-    payload = {
-        "suite": "net-architecture-sweep",
-        "model": "sparc-ipx",
-        "load": {k: v for k, v in LOAD.items()},
-        "results": results,
-        "cache_on_results": cached,
-    }
+    """The full grid, computed once and persisted (legacy + schema)."""
+    payload = run_net()
     with OUTPUT.open("w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+    net_suite_result(payload).save(RECORDS)
     return payload
 
 
@@ -153,7 +113,7 @@ def test_create_cache_narrows_the_architecture_gap(sweep):
 
 def test_sweep_is_deterministic(sweep):
     """Re-running one grid point reproduces its row bit-for-bit."""
-    again = _point("pool", CLIENT_SWEEP[0], pool_size=0)
+    again = run_net_point("pool", CLIENT_SWEEP[0], pool_size=0)
     assert again == _by(sweep["results"], "pool", CLIENT_SWEEP[0])
 
 
@@ -161,3 +121,14 @@ def test_output_file_is_valid_json(sweep):
     on_disk = json.loads(OUTPUT.read_text())
     assert on_disk["results"] == sweep["results"]
     assert len(on_disk["results"]) == len(ARCHS) * len(CLIENT_SWEEP)
+
+
+def test_normalized_records_are_schema_valid(sweep):
+    from repro.bench.schema import SuiteResult
+
+    result = SuiteResult.load(RECORDS)
+    assert result.suite == "net"
+    # One elapsed_us oracle per grid cell, cold sweep + warm sweep.
+    oracles = [r for r in result.records if r.metric == "elapsed_us"]
+    assert len(oracles) == len(ARCHS) * len(CLIENT_SWEEP) + len(ARCHS)
+    assert all(r.direction == "exact" for r in oracles)

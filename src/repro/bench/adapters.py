@@ -1,0 +1,415 @@
+"""Adapters: native runner payloads -> normalized schema records.
+
+Each of the four suites keeps its historical payload shape (the
+``BENCH_*.json`` files people already read); these functions are the
+single translation into :class:`~repro.bench.schema.SuiteResult`, so
+the compare/gate/trend machinery never sees a suite-specific shape.
+The same adapters power the legacy-file migration tool
+(:mod:`repro.bench.migrate`).
+
+Direction assignments are the policy heart of the gate (the metric
+definitions live in ``docs/BENCHMARKING.md``):
+
+- **virtual-clock outputs** (``simulated_us``, net ``elapsed_us``,
+  schedule/check counts) are ``exact`` -- the simulation is
+  deterministic, so any difference is a semantics change that needs a
+  deliberate baseline regeneration, exactly the old
+  ``check_regression.py`` contract generalized;
+- **wall-clock rates** (``steps_per_sec``) are ``higher`` with the
+  default 20% band; fleet wall-clock *ratios* get a wider per-record
+  band because CI runners are shared and noisy;
+- **harvested counters** (``exec.segment.*``, syscalls, completions,
+  ``fleet.*`` snapshot stats) are ``info``: archived for the trend
+  history, never gated.
+"""
+
+from __future__ import annotations
+
+import os
+import platform as platform_mod
+import subprocess
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.bench.schema import BenchRecord, EnvFingerprint, SuiteResult
+
+#: Wall-clock speedup ratios on shared CI runners need a wide band.
+WALL_RATIO_TOLERANCE = 0.5
+
+
+def git_commit(short: bool = True) -> str:
+    """The current commit hash, or ``"unknown"`` outside a checkout."""
+    cmd = ["git", "rev-parse"] + (["--short"] if short else []) + ["HEAD"]
+    try:
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=10, check=True
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    value = out.stdout.strip()
+    return value or "unknown"
+
+
+def env_fingerprint(
+    scale: Optional[int] = None, commit: Optional[str] = None
+) -> EnvFingerprint:
+    """Fingerprint the measuring host (commit/python/cores/platform)."""
+    return EnvFingerprint(
+        commit=commit or git_commit(),
+        python=platform_mod.python_version(),
+        cores=os.cpu_count() or 1,
+        platform=platform_mod.system().lower(),
+        scale=scale,
+    )
+
+
+def records_from_metrics(
+    metrics: Mapping[str, Any],
+    suite: str,
+    workload: str,
+    params: Optional[Dict[str, Any]] = None,
+    prefixes: Optional[tuple] = None,
+) -> List[BenchRecord]:
+    """Harvest a counter mapping (``repro.obs`` snapshot style) into
+    ``info`` records.
+
+    Accepts both flat ``name -> number`` mappings (segment counters,
+    ``FleetStats`` dicts) and the richer ``repro.obs`` snapshot shape
+    where histograms appear as dicts -- histogram entries contribute
+    their ``count``/``mean``/``max`` as separate metrics.  Pass
+    ``prefixes`` to keep only matching counter families (e.g.
+    ``("exec.segment.", "net.")``).
+    """
+    records: List[BenchRecord] = []
+    params = dict(params or {})
+    for name in sorted(metrics):
+        if prefixes is not None and not any(
+            name.startswith(prefix) for prefix in prefixes
+        ):
+            continue
+        value = metrics[name]
+        if isinstance(value, Mapping):  # histogram snapshot
+            for part in ("count", "mean", "max"):
+                if part in value and isinstance(
+                    value[part], (int, float)
+                ) and not isinstance(value[part], bool):
+                    records.append(
+                        BenchRecord(
+                            suite=suite,
+                            workload=workload,
+                            metric="%s.%s" % (name, part),
+                            value=value[part],
+                            unit="count",
+                            direction="info",
+                            params=params,
+                        )
+                    )
+            continue
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            continue
+        records.append(
+            BenchRecord(
+                suite=suite,
+                workload=workload,
+                metric=name,
+                value=value,
+                unit="count",
+                direction="info",
+                params=params,
+            )
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# host throughput
+# ---------------------------------------------------------------------------
+
+
+def host_suite_result(
+    payload: Mapping[str, Any], env: Optional[EnvFingerprint] = None
+) -> SuiteResult:
+    """Normalize a ``BENCH_host.json``-shaped payload."""
+    suite = "host"
+    scale = payload.get("scale")
+    if env is None:
+        env = env_fingerprint(scale=scale)
+    else:
+        env.scale = scale
+    if payload.get("python") and env.python == "unknown":
+        env.python = payload["python"]
+    records: List[BenchRecord] = []
+    for row in payload["results"]:
+        workload = row["workload"]
+
+        def rec(metric, value, unit, direction, tolerance=None):
+            records.append(
+                BenchRecord(
+                    suite=suite,
+                    workload=workload,
+                    metric=metric,
+                    value=value,
+                    unit=unit,
+                    direction=direction,
+                    tolerance=tolerance,
+                )
+            )
+
+        rec("steps_per_sec", row["steps_per_sec"], "steps/s", "higher")
+        rec("wall_seconds", row["wall_seconds"], "s", "info")
+        rec("simulated_us", row["simulated_us"], "us", "exact")
+        rec("simulated_us_per_sec", row["simulated_us_per_sec"], "us/s",
+            "info")
+        rec("steps", row["steps"], "count", "exact")
+        rec("context_switches", row["context_switches"], "count", "info")
+        records.extend(
+            records_from_metrics(
+                row.get("segments", {}), suite, workload
+            )
+        )
+    config = {
+        "scale": payload.get("scale"),
+        "repeat": payload.get("repeat"),
+        "model": payload["results"][0]["model"] if payload["results"]
+        else "sparc-ipx",
+    }
+    return SuiteResult(
+        suite=suite, env=env, config=config, records=records
+    ).validate()
+
+
+# ---------------------------------------------------------------------------
+# net architecture sweep
+# ---------------------------------------------------------------------------
+
+
+def net_suite_result(
+    payload: Mapping[str, Any], env: Optional[EnvFingerprint] = None
+) -> SuiteResult:
+    """Normalize a ``BENCH_net.json``-shaped payload.
+
+    Every number in the sweep is virtual-time and bit-deterministic,
+    so ``elapsed_us`` is the ``exact`` divergence oracle per cell;
+    throughput and tail latency additionally get tolerance bands so a
+    regression reads as a regression (not just "something diverged").
+    """
+    suite = "net"
+    if env is None:
+        env = env_fingerprint()
+    records: List[BenchRecord] = []
+
+    def add_rows(rows, sweep_name):
+        for row in rows:
+            params = {
+                "clients": row["clients"],
+                "pool_size": row["pool_size"],
+                "sweep": sweep_name,
+            }
+            workload = row["arch"]
+
+            def rec(metric, value, unit, direction):
+                records.append(
+                    BenchRecord(
+                        suite=suite,
+                        workload=workload,
+                        metric=metric,
+                        value=value,
+                        unit=unit,
+                        direction=direction,
+                        params=params,
+                    )
+                )
+
+            rec("elapsed_us", row["elapsed_us"], "us", "exact")
+            rec("throughput_rps", row["throughput_rps"], "req/s", "higher")
+            rec("latency_p50_us", row["latency_p50_us"], "us", "info")
+            rec("latency_p99_us", row["latency_p99_us"], "us", "lower")
+            rec("accept_wait_p50_us", row["accept_wait_p50_us"], "us", "info")
+            rec("accept_wait_p99_us", row["accept_wait_p99_us"], "us",
+                "lower")
+            for counter in (
+                "accept_depth_max",
+                "syscalls",
+                "context_switches",
+                "completions_sigio",
+                "completions_fc",
+            ):
+                rec(counter, row[counter], "count", "info")
+            rec("queue_wait_p99_us", row["queue_wait_p99_us"], "us", "info")
+
+    add_rows(payload["results"], "cold")
+    add_rows(payload.get("cache_on_results", []), "warm")
+    cold = payload["results"]
+    config = {
+        "client_sweep": sorted({row["clients"] for row in cold}),
+        "archs": sorted({row["arch"] for row in cold}),
+        "cache_pool_size": max(
+            [row["pool_size"] for row in payload.get("cache_on_results", [])]
+            or [0]
+        ),
+        "load": dict(payload.get("load", {})),
+        "model": payload.get("model", "sparc-ipx"),
+    }
+    return SuiteResult(
+        suite=suite, env=env, config=config, records=records
+    ).validate()
+
+
+# ---------------------------------------------------------------------------
+# check exploration sweep
+# ---------------------------------------------------------------------------
+
+
+def check_suite_result(
+    payload: Mapping[str, Any], env: Optional[EnvFingerprint] = None
+) -> SuiteResult:
+    """Normalize a check-exploration payload (:func:`repro.bench.suites.run_check`)."""
+    suite = "check"
+    if env is None:
+        env = env_fingerprint(scale=payload.get("scale"))
+    records: List[BenchRecord] = []
+    for row in payload["results"]:
+        params = {
+            "mode": row["mode"],
+            "runs": row["runs"],
+            "seed": row["seed"],
+        }
+        workload = row["workload"]
+
+        def rec(metric, value, unit, direction):
+            records.append(
+                BenchRecord(
+                    suite=suite,
+                    workload=workload,
+                    metric=metric,
+                    value=value,
+                    unit=unit,
+                    direction=direction,
+                    params=params,
+                )
+            )
+
+        rec("schedules_explored", row["schedules_explored"], "count", "exact")
+        rec("checks_run", row["checks_run"], "count", "exact")
+        rec("failures", row["failures"], "count", "exact")
+        rec("wall_seconds", row["wall_seconds"], "s", "info")
+    config = {
+        "runs": payload.get("runs"),
+        "seed": payload.get("seed"),
+        "scale": payload.get("scale", 1),
+    }
+    return SuiteResult(
+        suite=suite, env=env, config=config, records=records
+    ).validate()
+
+
+# ---------------------------------------------------------------------------
+# fleet scaling sweep
+# ---------------------------------------------------------------------------
+
+
+def fleet_suite_result(
+    payload: Mapping[str, Any], env: Optional[EnvFingerprint] = None
+) -> SuiteResult:
+    """Normalize a ``BENCH_fleet.json``-shaped payload.
+
+    Wall-clock speedups on shared runners are noisy, so the ratio
+    records carry a wide per-record tolerance; the algorithmic facts
+    (schedules explored, byte-identical reports, the full replay step
+    count) are ``exact``.  Snapshot placement counters depend on
+    speculation timing, so they are harvested as ``info``.
+    """
+    suite = "fleet"
+    if env is None:
+        env = env_fingerprint()
+    if payload.get("host_cores") and env.cores == 0:
+        env.cores = payload["host_cores"]
+    records: List[BenchRecord] = []
+    dfs = payload["dfs"]
+
+    def rec(workload, metric, value, unit, direction, params=None,
+            tolerance=None):
+        records.append(
+            BenchRecord(
+                suite=suite,
+                workload=workload,
+                metric=metric,
+                value=int(value) if isinstance(value, bool) else value,
+                unit=unit,
+                direction=direction,
+                params=dict(params or {}),
+                tolerance=tolerance,
+            )
+        )
+
+    rec("dfs", "schedules_explored", dfs["schedules_explored"], "count",
+        "exact")
+    rec("dfs", "sequential_s", dfs["sequential_s"], "s", "info")
+    rec("dfs", "snapshot_jobs1_s", dfs["snapshot_jobs1_s"], "s", "info")
+    rec("dfs", "jobs4_s", dfs["jobs4_s"], "s", "info")
+    rec("dfs", "speedup_snapshot_jobs1", dfs["speedup_snapshot_jobs1"],
+        "ratio", "higher", tolerance=WALL_RATIO_TOLERANCE)
+    rec("dfs", "speedup_jobs4", dfs["speedup_jobs4"], "ratio", "higher",
+        tolerance=WALL_RATIO_TOLERANCE)
+    rec("dfs", "reports_identical", dfs["reports_identical"], "bool",
+        "exact")
+    rec("dfs", "steps_full", dfs["sequential_fleet"]["steps_full"], "count",
+        "exact")
+    for phase in ("sequential", "snapshot", "jobs4"):
+        stats = dfs.get("%s_fleet" % phase)
+        if stats:
+            records.extend(
+                records_from_metrics(
+                    {k: v for k, v in stats.items() if k != "backend"},
+                    suite,
+                    "dfs",
+                    params={"phase": phase},
+                )
+            )
+    grid = payload.get("compare_grid")
+    if grid:
+        rec("compare_grid", "cells", grid["cells"], "count", "exact")
+        rec("compare_grid", "sequential_s", grid["sequential_s"], "s",
+            "info")
+        rec("compare_grid", "jobs4_s", grid["jobs4_s"], "s", "info")
+        rec("compare_grid", "speedup_jobs4", grid["speedup_jobs4"], "ratio",
+            "higher", tolerance=WALL_RATIO_TOLERANCE)
+        rec("compare_grid", "reports_identical", grid["reports_identical"],
+            "bool", "exact")
+    config = {
+        "workload": dfs.get("workload", "signal_storm"),
+        "max_runs": dfs.get("max_runs"),
+        "rounds": 100 * dfs.get("scale", 8),
+        "max_depth": dfs.get("max_depth"),
+        "max_branch": dfs.get("max_branch"),
+        "grid": grid is not None,
+    }
+    return SuiteResult(
+        suite=suite, env=env, config=config, records=records
+    ).validate()
+
+
+#: suite name -> adapter from the runner's native payload.
+SUITE_ADAPTERS = {
+    "host": host_suite_result,
+    "net": net_suite_result,
+    "check": check_suite_result,
+    "fleet": fleet_suite_result,
+}
+
+
+def normalize(
+    suite: str,
+    payload: Mapping[str, Any],
+    env: Optional[EnvFingerprint] = None,
+) -> SuiteResult:
+    """Dispatch a native payload through its suite adapter."""
+    try:
+        adapter = SUITE_ADAPTERS[suite]
+    except KeyError:
+        raise ValueError(
+            "unknown suite %r (have: %s)"
+            % (suite, ", ".join(sorted(SUITE_ADAPTERS)))
+        )
+    return adapter(payload, env=env)

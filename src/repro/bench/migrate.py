@@ -1,0 +1,76 @@
+"""Legacy ``BENCH_*.json`` -> schema migration.
+
+The three root-level files (``BENCH_host.json``, ``BENCH_net.json``,
+``BENCH_fleet.json``) predate the unified schema; each had its own
+ad-hoc shape.  This tool pushes them through the same adapters the
+live runners use and archives the normalized results as a history
+entry, so the committed numbers become the seed of the trend line and
+the first gate baseline.  The legacy files stay in place until the
+next regeneration (docs and muscle memory still point at them).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.adapters import env_fingerprint, normalize
+from repro.bench.archive import save_result
+from repro.bench.schema import SuiteResult
+
+#: suite -> legacy filename at the repo root.
+LEGACY_FILES = {
+    "host": "BENCH_host.json",
+    "net": "BENCH_net.json",
+    "fleet": "BENCH_fleet.json",
+}
+
+
+def migrate_file(
+    suite: str, path, commit: Optional[str] = None
+) -> SuiteResult:
+    """Convert one legacy file into a validated :class:`SuiteResult`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    env = env_fingerprint(commit=commit)
+    if suite == "host":
+        # The host file recorded the python that measured it; prefer
+        # that over the migrating interpreter's version.
+        if payload.get("python"):
+            env.python = payload["python"]
+    if suite == "fleet" and payload.get("host_cores"):
+        env.cores = payload["host_cores"]
+    return normalize(suite, payload, env=env)
+
+
+def migrate_legacy(
+    root=".",
+    history_dir=None,
+    commit: Optional[str] = None,
+) -> Dict[str, Path]:
+    """Convert every legacy file present under ``root`` and archive it.
+
+    Returns ``{suite: archived path}``; suites whose legacy file is
+    absent are skipped (the check suite never had one).
+    """
+    from repro.bench.archive import DEFAULT_HISTORY
+
+    root = Path(root)
+    history_dir = (
+        root / DEFAULT_HISTORY if history_dir is None else Path(history_dir)
+    )
+    saved: Dict[str, Path] = {}
+    for suite, filename in sorted(LEGACY_FILES.items()):
+        legacy = root / filename
+        if not legacy.exists():
+            continue
+        result = migrate_file(suite, legacy, commit=commit)
+        saved[suite] = save_result(result, history_dir, commit=commit)
+    return saved
+
+
+def describe(saved: Dict[str, Path]) -> List[str]:
+    return [
+        "%s: %s" % (suite, path) for suite, path in sorted(saved.items())
+    ]

@@ -1,0 +1,196 @@
+"""Trend reports over the archived benchmark history.
+
+``trend_ascii`` renders one table per suite: a row per (workload,
+metric, params) series, a column per archived commit (oldest first),
+so the perf trajectory across PRs reads left to right.  ``trend_html``
+emits the same data as a standalone HTML page with regression/
+improvement cells tinted relative to each series' first value.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.archive import load_history
+from repro.bench.schema import BenchRecord
+
+#: Direction glyphs for the table legend.
+ARROWS = {"higher": "^", "lower": "v", "exact": "=", "info": "."}
+
+
+def _series_label(record: BenchRecord) -> str:
+    extras = ""
+    if record.params:
+        extras = "[%s]" % ",".join(
+            "%s=%s" % (k, v) for k, v in sorted(record.params.items())
+        )
+    return "%s/%s%s" % (record.workload, record.metric, extras)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return "%.3g" % value
+        return ("%.2f" % value).rstrip("0").rstrip(".")
+    return "%g" % value
+
+
+def collect_series(
+    history_dir,
+    suite: Optional[str] = None,
+    metric_filter: Optional[str] = None,
+) -> Tuple[List[str], Dict[str, List[Tuple[str, BenchRecord]]]]:
+    """Flatten the archive into per-metric series.
+
+    Returns ``(commits, series)`` where ``series`` maps
+    ``"suite :: workload/metric[params]"`` to ``[(commit, record)]``
+    in commit order.
+    """
+    entries = load_history(history_dir)
+    commits = [entry["commit"] for entry in entries]
+    series: Dict[str, List[Tuple[str, BenchRecord]]] = {}
+    for entry in entries:
+        for suite_name, result in sorted(entry["suites"].items()):
+            if suite is not None and suite_name != suite:
+                continue
+            for record in result.records:
+                if metric_filter and metric_filter not in record.metric:
+                    continue
+                key = "%s :: %s" % (suite_name, _series_label(record))
+                series.setdefault(key, []).append(
+                    (entry["commit"], record)
+                )
+    return commits, series
+
+
+def trend_ascii(
+    history_dir,
+    suite: Optional[str] = None,
+    metric_filter: Optional[str] = None,
+    gated_only: bool = False,
+) -> str:
+    """One aligned table: series down, commits across."""
+    commits, series = collect_series(history_dir, suite, metric_filter)
+    if not commits:
+        return "(history is empty: nothing archived under %s)" % history_dir
+    if not series:
+        return "(no metrics matched)"
+    rows = []
+    for key in sorted(series):
+        points = {c: r for c, r in series[key]}
+        any_record = series[key][0][1]
+        if gated_only and any_record.direction == "info":
+            continue
+        cells = [
+            _fmt(points[c].value) if c in points else "-" for c in commits
+        ]
+        rows.append(
+            (
+                "%s %s" % (ARROWS[any_record.direction], key),
+                any_record.unit,
+                cells,
+            )
+        )
+    if not rows:
+        return "(no metrics matched)"
+    label_width = max(len(label) for label, _, _ in rows)
+    unit_width = max(len(unit) for _, unit, _ in rows)
+    col_widths = [
+        max(len(commit), max(len(row[2][i]) for row in rows))
+        for i, commit in enumerate(commits)
+    ]
+    header = "%-*s  %-*s  %s" % (
+        label_width,
+        "metric (^higher =exact vlower .info)",
+        unit_width,
+        "unit",
+        "  ".join(
+            "%*s" % (col_widths[i], commit) for i, commit in enumerate(commits)
+        ),
+    )
+    lines = [header, "-" * len(header)]
+    for label, unit, cells in rows:
+        lines.append(
+            "%-*s  %-*s  %s"
+            % (
+                label_width,
+                label,
+                unit_width,
+                unit,
+                "  ".join(
+                    "%*s" % (col_widths[i], cell)
+                    for i, cell in enumerate(cells)
+                ),
+            )
+        )
+    return "\n".join(lines)
+
+
+def trend_html(
+    history_dir,
+    suite: Optional[str] = None,
+    metric_filter: Optional[str] = None,
+    title: str = "benchmark trend",
+) -> str:
+    """A standalone HTML page over the same series."""
+    commits, series = collect_series(history_dir, suite, metric_filter)
+    esc = html_mod.escape
+    head = (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>%s</title><style>"
+        "body{font-family:monospace;margin:2em;}"
+        "table{border-collapse:collapse;}"
+        "th,td{border:1px solid #bbb;padding:4px 8px;text-align:right;}"
+        "th{background:#eee;}td.label{text-align:left;}"
+        "td.better{background:#e4f7e4;}td.worse{background:#fbe3e3;}"
+        "caption{text-align:left;font-weight:bold;padding:6px 0;}"
+        "</style></head><body><h1>%s</h1>" % (esc(title), esc(title))
+    )
+    if not commits:
+        return head + "<p>history is empty</p></body></html>"
+    parts = [head]
+    parts.append(
+        "<table><caption>one row per metric series, one column per "
+        "archived commit (oldest first)</caption><tr><th>metric</th>"
+        "<th>unit</th><th>dir</th>"
+        + "".join("<th>%s</th>" % esc(c) for c in commits)
+        + "</tr>"
+    )
+    for key in sorted(series):
+        points = {c: r for c, r in series[key]}
+        record = series[key][0][1]
+        first = series[key][0][1].value
+        cells = []
+        for commit in commits:
+            if commit not in points:
+                cells.append("<td>-</td>")
+                continue
+            value = points[commit].value
+            klass = ""
+            if (
+                record.direction in ("higher", "lower")
+                and isinstance(first, (int, float))
+                and first
+            ):
+                ratio = value / first
+                good = ratio > 1.001 if record.direction == "higher" \
+                    else ratio < 0.999
+                bad = ratio < 0.999 if record.direction == "higher" \
+                    else ratio > 1.001
+                if good:
+                    klass = " class='better'"
+                elif bad:
+                    klass = " class='worse'"
+            cells.append("<td%s>%s</td>" % (klass, esc(_fmt(value))))
+        parts.append(
+            "<tr><td class='label'>%s</td><td>%s</td><td>%s</td>%s</tr>"
+            % (
+                esc(key),
+                esc(record.unit),
+                esc(record.direction),
+                "".join(cells),
+            )
+        )
+    parts.append("</table></body></html>")
+    return "".join(parts)

@@ -4,6 +4,7 @@ Runs any standard :mod:`repro.bench.workloads` workload with full
 observability attached and reports on it::
 
     python -m repro.obs report   --workload lock_storm
+    python -m repro.obs report   --workload lock_storm --format json
     python -m repro.obs trace    --workload signal_storm --out trace.json
     python -m repro.obs trace    --workload pipeline --format jsonl --out t.jsonl
     python -m repro.obs timeline --workload lock_storm --width 100
@@ -96,6 +97,19 @@ def cmd_report(args: argparse.Namespace) -> int:
         profile=not args.no_profile,
     )
     _check_attribution(obs)
+    if args.format == "json":
+        # Machine-readable snapshot: counter values diff cleanly and
+        # the bench harness ingests them without parsing ASCII.
+        import json
+
+        payload = obs.snapshot()
+        payload["workload"] = args.workload
+        payload["model"] = args.model
+        payload["scale"] = args.scale
+        payload["context_switches"] = stats["context_switches"]
+        payload["syscalls"] = stats["syscalls"]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(obs.report())
     if obs.profiler is not None:
         print(
@@ -168,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subs.add_parser("report", help="metrics + cycle attribution")
     _common(report)
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json: machine-readable snapshot (diffable; ingestible by "
+        "the repro.bench harness via records_from_metrics)",
+    )
     report.add_argument(
         "--no-profile",
         action="store_true",

@@ -1,0 +1,179 @@
+"""Legacy ``BENCH_*.json`` migration + the history archive.
+
+The migration runs against the real committed legacy files (they stay
+at the repo root until the next regeneration), so these tests also pin
+the adapters against the exact shapes the seed history was built from.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.archive import (
+    latest_result,
+    list_commits,
+    load_entry,
+    load_history,
+    save_result,
+)
+from repro.bench.migrate import LEGACY_FILES, migrate_file, migrate_legacy
+from repro.bench.schema import BenchRecord, EnvFingerprint, SchemaError, SuiteResult
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture()
+def history(tmp_path):
+    return tmp_path / "history"
+
+
+def test_all_three_legacy_files_migrate(history):
+    saved = migrate_legacy(root=REPO_ROOT, history_dir=history,
+                           commit="seed123")
+    assert sorted(saved) == ["fleet", "host", "net"]
+    for suite, path in saved.items():
+        result = SuiteResult.load(path)
+        assert result.suite == suite
+        assert result.env.commit == "seed123"
+        assert result.records, "%s migrated to zero records" % suite
+    assert list_commits(history) == ["seed123"]
+
+
+def test_host_migration_values(history):
+    result = migrate_file("host", REPO_ROOT / "BENCH_host.json",
+                          commit="seed123")
+    with (REPO_ROOT / "BENCH_host.json").open() as fh:
+        legacy = json.load(fh)
+    by_key = result.by_key()
+    for row in legacy["results"]:
+        sps = by_key[(row["workload"], "steps_per_sec", "{}")]
+        assert sps.value == row["steps_per_sec"]
+        assert sps.direction == "higher"
+        sim = by_key[(row["workload"], "simulated_us", "{}")]
+        assert sim.value == row["simulated_us"]
+        assert sim.direction == "exact"
+        # The obs segment counters are harvested as info records.
+        for name, value in row.get("segments", {}).items():
+            seg = by_key[(row["workload"], name, "{}")]
+            assert seg.value == value
+            assert seg.direction == "info"
+    assert result.env.scale == legacy["scale"]
+    assert result.env.python == legacy["python"]
+    assert result.config["scale"] == legacy["scale"]
+
+
+def test_net_migration_values(history):
+    result = migrate_file("net", REPO_ROOT / "BENCH_net.json",
+                          commit="seed123")
+    with (REPO_ROOT / "BENCH_net.json").open() as fh:
+        legacy = json.load(fh)
+    cold = len(legacy["results"])
+    warm = len(legacy["cache_on_results"])
+    oracles = [r for r in result.records if r.metric == "elapsed_us"]
+    assert len(oracles) == cold + warm
+    assert all(r.direction == "exact" for r in oracles)
+    sweeps = {r.params["sweep"] for r in oracles}
+    assert sweeps == {"cold", "warm"}
+    row = legacy["results"][0]
+    match = [
+        r for r in oracles
+        if r.workload == row["arch"]
+        and r.params["clients"] == row["clients"]
+        and r.params["sweep"] == "cold"
+    ]
+    assert len(match) == 1 and match[0].value == row["elapsed_us"]
+
+
+def test_fleet_migration_values(history):
+    result = migrate_file("fleet", REPO_ROOT / "BENCH_fleet.json",
+                          commit="seed123")
+    with (REPO_ROOT / "BENCH_fleet.json").open() as fh:
+        legacy = json.load(fh)
+    by_key = {(r.workload, r.metric): r for r in result.records
+              if "phase" not in r.params}
+    speedup = by_key[("dfs", "speedup_jobs4")]
+    assert speedup.value == legacy["dfs"]["speedup_jobs4"]
+    assert speedup.direction == "higher"
+    assert speedup.tolerance is not None  # wall-clock ratio: wide band
+    identical = by_key[("dfs", "reports_identical")]
+    assert identical.value == 1 and identical.direction == "exact"
+    assert result.env.cores == legacy["host_cores"]
+    # Snapshot placement counters are harvested per phase as info.
+    phased = [r for r in result.records if r.params.get("phase")]
+    assert {r.params["phase"] for r in phased} == {
+        "sequential", "snapshot", "jobs4",
+    }
+    assert all(r.direction == "info" for r in phased)
+
+
+def test_migration_is_idempotent(history):
+    migrate_legacy(root=REPO_ROOT, history_dir=history, commit="seed123")
+    migrate_legacy(root=REPO_ROOT, history_dir=history, commit="seed123")
+    assert list_commits(history) == ["seed123"]  # no duplicate index entry
+
+
+def test_missing_legacy_files_are_skipped(tmp_path, history):
+    # An empty root has nothing to migrate; no entry is created.
+    saved = migrate_legacy(root=tmp_path, history_dir=history, commit="x")
+    assert saved == {}
+    assert list_commits(history) == []
+
+
+def test_legacy_registry_matches_committed_files():
+    for filename in LEGACY_FILES.values():
+        assert (REPO_ROOT / filename).exists()
+
+
+# -- archive behaviour ------------------------------------------------------
+
+
+def _result(suite, commit, value=1.0):
+    return SuiteResult(
+        suite=suite,
+        env=EnvFingerprint(commit=commit),
+        config={"scale": 1},
+        records=[
+            BenchRecord(suite=suite, workload="w", metric="m", value=value,
+                        unit="count", direction="higher")
+        ],
+    )
+
+
+def test_archive_orders_commits_by_insertion(history):
+    save_result(_result("host", "bbb"), history)
+    save_result(_result("host", "aaa"), history)  # lexically earlier
+    assert list_commits(history) == ["bbb", "aaa"]
+    latest = latest_result(history, "host")
+    assert latest.env.commit == "aaa"
+
+
+def test_latest_result_skips_commits_without_the_suite(history):
+    save_result(_result("host", "c1"), history)
+    save_result(_result("net", "c2"), history)
+    assert latest_result(history, "host").env.commit == "c1"
+    assert latest_result(history, "net").env.commit == "c2"
+    assert latest_result(history, "fleet") is None
+
+
+def test_load_entry_and_history(history):
+    save_result(_result("host", "c1"), history)
+    save_result(_result("net", "c1"), history)
+    entry = load_entry(history, "c1")
+    assert sorted(entry) == ["host", "net"]
+    everything = load_history(history)
+    assert [e["commit"] for e in everything] == ["c1"]
+    with pytest.raises(FileNotFoundError):
+        load_entry(history, "nope")
+
+
+def test_unindexed_directories_are_still_visible(history):
+    save_result(_result("host", "c1"), history)
+    # A hand-copied entry (no index update) must not be invisible.
+    _result("host", "manual").save(history / "manual" / "host.json")
+    assert list_commits(history) == ["c1", "manual"]
+
+
+def test_archiving_unknown_commit_is_refused(history):
+    with pytest.raises(SchemaError, match="commit"):
+        save_result(_result("host", "unknown"), history)

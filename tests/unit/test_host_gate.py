@@ -1,73 +1,120 @@
-"""The CI host-throughput regression gate's comparison logic.
+"""The host regression gate's comparison semantics, post-generalization.
 
-The gate itself (``benchmarks/host/check_regression.py``) re-measures
-in CI; these tests pin the pure comparison so the gate's pass/fail
-behaviour cannot drift silently.
+The old ``benchmarks/host/check_regression.py`` pinned these behaviours
+for the host suite only; the generic harness (``repro.bench.compare``
+over schema records) must preserve every one of them -- identical
+passes, in-band dips pass, >20% steps/s drops fail, improvements always
+pass, simulated-time divergence fails loudly, scale mismatches are
+incomparable, and missing workloads fail.
 """
 
-from benchmarks.host.check_regression import compare
+from repro.bench.adapters import host_suite_result
+from repro.bench.compare import compare_results, failures
+from repro.bench.schema import EnvFingerprint
 
 
 def _payload(scale, **per_workload):
     return {
+        "suite": "host-throughput",
         "scale": scale,
+        "repeat": 3,
         "results": [
             {
                 "workload": name,
+                "model": "sparc-ipx",
+                "wall_seconds": 0.5,
+                "steps": 1000,
                 "steps_per_sec": sps,
                 "simulated_us": sim,
+                "simulated_us_per_sec": sim / 0.5,
+                "context_switches": 10,
             }
             for name, (sps, sim) in per_workload.items()
         ],
     }
 
 
-BASE = _payload(16, lock_storm=(1_000_000.0, 25741.05),
-                churn=(100_000.0, 154732.4))
+def _result(scale, **per_workload):
+    return host_suite_result(
+        _payload(scale, **per_workload), env=EnvFingerprint(commit="t")
+    )
+
+
+BASE = _result(16, lock_storm=(1_000_000.0, 25741.05),
+               churn=(100_000.0, 154732.4))
+
+
+def _gate(current, tolerance=0.20):
+    return failures(compare_results(BASE, current, tolerance=tolerance))
 
 
 def test_identical_measurement_passes():
-    assert compare(BASE, BASE, tolerance=0.20) == []
+    assert _gate(BASE) == []
 
 
 def test_small_dip_within_tolerance_passes():
-    cur = _payload(16, lock_storm=(850_000.0, 25741.05),
-                   churn=(95_000.0, 154732.4))
-    assert compare(BASE, cur, tolerance=0.20) == []
+    cur = _result(16, lock_storm=(850_000.0, 25741.05),
+                  churn=(95_000.0, 154732.4))
+    assert _gate(cur) == []
 
 
 def test_regression_beyond_tolerance_fails():
-    cur = _payload(16, lock_storm=(700_000.0, 25741.05),
-                   churn=(100_000.0, 154732.4))
-    failures = compare(BASE, cur, tolerance=0.20)
-    assert len(failures) == 1
-    assert "lock_storm" in failures[0]
-    assert "below the committed" in failures[0]
+    cur = _result(16, lock_storm=(700_000.0, 25741.05),
+                  churn=(100_000.0, 154732.4))
+    failed = _gate(cur)
+    assert len(failed) == 1
+    assert failed[0].workload == "lock_storm"
+    assert failed[0].metric == "steps_per_sec"
+    assert failed[0].status == "regressed"
+    assert "below the baseline" in failed[0].message
+
+
+def test_injected_25_percent_drop_fails():
+    # The acceptance scenario: a 25% steps/s drop is out of band.
+    cur = _result(16, lock_storm=(750_000.0, 25741.05),
+                  churn=(100_000.0, 154732.4))
+    failed = _gate(cur)
+    assert [f.workload for f in failed] == ["lock_storm"]
+    assert failed[0].status == "regressed"
 
 
 def test_speedup_always_passes():
-    cur = _payload(16, lock_storm=(9_000_000.0, 25741.05),
-                   churn=(500_000.0, 154732.4))
-    assert compare(BASE, cur, tolerance=0.20) == []
+    cur = _result(16, lock_storm=(9_000_000.0, 25741.05),
+                  churn=(500_000.0, 154732.4))
+    assert _gate(cur) == []
 
 
 def test_simulated_time_divergence_fails_loudly():
-    cur = _payload(16, lock_storm=(1_000_000.0, 25741.05),
-                   churn=(100_000.0, 154999.9))
-    failures = compare(BASE, cur, tolerance=0.20)
-    assert len(failures) == 1
-    assert "simulated time diverged" in failures[0]
+    cur = _result(16, lock_storm=(1_000_000.0, 25741.05),
+                  churn=(100_000.0, 154999.9))
+    failed = _gate(cur)
+    assert len(failed) == 1
+    assert failed[0].status == "diverged"
+    assert failed[0].metric == "simulated_us"
+    assert "diverged" in failed[0].message
+    assert "regenerate" in failed[0].message
 
 
 def test_scale_mismatch_is_not_comparable():
-    cur = _payload(64, lock_storm=(1_000_000.0, 25741.05),
-                   churn=(100_000.0, 154732.4))
-    failures = compare(BASE, cur, tolerance=0.20)
-    assert len(failures) == 1
-    assert "scale mismatch" in failures[0]
+    cur = _result(64, lock_storm=(1_000_000.0, 25741.05),
+                  churn=(100_000.0, 154732.4))
+    failed = _gate(cur)
+    assert len(failed) == 1
+    assert failed[0].status == "incomparable"
+    assert "not comparable" in failed[0].message
 
 
 def test_missing_workload_fails():
-    cur = _payload(16, lock_storm=(1_000_000.0, 25741.05))
-    failures = compare(BASE, cur, tolerance=0.20)
-    assert any("missing" in f for f in failures)
+    cur = _result(16, lock_storm=(1_000_000.0, 25741.05))
+    failed = _gate(cur)
+    assert failed and all(f.status == "missing" for f in failed)
+    assert {f.workload for f in failed} == {"churn"}
+
+
+def test_differing_repeat_is_still_comparable():
+    # Best-of-N fidelity differs, but the measurement is the same.
+    payload = _payload(16, lock_storm=(1_000_000.0, 25741.05),
+                       churn=(100_000.0, 154732.4))
+    payload["repeat"] = 10
+    cur = host_suite_result(payload, env=EnvFingerprint(commit="t"))
+    assert _gate(cur) == []
