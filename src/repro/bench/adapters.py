@@ -390,12 +390,119 @@ def fleet_suite_result(
     ).validate()
 
 
+# ---------------------------------------------------------------------------
+# smp lock-algorithm zoo
+# ---------------------------------------------------------------------------
+
+
+def smp_suite_result(
+    payload: Mapping[str, Any], env: Optional[EnvFingerprint] = None
+) -> SuiteResult:
+    """Normalize an SMP-zoo payload (:func:`repro.bench.suites.run_smp`).
+
+    Makespans come off per-CPU virtual clocks and the IPI row off the
+    2-CPU world's clock, all bit-deterministic in (model, seed), so
+    they are ``exact`` -- a changed makespan is a changed contention
+    semantics, which must be a deliberate baseline regeneration.  The
+    coherence/IPI counters are harvested as ``info`` for the trend
+    history.
+    """
+    suite = "smp"
+    if env is None:
+        env = env_fingerprint()
+    records: List[BenchRecord] = []
+    for row in payload["results"]:
+        params = {"ncpus": row["ncpus"], "model": row["model"]}
+        workload = row["algo"]
+
+        def rec(metric, value, unit, direction):
+            records.append(
+                BenchRecord(
+                    suite=suite,
+                    workload=workload,
+                    metric=metric,
+                    value=value,
+                    unit=unit,
+                    direction=direction,
+                    params=params,
+                )
+            )
+
+        rec("makespan_cycles", row["makespan_cycles"], "cycles", "exact")
+        rec("cycles_per_acquisition", row["cycles_per_acquisition"],
+            "cycles", "exact")
+        rec("executor_steps", row["executor_steps"], "count", "exact")
+        rec("acquisitions", row["acquisitions"], "count", "exact")
+        records.extend(
+            records_from_metrics(
+                row.get("counters", {}), suite, workload, params=params
+            )
+        )
+        records.extend(
+            records_from_metrics(
+                {
+                    "lock.%s" % k: v
+                    for k, v in row.get("lock", {}).items()
+                },
+                suite,
+                workload,
+                params=params,
+            )
+        )
+    ipi = payload.get("ipi")
+    if ipi:
+        params = {"ncpus": ipi["ncpus"], "rounds": ipi["rounds"]}
+
+        def rec(metric, value, unit, direction):
+            records.append(
+                BenchRecord(
+                    suite=suite,
+                    workload="ipi_signal_storm",
+                    metric=metric,
+                    value=value,
+                    unit=unit,
+                    direction=direction,
+                    params=params,
+                )
+            )
+
+        rec("elapsed_us", ipi["elapsed_us"], "us", "exact")
+        rec("ipis_sent", ipi["ipis_sent"], "count", "exact")
+        rec("ipis_delivered", ipi["ipis_delivered"], "count", "exact")
+        rec("ipi_posts", ipi["ipi_posts"], "count", "exact")
+        rec("context_switches", ipi["context_switches"], "count", "info")
+    for wall_key in ("zoo_wall_seconds", "ipi_wall_seconds"):
+        if wall_key in payload:
+            records.append(
+                BenchRecord(
+                    suite=suite,
+                    workload="suite",
+                    metric=wall_key,
+                    value=payload[wall_key],
+                    unit="s",
+                    direction="info",
+                )
+            )
+    config = {
+        "acquisitions": payload.get("acquisitions"),
+        "section_cycles": payload.get("section_cycles"),
+        "think_cycles": payload.get("think_cycles"),
+        "model": payload.get("model", "niagara-t3"),
+        "seed": payload.get("seed", 42),
+        "ipi_rounds": payload.get("ipi", {}).get("rounds"),
+    }
+    return SuiteResult(
+        suite=suite, env=env, config=config, records=records
+    ).validate()
+
+
 #: suite name -> adapter from the runner's native payload.
 SUITE_ADAPTERS = {
     "host": host_suite_result,
     "net": net_suite_result,
     "check": check_suite_result,
     "fleet": fleet_suite_result,
+    "smp": smp_suite_result,
 }
 
 

@@ -1,4 +1,4 @@
-"""The four benchmark suite runners, callable from anywhere.
+"""The benchmark suite runners, callable from anywhere.
 
 Historically each suite lived in its own ad-hoc runner: the host
 throughput matrix in ``benchmarks/host/run.py``, the net sweep inside
@@ -409,6 +409,80 @@ def run_fleet(
 
 
 # ---------------------------------------------------------------------------
+# smp lock-algorithm zoo
+# ---------------------------------------------------------------------------
+
+
+def run_smp(
+    acquisitions: int = 10,
+    section_cycles: int = 400,
+    think_cycles: int = 300,
+    model: str = "niagara-t3",
+    seed: int = 42,
+    ipi_rounds: int = 40,
+) -> Dict[str, Any]:
+    """The SMP suite payload: the lock-zoo crossover sweep plus an
+    IPI-routed signal workload.
+
+    Every simulated number is deterministic in (model, seed, axes):
+    the zoo's per-cell makespans come off per-CPU virtual clocks, and
+    the IPI row runs ``signal_storm`` on a 2-CPU world where every
+    async signal crosses from the interrupt CPU as an IPI event.  Only
+    ``wall_seconds`` varies run to run.
+    """
+    from repro.locks.workload import ZOO_ALGOS, ZOO_CPUS, run_zoo
+
+    start = time.perf_counter()
+    rows = run_zoo(
+        acquisitions=acquisitions,
+        section_cycles=section_cycles,
+        think_cycles=think_cycles,
+        model=model,
+        seed=seed,
+    )
+    zoo_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stats = workloads.run_workload(
+        workloads.signal_storm(victims=4, rounds=ipi_rounds),
+        model="sparc-ipx",  # signal costs calibrated on the paper's host
+        priority=50,
+        # A tight slice so timer expiries (async "timer" causes, the
+        # IPI-routed kind) actually land inside this short run.
+        timeslice_us=1_000.0,
+        ncpus=2,
+    )
+    ipi_wall = time.perf_counter() - start
+    rt = stats["runtime"]
+    smp = rt.world.smp
+    ipi_row = {
+        "workload": "signal_storm",
+        "ncpus": 2,
+        "rounds": ipi_rounds,
+        "elapsed_us": stats["elapsed_us"],
+        "context_switches": stats["context_switches"],
+        "ipis_sent": smp.counters()["smp.ipis_sent"],
+        "ipis_delivered": smp.counters()["smp.ipis_delivered"],
+        "ipi_posts": rt.proc.signals.ipi_posts,
+    }
+
+    return {
+        "suite": "smp-lock-zoo",
+        "model": model,
+        "seed": seed,
+        "acquisitions": acquisitions,
+        "section_cycles": section_cycles,
+        "think_cycles": think_cycles,
+        "algos": list(ZOO_ALGOS),
+        "cpu_counts": list(ZOO_CPUS),
+        "results": rows,
+        "ipi": ipi_row,
+        "zoo_wall_seconds": round(zoo_wall, 6),
+        "ipi_wall_seconds": round(ipi_wall, 6),
+    }
+
+
+# ---------------------------------------------------------------------------
 # the registry the CLI dispatches on
 # ---------------------------------------------------------------------------
 
@@ -419,6 +493,7 @@ SUITE_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "net": run_net,
     "check": run_check,
     "fleet": run_fleet,
+    "smp": run_smp,
 }
 
 SUITES = tuple(sorted(SUITE_RUNNERS))

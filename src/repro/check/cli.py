@@ -53,6 +53,12 @@ WORKLOADS.update(
             ),
             100,
         ),
+        "smp_timer_mutex": (
+            lambda scale: check_workloads.smp_timer_mutex(
+                workers=2 * scale, iterations=4 * scale
+            ),
+            100,
+        ),
     }
 )
 
@@ -72,6 +78,7 @@ def make_explorer(args: argparse.Namespace) -> Explorer:
         seed=args.world_seed,
         max_depth=args.max_depth,
         max_branch=args.max_branch,
+        ncpus=args.ncpus,
     )
 
 
@@ -206,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--world-seed", type=int, default=0)
         p.add_argument("--max-depth", type=int, default=64)
         p.add_argument("--max-branch", type=int, default=4)
+        p.add_argument(
+            "--ncpus",
+            type=int,
+            default=1,
+            help="simulated CPUs (>1 routes async signals via IPI)",
+        )
         p.add_argument(
             "--preseed",
             choices=sorted(BUGS),

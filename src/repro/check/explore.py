@@ -148,6 +148,7 @@ class Explorer:
         max_branch: int = 4,
         max_steps: int = 2_000_000,
         pool_size: int = 64,
+        ncpus: int = 1,
     ) -> None:
         self.workload_factory = workload_factory
         self.priority = priority
@@ -157,6 +158,9 @@ class Explorer:
         self.max_branch = max_branch
         self.max_steps = max_steps
         self.pool_size = pool_size
+        #: Simulated CPU count: > 1 explores under IPI-delayed
+        #: asynchronous signals (timers/kills cross CPUs as events).
+        self.ncpus = ncpus
 
     # -- one run ------------------------------------------------------------
 
@@ -202,6 +206,7 @@ class Explorer:
             policy=EnumerableSwitchPolicy(),
             trace=tracer,
             check=check,
+            ncpus=self.ncpus,
         )
         probes: Dict[int, str] = {}
         if _engine_child is not None:

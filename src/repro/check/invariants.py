@@ -107,6 +107,14 @@ class CheckContext:
         self._check_sems()
         self._check_workqueues()
         self._check_threads(runtime)
+        if runtime.world.smp is not None:
+            self._check_smp(runtime.world.smp)
+
+    def on_smp_step(self, world) -> None:
+        """Periodic sweep for SMP-executor runs (no library kernel)."""
+        self.checks_run += 1
+        if world.smp is not None:
+            self._check_smp(world.smp)
 
     # -- state rules --------------------------------------------------------
 
@@ -258,6 +266,43 @@ class CheckContext:
                     "%r: enqueued %d - dequeued %d != depth %d"
                     % (wq, enq, deq, depth),
                 )
+
+    def _check_smp(self, smp) -> None:
+        """Per-CPU run-queue disjointness on the SMP machine.
+
+        A task may appear on at most one CPU's run queue, never on two
+        (a stolen task must leave its victim's queue), never while it
+        is some CPU's current task, and a queue may not hold the same
+        task twice.  The same rule the dispatcher's single ready queue
+        gets for free becomes an invariant worth checking the moment
+        there are N queues and a migration path between them.
+        """
+        seen = {}
+        for cpu in smp.cpus:
+            current = cpu.current
+            if current is not None:
+                if id(current) in seen:
+                    self._fail(
+                        "smp-runq-disjoint",
+                        "task %s is current on cpu%d but also %s"
+                        % (current.name, cpu.index, seen[id(current)]),
+                    )
+                seen[id(current)] = "current on cpu%d" % cpu.index
+            for task in cpu.sched.runq:
+                where = "queued on cpu%d" % cpu.index
+                if id(task) in seen:
+                    self._fail(
+                        "smp-runq-disjoint",
+                        "task %s is %s and %s"
+                        % (task.name, seen[id(task)], where),
+                    )
+                seen[id(task)] = where
+                if task.cpu != cpu.index:
+                    self._fail(
+                        "smp-runq-disjoint",
+                        "task %s sits on cpu%d's queue but claims cpu%d"
+                        % (task.name, cpu.index, task.cpu),
+                    )
 
     def _check_threads(self, runtime: "PthreadsRuntime") -> None:
         for tcb in runtime.all_threads():

@@ -84,6 +84,42 @@ def pooled_server(clients: int = 3, workers: int = 2):
     return main
 
 
+def _timer_worker(pt, mutex, box, iterations):
+    for __ in range(iterations):
+        yield pt.mutex_lock(mutex)
+        box["count"] += 1
+        yield pt.work(180)  # hold long enough for slices to land
+        yield pt.mutex_unlock(mutex)
+        yield pt.delay_us(25)
+
+
+def smp_timer_mutex(workers: int = 2, iterations: int = 4):
+    """Mutex contention under timer traffic, for 2-CPU exploration.
+
+    Every timeslice expiry is a ``kind="timer"`` signal; on a world
+    with ``ncpus > 1`` those cross from the interrupt CPU to CPU 0 as
+    IPI events, shifting delivery relative to the single-CPU world.
+    The workers hold the mutex long enough that expiries land inside
+    critical sections, so the mutex/cond invariant rules and the
+    per-CPU run-queue-disjointness rule all get exercised under the
+    IPI-shifted timing.  Completes cleanly under every schedule.
+    """
+
+    def main(pt):
+        mutex = yield pt.mutex_init()
+        box = {"count": 0}
+        threads = []
+        for __ in range(workers):
+            threads.append(
+                (yield pt.create(_timer_worker, mutex, box, iterations))
+            )
+        for thread in threads:
+            yield pt.join(thread)
+        assert box["count"] == workers * iterations
+
+    return main
+
+
 def _holding_reader(pt, rw, hold_us):
     yield pt.rwlock_rdlock(rw)
     yield pt.delay_us(hold_us)

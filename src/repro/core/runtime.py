@@ -74,9 +74,15 @@ class PthreadsRuntime:
         world: Optional[World] = None,
         obs: Optional[object] = None,
         check: Optional[object] = None,
+        ncpus: int = 1,
     ) -> None:
         self.config = config or cfg.RuntimeConfig()
-        self.world = world if world is not None else World(model, seed=seed)
+        # ncpus > 1 attaches the SMP extension: the library still runs
+        # on CPU 0, but asynchronous signals cross from the interrupt
+        # CPU via IPI events (see repro.sim.smp).
+        self.world = (
+            world if world is not None else World(model, seed=seed, ncpus=ncpus)
+        )
         if trace is not None:
             trace.attach(self.world.clock)
             self.world.trace = trace

@@ -111,6 +111,22 @@ SIG_MASK_OP = "sig_mask_op"  # per-thread mask manipulation
 SETJMP_SAVE = "setjmp_save"  # saving the jump buffer (minus the trap)
 LONGJMP_RESTORE = "longjmp_restore"
 
+# Multiprocessor coherence and cross-CPU signalling (see docs/SMP.md).
+# Calibrated against the SPARC T3-4 characterization: on-chip
+# cache-to-cache transfers are an order of magnitude cheaper than
+# cross-chip ones, and interprocessor interrupts cost microseconds
+# end to end.  Charged by repro.hw.memory.CacheDirectory and
+# repro.sim.smp.
+LINE_TRANSFER_NEAR = "line_transfer_near"  # cache line moves, same chip
+LINE_TRANSFER_FAR = "line_transfer_far"  # cache line moves, cross chip
+LINE_SHARED_JOIN = "line_shared_join"  # join an existing sharer set (read)
+SPIN_READ = "spin_read"  # one spin-loop load + compare on a cached line
+IPI_SEND = "ipi_send"  # trap into the kernel, write the mondo/cross-call
+IPI_RECEIVE = "ipi_receive"  # interrupt entry + handler on the target CPU
+IPI_LATENCY = "ipi_latency"  # wire time: send to interrupt assertion
+SMP_MIGRATE = "smp_migrate"  # pull a task from another CPU's run queue
+SMP_DISPATCH = "smp_dispatch"  # per-CPU scheduler picks its next task
+
 # Misc library operations.
 CREATE_MISC = "create_misc"  # pthread_create bookkeeping
 JOIN_WORK = "join_work"
@@ -184,6 +200,19 @@ _DEFAULT_CYCLES: Dict[str, int] = {
     WRAPPER_OVERHEAD: 120,
     SIG_LOG_IN_KERNEL: 20,
     SIG_MASK_OP: 14,
+    # SMP defaults follow the T3-4 shape: ~40ns for an on-chip
+    # cache-to-cache transfer, ~290ns cross-chip, and a few
+    # microseconds for an IPI round trip (send trap + wire latency +
+    # interrupt entry).  Expressed in cycles of the modelled clock.
+    LINE_TRANSFER_NEAR: 70,
+    LINE_TRANSFER_FAR: 480,
+    LINE_SHARED_JOIN: 30,
+    SPIN_READ: 4,
+    IPI_SEND: 350,
+    IPI_RECEIVE: 800,
+    IPI_LATENCY: 3000,
+    SMP_MIGRATE: 600,
+    SMP_DISPATCH: 40,
     SETJMP_SAVE: 40,
     LONGJMP_RESTORE: 120,
     CREATE_MISC: 120,
@@ -267,12 +296,30 @@ SPARC_IPX = CostModel(
     },
 )
 
+#: A many-core SPARC in the T3-4 mould, used by the SMP lock-zoo
+#: benchmarks.  Atomics are pricier than on the scalar SPARCs (deeper
+#: pipeline, the op must reach the L2 coherence point) and cross-chip
+#: coherence is far slower than on-chip, per the T3-4 characterization.
+NIAGARA_T3 = CostModel(
+    name="niagara-t3",
+    mhz=1650.0,
+    overrides={
+        LDSTUB: 6,
+        CAS: 8,
+        LINE_TRANSFER_NEAR: 70,
+        LINE_TRANSFER_FAR: 480,
+        IPI_LATENCY: 3300,  # ~2us of wire + queueing at 1.65 GHz
+    },
+)
+
 _MODELS: Dict[str, CostModel] = {
     SPARC_1PLUS.name: SPARC_1PLUS,
     SPARC_IPX.name: SPARC_IPX,
+    NIAGARA_T3.name: NIAGARA_T3,
     # Convenience aliases.
     "sparc1+": SPARC_1PLUS,
     "ipx": SPARC_IPX,
+    "t3": NIAGARA_T3,
 }
 
 

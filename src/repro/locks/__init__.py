@@ -1,0 +1,54 @@
+"""The SMP lock-algorithm zoo.
+
+Five classic spin-lock algorithms -- test-and-set, test-and-test-and-
+set, ticket, MCS, and a spin-then-queue hybrid -- implemented against
+the simulator's coherence-priced atomic primitives and raced against
+each other on the N-CPU world (``python -m repro.locks``, or the
+``smp`` benchmark suite).  See docs/SMP.md for the model and the
+expected crossover: TAS competitive at 1-2 CPUs, the queue locks
+winning at 16-64.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.locks.base import SpinLock
+from repro.locks.hybrid import HybridLock
+from repro.locks.mcs import McsLock
+from repro.locks.tas import TasLock
+from repro.locks.ticket import TicketLock
+from repro.locks.ttas import TtasLock
+
+#: Registry, in zoo order (benchmarks iterate this).
+LOCK_ALGOS: Dict[str, Type[SpinLock]] = {
+    TasLock.algo: TasLock,
+    TtasLock.algo: TtasLock,
+    TicketLock.algo: TicketLock,
+    McsLock.algo: McsLock,
+    HybridLock.algo: HybridLock,
+}
+
+
+def make_lock(algo: str, smp, name: str = "lock", slots: int = 1) -> SpinLock:
+    """Construct a zoo lock by algorithm name."""
+    try:
+        cls = LOCK_ALGOS[algo]
+    except KeyError:
+        raise KeyError(
+            "unknown lock algorithm %r (have: %s)"
+            % (algo, ", ".join(LOCK_ALGOS))
+        ) from None
+    return cls(smp, name, slots=slots)
+
+
+__all__ = [
+    "SpinLock",
+    "TasLock",
+    "TtasLock",
+    "TicketLock",
+    "McsLock",
+    "HybridLock",
+    "LOCK_ALGOS",
+    "make_lock",
+]

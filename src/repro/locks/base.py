@@ -1,0 +1,64 @@
+"""Common machinery for the SMP lock zoo.
+
+Every lock in :mod:`repro.locks` is written against the simulator's
+atomic primitives the same way the paper's mutex fast path is written
+against ``ldstub``: as a short sequence of priced operations.  Lock
+methods are *generators of operation tuples* (see
+:class:`repro.sim.smp.SmpExecutor` for the op vocabulary); a task body
+runs them with ``yield from lock.acquire(slot)``.
+
+``slot`` is the caller's acquirer index (one per concurrent contender,
+assigned by the workload).  Queue locks use it to select their
+per-acquirer node; simple locks ignore it.
+
+Each lock keeps per-algorithm counters -- acquisitions, contended
+acquisitions, releases, and algorithm-specific extras via
+:meth:`SpinLock.extra_stats` -- which the obs layer harvests into
+``smp.lock.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.smp import SmpExtension
+
+
+class SpinLock:
+    """Base class: counters + the shared constructor shape."""
+
+    #: Registry key; subclasses override.
+    algo = "abstract"
+
+    def __init__(self, smp: "SmpExtension", name: str, slots: int = 0) -> None:
+        self.smp = smp
+        self.name = name
+        self.slots = slots
+        self.acquisitions = 0
+        self.contended = 0
+        self.releases = 0
+
+    def acquire(self, slot: int):
+        raise NotImplementedError
+
+    def release(self, slot: int):
+        raise NotImplementedError
+
+    def extra_stats(self) -> Dict[str, int]:
+        return {}
+
+    def stats(self) -> Dict[str, Any]:
+        out = {
+            "algo": self.algo,
+            "acquisitions": self.acquisitions,
+            "contended": self.contended,
+            "releases": self.releases,
+        }
+        out.update(self.extra_stats())
+        return out
+
+    def __repr__(self) -> str:
+        return "%s(%s, acq=%d, contended=%d)" % (
+            type(self).__name__, self.name, self.acquisitions, self.contended,
+        )

@@ -1,0 +1,110 @@
+"""``python -m repro.locks``: run the lock zoo from the command line.
+
+Subcommands:
+
+- ``run``: one (algo, ncpus) lock_storm; prints the report.
+- ``sweep``: the full crossover table (every algo at every CPU count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.locks import LOCK_ALGOS
+from repro.locks.workload import ZOO_CPUS, lock_storm_smp, run_zoo
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="niagara-t3")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--acquisitions", type=int, default=10,
+                        help="acquisitions per CPU")
+    parser.add_argument("--section", type=int, default=400,
+                        help="critical-section cycles")
+    parser.add_argument("--think", type=int, default=300,
+                        help="mean think-time cycles between acquisitions")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.locks", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="one algorithm at one CPU count")
+    run_p.add_argument("--algo", choices=sorted(LOCK_ALGOS), default="mcs")
+    run_p.add_argument("--cpus", type=int, default=4)
+    _add_common(run_p)
+
+    sweep_p = sub.add_parser("sweep", help="the full crossover table")
+    sweep_p.add_argument(
+        "--cpus", type=int, nargs="*", default=list(ZOO_CPUS)
+    )
+    _add_common(sweep_p)
+
+    args = parser.parse_args(argv)
+    kwargs = dict(
+        acquisitions=args.acquisitions,
+        section_cycles=args.section,
+        think_cycles=args.think,
+        model=args.model,
+        seed=args.seed,
+    )
+
+    if args.command == "run":
+        report = lock_storm_smp(args.algo, args.cpus, **kwargs)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            _print_report(report)
+        return 0
+
+    results = run_zoo(cpu_counts=args.cpus, **kwargs)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+        return 0
+    _print_table(results, args.cpus)
+    return 0
+
+
+def _print_report(report: dict) -> None:
+    print(
+        "%s @ %d cpus: makespan=%d cycles (%.2f us), %d acquisitions "
+        "(%d cycles each)"
+        % (
+            report["algo"], report["ncpus"], report["makespan_cycles"],
+            report["makespan_us"], report["acquisitions"],
+            report["cycles_per_acquisition"],
+        )
+    )
+    for name, value in sorted(report["counters"].items()):
+        print("  %-28s %d" % (name, value))
+    for name, value in sorted(report["lock"].items()):
+        if name != "algo":
+            print("  lock.%-23s %s" % (name, value))
+
+
+def _print_table(results: list, cpu_counts: list) -> None:
+    by_algo: dict = {}
+    for report in results:
+        by_algo.setdefault(report["algo"], {})[report["ncpus"]] = report
+    header = "%-8s" % "algo" + "".join("%14s" % ("c%d" % c) for c in cpu_counts)
+    print("cycles per acquisition (lower is better)")
+    print(header)
+    for algo, row in by_algo.items():
+        cells = "".join(
+            "%14d" % row[c]["cycles_per_acquisition"] if c in row else
+            "%14s" % "-"
+            for c in cpu_counts
+        )
+        print("%-8s%s" % (algo, cells))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

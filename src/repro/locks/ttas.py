@@ -1,0 +1,57 @@
+"""Test-and-test-and-set: spin on a cached read, probe only when free.
+
+While the lock is held, waiters spin on their *shared* copy of the
+line -- no coherence traffic at all (the simulator parks them until
+the release store bumps the line version).  The weakness appears at
+release: every waiter's copy is invalidated at once, they all re-read,
+see the lock free, and race into ``ldstub`` -- an invalidation storm
+whose exclusive transfers serialize, so the handoff still costs O(N)
+at high contention.  Better than TAS everywhere, but beaten by the
+queue locks at scale.
+"""
+
+from __future__ import annotations
+
+from repro.locks.base import SpinLock
+
+BACKOFF_STEP = 60
+BACKOFF_CAP = 600
+
+
+class TtasLock(SpinLock):
+    algo = "ttas"
+
+    def __init__(self, smp, name: str, slots: int = 0) -> None:
+        super().__init__(smp, name, slots)
+        self.cell = smp.cell("%s.byte" % name)
+        self.probes = 0
+        self.storm_losses = 0  # saw the lock free but lost the ldstub race
+
+    def acquire(self, slot: int):
+        del slot
+        backoff = 0
+        first = True
+        while True:
+            value = yield ("load", self.cell)
+            if value == 0:
+                self.probes += 1
+                old = yield ("ldstub", self.cell)
+                if old == 0:
+                    self.acquisitions += 1
+                    return
+                self.storm_losses += 1
+                backoff = min(backoff + BACKOFF_STEP, BACKOFF_CAP)
+                yield ("pause", backoff)
+                continue
+            if first:
+                self.contended += 1
+                first = False
+            yield ("spin_read", self.cell, lambda v: v == 0)
+
+    def release(self, slot: int):
+        del slot
+        self.releases += 1
+        yield ("store", self.cell, 0)
+
+    def extra_stats(self):
+        return {"probes": self.probes, "storm_losses": self.storm_losses}

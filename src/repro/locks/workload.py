@@ -1,0 +1,120 @@
+"""The lock_storm workload on the SMP machine, and the zoo sweep.
+
+One task per CPU hammers a single lock: acquire, hold for a fixed
+critical section, release, think for a seeded-random gap, repeat.
+Makespan (the max across per-CPU clocks when every task finishes) is
+the comparison metric; mutual exclusion is asserted on every entry.
+
+Determinism: a single ``seed`` drives the world, and each CPU's think
+times come from its forked RNG stream, so a (model, seed, algo, ncpus)
+tuple fully determines every number reported -- repeat runs are
+byte-identical, which is what lets the bench gate compare makespans
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.locks import make_lock
+from repro.sim.smp import SmpExecutor, SmpExtension
+from repro.sim.world import World
+
+
+class MutualExclusionViolation(AssertionError):
+    """Two tasks were inside the same lock's critical section at once."""
+
+
+def lock_storm_smp(
+    algo: str,
+    ncpus: int,
+    acquisitions: int = 10,
+    section_cycles: int = 400,
+    think_cycles: int = 300,
+    model: str = "niagara-t3",
+    seed: int = 42,
+    cpus_per_chip: int = 16,
+    migration: bool = False,
+    check: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Race ``ncpus`` tasks over one ``algo`` lock; return the report."""
+    world = World(model, seed=seed, ncpus=ncpus, cpus_per_chip=cpus_per_chip)
+    smp = world.smp
+    if smp is None:  # ncpus == 1: an explicit one-CPU SMP machine
+        smp = SmpExtension(world, 1, cpus_per_chip=cpus_per_chip)
+    lock = make_lock(algo, smp, name=algo, slots=ncpus)
+    executor = SmpExecutor(world, smp=smp, migration=migration, check=check)
+    owner: List[Optional[int]] = [None]
+
+    def body(slot: int):
+        rng = smp.cpus[slot].rng
+        for _ in range(acquisitions):
+            yield from lock.acquire(slot)
+            if owner[0] is not None:
+                raise MutualExclusionViolation(
+                    "%s: slot %d entered while slot %d holds"
+                    % (algo, slot, owner[0])
+                )
+            owner[0] = slot
+            yield ("spend_cycles", section_cycles)
+            if owner[0] != slot:
+                raise MutualExclusionViolation(
+                    "%s: slot %d lost the lock inside its section"
+                    % (algo, slot)
+                )
+            owner[0] = None
+            yield from lock.release(slot)
+            yield ("spend_cycles", think_cycles + rng.randint(0, think_cycles))
+
+    for index in range(ncpus):
+        executor.spawn(body(index), cpu=index, name="%s-%d" % (algo, index))
+    executor.run()
+
+    total = acquisitions * ncpus
+    makespan = executor.makespan
+    counters = smp.counters()
+    return {
+        "algo": algo,
+        "ncpus": ncpus,
+        "model": world.model.name,
+        "seed": seed,
+        "acquisitions": total,
+        "makespan_cycles": makespan,
+        "makespan_us": world.model.us(makespan),
+        "cycles_per_acquisition": makespan // total,
+        "executor_steps": executor.steps,
+        "counters": counters,
+        "lock": lock.stats(),
+    }
+
+
+#: The bench sweep axes (see repro.bench.suites.run_smp).
+ZOO_ALGOS = ("tas", "ttas", "ticket", "mcs", "hybrid")
+ZOO_CPUS = (1, 2, 4, 16, 64)
+
+
+def run_zoo(
+    algos: Iterable[str] = ZOO_ALGOS,
+    cpu_counts: Iterable[int] = ZOO_CPUS,
+    acquisitions: int = 10,
+    section_cycles: int = 400,
+    think_cycles: int = 300,
+    model: str = "niagara-t3",
+    seed: int = 42,
+) -> List[Dict[str, Any]]:
+    """The full crossover sweep: every algorithm at every CPU count."""
+    results = []
+    for algo in algos:
+        for ncpus in cpu_counts:
+            results.append(
+                lock_storm_smp(
+                    algo,
+                    ncpus,
+                    acquisitions=acquisitions,
+                    section_cycles=section_cycles,
+                    think_cycles=think_cycles,
+                    model=model,
+                    seed=seed,
+                )
+            )
+    return results

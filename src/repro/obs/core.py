@@ -200,10 +200,44 @@ class Observability:
             put("check.violations", check.violations_found,
                 "invariant rules that fired")
 
+        if world.smp is not None:
+            self.harvest_smp(world.smp)
+
         for tcb in runtime.threads.values():
             safe = tcb.name.replace(" ", "_")
             put("thread.cpu_cycles.%s" % safe, tcb.cpu_cycles)
             put("thread.switches_in.%s" % safe, tcb.context_switches_in)
+
+    def harvest_smp(self, smp: Any) -> None:
+        """Copy an SMP world's counters into metrics.
+
+        Called from :meth:`harvest` when the attached runtime's world
+        is multiprocessor, and directly by the lock-zoo tooling (which
+        runs on the SMP executor with no Pthreads runtime at all).
+        """
+        if smp is None or not self.registry.enabled:
+            return
+        registry = self.registry
+
+        def put(name: str, value: int, help: str = "") -> None:
+            registry.counter(name, help=help).set(value)
+
+        helps = {
+            "smp.ipis_sent": "interprocessor interrupts sent",
+            "smp.ipis_delivered": "interprocessor interrupts delivered",
+            "smp.line_bounces": "exclusive cache-line transfers",
+            "smp.line_transfers_near": "line transfers within a chip",
+            "smp.line_transfers_far": "line transfers across chips",
+            "smp.line_shared_joins": "read copies joining a sharer set",
+            "smp.migrations": "tasks pulled across CPU run queues",
+            "smp.spin_cycles": "cycles burned spinning on lines",
+        }
+        for name, value in smp.counters().items():
+            put(name, value, helps.get(name, ""))
+        registry.gauge("smp.ncpus", help="simulated processors").set(smp.ncpus)
+        for cpu in smp.cpus:
+            put("smp.cpu_cycles.cpu%d" % cpu.index, cpu.clock.cycles,
+                "local clock of CPU %d" % cpu.index)
 
     def harvest_fleet(self, stats: Any) -> None:
         """Copy a sweep's :class:`repro.fleet.FleetStats` into metrics.

@@ -47,6 +47,7 @@ SIGNAL_DELIVERY = "signal-delivery"
 SCHEDULING = "scheduling"
 SYNCHRONIZATION = "synchronization"
 MEMORY = "memory"
+SMP = "smp"
 LIBRARY_MISC = "library-misc"
 IDLE = "idle"
 
@@ -58,6 +59,7 @@ CATEGORIES = (
     SCHEDULING,
     SYNCHRONIZATION,
     MEMORY,
+    SMP,
     LIBRARY_MISC,
     IDLE,
 )
@@ -133,6 +135,16 @@ CATEGORY_OF_KEY: Dict[str, str] = {
     costs.TCB_INIT: MEMORY,
     costs.STACK_SETUP: MEMORY,
     costs.STACK_FAULT_IN: MEMORY,
+    # Multiprocessor coherence and cross-CPU signalling.
+    costs.LINE_TRANSFER_NEAR: SMP,
+    costs.LINE_TRANSFER_FAR: SMP,
+    costs.LINE_SHARED_JOIN: SMP,
+    costs.SPIN_READ: SMP,
+    costs.IPI_SEND: SMP,
+    costs.IPI_RECEIVE: SMP,
+    costs.IPI_LATENCY: SMP,
+    costs.SMP_MIGRATE: SMP,
+    costs.SMP_DISPATCH: SMP,
     # Everything else in the library.
     costs.SETJMP_SAVE: LIBRARY_MISC,
     costs.LONGJMP_RESTORE: LIBRARY_MISC,

@@ -36,6 +36,16 @@ class World:
     trace:
         Optional trace sink with an ``emit(kind, **fields)`` method
         (see :class:`repro.debug.trace.Tracer`).
+    ncpus:
+        Number of simulated processors.  1 (the default) is the
+        paper's machine: no SMP extension is attached and the world is
+        bit-identical to the single-CPU simulator.  Higher values grow
+        a :class:`repro.sim.smp.SmpExtension` on ``self.smp`` -- per-
+        CPU clocks/run queues, a shared cache directory, and IPI-based
+        cross-CPU signal delivery.
+    cpus_per_chip:
+        Coherence topology: CPUs on the same chip transfer cache lines
+        at the near rate, cross-chip at the far rate (see docs/SMP.md).
     """
 
     def __init__(
@@ -43,9 +53,13 @@ class World:
         model: Union[str, CostModel] = SPARC_IPX,
         seed: int = 0,
         trace: Optional[object] = None,
+        ncpus: int = 1,
+        cpus_per_chip: int = 16,
     ) -> None:
         if isinstance(model, str):
             model = cost_model(model)
+        if ncpus < 1:
+            raise ValueError("need at least one CPU: %r" % ncpus)
         self.model = model
         self.clock = VirtualClock()
         self.events = EventQueue()
@@ -61,6 +75,13 @@ class World:
         #: Flat cost table (defaults + model overrides), indexed without
         #: the two-stage :meth:`CostModel.cost` lookup on the hot path.
         self._costs = model.table()
+        #: SMP extension; None on the (default) uniprocessor, where
+        #: every hot path must stay byte-for-byte what it always was.
+        self.smp = None
+        if ncpus > 1:
+            from repro.sim.smp import SmpExtension
+
+            self.smp = SmpExtension(self, ncpus, cpus_per_chip=cpus_per_chip)
 
     # -- time ------------------------------------------------------------
 
@@ -231,6 +252,8 @@ class World:
                 self.windows.overflow_traps,
             ),
         )
+        if self.smp is not None:
+            parts = parts + (repr(self.smp.signature()),)
         return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()
 
     # -- tracing -------------------------------------------------------------

@@ -144,8 +144,21 @@ class UnixKernel:
         """Mark a signal pending and deliver it if the process is current.
 
         This is the non-syscall entry used by timers, devices, and other
-        in-kernel sources.
+        in-kernel sources.  On an SMP world, an asynchronous signal
+        whose interrupt is taken on a different CPU than the target's
+        crosses via an interprocessor interrupt: the pending bit is set
+        only when the IPI lands (``IPI_LATENCY`` later), not by a
+        direct poke at the target's queues.
         """
+        smp = self.world.smp
+        if smp is not None and smp.route_signal(self, proc, sig, cause):
+            return
+        self.post_signal_local(proc, sig, cause)
+
+    def post_signal_local(
+        self, proc: "UnixProcessLike", sig: int, cause: SigCause
+    ) -> None:
+        """Same-CPU signal generation (also the IPI landing action)."""
         proc.signals.post(sig, cause)
         self._deliver_if_current(proc)
 
@@ -239,3 +252,5 @@ class UnixProcessLike:
     signals: ProcessSignals
     interrupt_frames: List[InterruptFrame]
     auto_deliver: bool = False
+    #: Which simulated CPU the process runs on (SMP signal routing).
+    cpu: int = 0

@@ -54,6 +54,10 @@ class SigCause:
     thread: Optional[Any] = None
     code: int = 0
     data: Optional[Any] = None
+    #: True when the signal crossed CPUs via an interprocessor
+    #: interrupt (SMP worlds only; see repro.sim.smp).  Stamped by the
+    #: routing layer -- senders never set it themselves.
+    via_ipi: bool = False
 
     VALID_KINDS = frozenset(
         {"directed", "synchronous", "timer", "io", "external", "cancel"}
@@ -114,6 +118,7 @@ class ProcessSignals:
         self._pending_order: List[int] = []
         self.lost_signals = 0
         self.delivered = 0
+        self.ipi_posts = 0  # posts that arrived via cross-CPU interrupt
 
     # -- installation -------------------------------------------------------
 
@@ -148,6 +153,8 @@ class ProcessSignals:
         """Mark a signal pending.  Returns False if it was lost
         (already pending -- the BSD single-slot rule)."""
         check_signal(sig)
+        if cause.via_ipi:
+            self.ipi_posts += 1
         if sig in self._pending:
             self.lost_signals += 1
             return False

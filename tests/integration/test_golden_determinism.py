@@ -70,8 +70,21 @@ def _net_idle_observed_runtime(model: str) -> PthreadsRuntime:
     return rt
 
 
+def _explicit_ncpus1_runtime(model: str) -> PthreadsRuntime:
+    """``ncpus=1`` passed explicitly: the SMP code path must leave a
+    uniprocessor world untouched (``world.smp is None``), so Table 2
+    cannot move by a cycle."""
+    rt = PthreadsRuntime(
+        model=model,
+        config=RuntimeConfig(timeslice_us=None, pool_size=8),
+        ncpus=1,
+    )
+    assert rt.world.smp is None
+    return rt
+
+
 @pytest.fixture(
-    params=["obs-off", "obs-on", "net-idle", "net-idle-obs-on"]
+    params=["obs-off", "obs-on", "net-idle", "net-idle-obs-on", "ncpus-1"]
 )
 def obs_mode(request, monkeypatch):
     """Run the suite bare, observed, and with an idle network stack."""
@@ -79,6 +92,7 @@ def obs_mode(request, monkeypatch):
         "obs-on": _observed_runtime,
         "net-idle": _net_idle_runtime,
         "net-idle-obs-on": _net_idle_observed_runtime,
+        "ncpus-1": _explicit_ncpus1_runtime,
     }
     if request.param in runtimes:
         monkeypatch.setattr(metrics_mod, "_runtime", runtimes[request.param])

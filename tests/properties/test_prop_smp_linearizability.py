@@ -1,0 +1,158 @@
+"""Linearizability of the SMP atomics under arbitrary interleavings.
+
+Hypothesis varies the CPU count, the per-task operation mix, and the
+seeded think times; the executor then interleaves one operation at a
+time by the lowest-local-clock rule.  Whatever the interleaving:
+
+- ``ldstub`` admits exactly one winner per contention round -- no two
+  CPUs may both observe 0 before somebody releases the byte;
+- ``cas`` succeeds exactly once per expected value in a chain of
+  unique updates (each success is a distinct linearization point);
+- ``fetch_add`` with positive deltas returns strictly-distinct old
+  values whose sum-of-deltas lands exactly in the cell.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.smp import SmpExecutor
+from repro.sim.world import World
+
+
+def make_world(ncpus, seed):
+    return World(model="niagara-t3", seed=seed, ncpus=ncpus)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ncpus=st.integers(min_value=2, max_value=8),
+    rounds=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+    thinks=st.lists(
+        st.integers(min_value=0, max_value=2_000), min_size=8, max_size=8
+    ),
+)
+def test_ldstub_admits_one_winner_per_round(ncpus, rounds, seed, thinks):
+    world = make_world(ncpus, seed)
+    smp = world.smp
+    byte = smp.cell("byte")
+    holders = []  # audit trail: (event, cpu) in linearization order
+
+    def contender(slot):
+        for _ in range(rounds):
+            while True:
+                old = yield ("ldstub", byte)
+                if old == 0:
+                    break
+                yield ("pause", 25 + thinks[slot % len(thinks)])
+            holders.append(("acquire", slot))
+            yield ("spend_cycles", 100)
+            holders.append(("release", slot))
+            yield ("store", byte, 0)
+            yield ("spend_cycles", thinks[slot % len(thinks)])
+
+    ex = SmpExecutor(world, smp)
+    for slot in range(ncpus):
+        ex.spawn(contender(slot), cpu=slot)
+    ex.run()
+
+    inside = None
+    acquisitions = 0
+    for event, slot in holders:
+        if event == "acquire":
+            assert inside is None, (
+                "CPU %d won the byte while CPU %d held it" % (slot, inside)
+            )
+            inside = slot
+            acquisitions += 1
+        else:
+            assert inside == slot
+            inside = None
+    assert inside is None
+    assert acquisitions == ncpus * rounds
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ncpus=st.integers(min_value=2, max_value=8),
+    attempts=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_cas_chain_has_exactly_one_winner_per_value(ncpus, attempts, seed):
+    """Every CPU tries to CAS the counter from k to k+1 for each k.
+    Exactly one succeeds per k; the cell ends at the chain length."""
+    world = make_world(ncpus, seed)
+    smp = world.smp
+    counter = smp.cell("chain")
+    wins = []
+
+    def racer(slot):
+        for k in range(attempts):
+            ok = yield ("cas", counter, k, k + 1)
+            if ok:
+                wins.append((k, slot))
+            yield ("spend_cycles", 40 * (slot + 1))
+
+    ex = SmpExecutor(world, smp)
+    for slot in range(ncpus):
+        ex.spawn(racer(slot), cpu=slot)
+    ex.run()
+
+    won_values = [k for k, _ in wins]
+    assert len(won_values) == len(set(won_values))  # one winner per k
+    assert counter.value == max(won_values) + 1 if wins else 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ncpus=st.integers(min_value=2, max_value=8),
+    per_cpu=st.integers(min_value=1, max_value=6),
+    delta=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fetch_add_linearizes_to_a_total_order(ncpus, per_cpu, delta, seed):
+    world = make_world(ncpus, seed)
+    smp = world.smp
+    counter = smp.cell("sum")
+    olds = []
+
+    def adder(slot):
+        for _ in range(per_cpu):
+            old = yield ("fetch_add", counter, delta)
+            olds.append(old)
+            yield ("spend_cycles", 30 + 7 * slot)
+
+    ex = SmpExecutor(world, smp)
+    for slot in range(ncpus):
+        ex.spawn(adder(slot), cpu=slot)
+    ex.run()
+
+    total_ops = ncpus * per_cpu
+    assert counter.value == total_ops * delta
+    # Positive deltas: every op saw a distinct prefix sum.
+    assert sorted(olds) == [i * delta for i in range(total_ops)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    ncpus=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_interleaving_is_replayable(ncpus, seed):
+    """The same (ncpus, seed) runs to the same signature, twice."""
+
+    def run():
+        world = make_world(ncpus, seed)
+        smp = world.smp
+        cell = smp.cell("x")
+        ex = SmpExecutor(world, smp)
+        for slot in range(ncpus):
+            def body(s=slot):
+                for _ in range(4):
+                    yield ("fetch_add", cell, 1)
+                    jitter = smp.cpus[s].rng.randint(0, 500)
+                    yield ("spend_cycles", 20 + jitter)
+            ex.spawn(body(), cpu=slot)
+        ex.run()
+        return ex.makespan, ex.steps, smp.signature()
+
+    assert run() == run()

@@ -72,3 +72,39 @@ def test_flush_dominates_light_traps():
         assert model.cost(costs.FLUSH_WINDOWS_TRAP) > 3 * model.cost(
             costs.WINDOW_FILL_TRAP
         )
+
+
+def test_niagara_t3_model_registered():
+    model = costs.cost_model("niagara-t3")
+    assert model is costs.NIAGARA_T3
+    assert costs.cost_model("t3") is model
+    assert model.mhz == 1650.0
+
+
+def test_niagara_t3_atomics_and_smp_keys():
+    table = costs.NIAGARA_T3.table()
+    # The T3 characterization: CAS dearer than LDSTUB, both dearer
+    # than a plain instruction; cross-chip traffic dearer than
+    # within-chip; IPIs dominated by their delivery latency.
+    assert table[costs.CAS] > table[costs.LDSTUB] > table[costs.INSN]
+    assert table[costs.LINE_TRANSFER_FAR] > table[costs.LINE_TRANSFER_NEAR]
+    assert table[costs.LINE_SHARED_JOIN] < table[costs.LINE_TRANSFER_NEAR]
+    assert table[costs.IPI_LATENCY] > table[costs.IPI_RECEIVE]
+    assert table[costs.IPI_LATENCY] > table[costs.IPI_SEND]
+
+
+def test_smp_keys_resolve_on_every_model():
+    for name in ("sparc-1+", "sparc-ipx", "niagara-t3"):
+        table = costs.cost_model(name).table()
+        for key in (
+            costs.LINE_TRANSFER_NEAR,
+            costs.LINE_TRANSFER_FAR,
+            costs.LINE_SHARED_JOIN,
+            costs.SPIN_READ,
+            costs.IPI_SEND,
+            costs.IPI_RECEIVE,
+            costs.IPI_LATENCY,
+            costs.SMP_MIGRATE,
+            costs.SMP_DISPATCH,
+        ):
+            assert table[key] > 0

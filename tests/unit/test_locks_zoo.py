@@ -1,0 +1,120 @@
+"""Unit tests for the lock-algorithm zoo and its storm workload.
+
+Each algorithm must provide mutual exclusion under contention, count
+its acquisitions honestly, and produce byte-identical reports for a
+fixed (model, seed, algo, ncpus) tuple.  The crossover shape -- TAS
+fine alone, queue locks winning big -- is asserted coarsely here and
+precisely in ``benchmarks/test_smp_zoo.py``.
+"""
+
+import pytest
+
+from repro.locks import LOCK_ALGOS, make_lock
+from repro.locks.workload import (
+    ZOO_ALGOS,
+    ZOO_CPUS,
+    lock_storm_smp,
+    run_zoo,
+)
+from repro.sim.smp import SmpExtension
+from repro.sim.world import World
+
+ALGOS = tuple(LOCK_ALGOS)
+
+
+def test_registry_matches_zoo_axes():
+    assert set(ZOO_ALGOS) == set(ALGOS)
+    assert ZOO_CPUS[0] == 1  # the uniprocessor baseline column
+
+
+def test_make_lock_rejects_unknown_algorithm():
+    world = World(ncpus=2)
+    with pytest.raises((KeyError, ValueError)):
+        make_lock("bogus", world.smp, "l")
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_storm_provides_mutual_exclusion(algo):
+    report = lock_storm_smp(algo, ncpus=4, acquisitions=6)
+    assert report["algo"] == algo
+    assert report["ncpus"] == 4
+    assert report["acquisitions"] == 4 * 6
+    assert report["makespan_cycles"] > 0
+    assert report["lock"]["acquisitions"] == 4 * 6
+    assert report["lock"]["releases"] == 4 * 6
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_storm_reports_are_byte_identical(algo):
+    first = lock_storm_smp(algo, ncpus=4, acquisitions=5, seed=9)
+    second = lock_storm_smp(algo, ncpus=4, acquisitions=5, seed=9)
+    assert first == second
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_storm_runs_on_one_cpu(algo):
+    """The baseline column: an explicit 1-CPU SMP machine, where every
+    access is a local hit and no algorithm pays contention."""
+    report = lock_storm_smp(algo, ncpus=1, acquisitions=5)
+    assert report["acquisitions"] == 5
+    assert report["counters"]["smp.line_bounces"] == 0
+
+
+def test_different_seeds_change_think_times():
+    a = lock_storm_smp("ttas", ncpus=4, acquisitions=5, seed=1)
+    b = lock_storm_smp("ttas", ncpus=4, acquisitions=5, seed=2)
+    assert a["makespan_cycles"] != b["makespan_cycles"]
+
+
+def test_tas_degrades_where_queue_locks_scale():
+    tas_big = lock_storm_smp("tas", ncpus=32, acquisitions=6)
+    mcs_big = lock_storm_smp("mcs", ncpus=32, acquisitions=6)
+    ticket_big = lock_storm_smp("ticket", ncpus=32, acquisitions=6)
+    assert tas_big["cycles_per_acquisition"] > (
+        2 * mcs_big["cycles_per_acquisition"]
+    )
+    assert tas_big["cycles_per_acquisition"] > (
+        2 * ticket_big["cycles_per_acquisition"]
+    )
+
+
+def test_ttas_spins_locally_between_probes():
+    report = lock_storm_smp("ttas", ncpus=8, acquisitions=6)
+    tas = lock_storm_smp("tas", ncpus=8, acquisitions=6)
+    # TTAS reads its wait out of the shared copy: far fewer exclusive
+    # transfers than TAS's write-per-probe.
+    assert (
+        report["counters"]["smp.line_bounces"]
+        < tas["counters"]["smp.line_bounces"]
+    )
+
+
+def test_mcs_hands_off_in_queue_order():
+    report = lock_storm_smp("mcs", ncpus=8, acquisitions=4)
+    assert report["lock"]["handoffs"] > 0
+
+
+def test_hybrid_uses_fast_path_uncontended_and_queue_contended():
+    alone = lock_storm_smp("hybrid", ncpus=1, acquisitions=8)
+    assert alone["lock"]["fast_acquires"] == 8
+    assert alone["lock"]["queued_acquires"] == 0
+    crowded = lock_storm_smp("hybrid", ncpus=16, acquisitions=6)
+    assert crowded["lock"]["queued_acquires"] > 0
+
+
+def test_run_zoo_covers_the_grid():
+    rows = run_zoo(algos=("tas", "mcs"), cpu_counts=(1, 4), acquisitions=4)
+    assert len(rows) == 4
+    assert {(r["algo"], r["ncpus"]) for r in rows} == {
+        ("tas", 1), ("tas", 4), ("mcs", 1), ("mcs", 4)
+    }
+
+
+def test_locks_work_outside_worlds_smp_attachment():
+    """The zoo's 1-CPU column builds its own extension on a world that
+    has none attached -- exercise that construction path directly."""
+    world = World(model="niagara-t3", seed=3)
+    assert world.smp is None
+    smp = SmpExtension(world, 1)
+    lock = make_lock("ticket", smp, "solo")
+    assert lock.algo == "ticket"

@@ -120,3 +120,68 @@ class TestModes:
         assert rt.obs is None
         # No instance-level shadows on the hot-path objects.
         assert "spend" not in rt.world.__dict__
+
+
+class TestHarvestSmp:
+    def _busy_main(self):
+        def worker(pt, box):
+            for _ in range(10):
+                yield pt.work(400)
+                yield pt.delay_us(40)
+            box["done"] += 1
+
+        def main(pt):
+            box = {"done": 0}
+            a = yield pt.create(worker, box)
+            b = yield pt.create(worker, box)
+            yield pt.join(a)
+            yield pt.join(b)
+            assert box["done"] == 2
+
+        return main
+
+    def test_smp_counters_harvested_on_two_cpus(self):
+        obs = Observability()
+        rt = PthreadsRuntime(
+            config=RuntimeConfig(pool_size=16, timeslice_us=1_000.0),
+            obs=obs,
+            ncpus=2,
+        )
+        rt.main(self._busy_main(), priority=64)
+        rt.run()
+        snap = obs.snapshot()
+        metrics = snap["metrics"]
+        assert metrics["smp.ncpus"] == 2
+        assert metrics["smp.ipis_sent"] > 0
+        assert metrics["smp.ipis_delivered"] == metrics["smp.ipis_sent"]
+        assert "smp.cpu_cycles.cpu0" in metrics
+        assert "smp.cpu_cycles.cpu1" in metrics
+        assert "smp." in obs.report()
+
+    def test_no_smp_counters_on_uniprocessor(self):
+        obs, rt = run_observed(contended_main)
+        metrics = obs.snapshot()["metrics"]
+        assert not any(name.startswith("smp.") for name in metrics)
+
+    def test_harvest_smp_directly_from_extension(self):
+        """The lock-zoo tooling harvests an extension with no runtime."""
+        from repro.sim.smp import SmpExecutor
+        from repro.sim.world import World
+
+        world = World(model="niagara-t3", seed=2, ncpus=2)
+        smp = world.smp
+        cell = smp.cell("n")
+
+        def body():
+            for _ in range(3):
+                yield ("fetch_add", cell, 1)
+
+        ex = SmpExecutor(world, smp)
+        ex.spawn(body(), cpu=0)
+        ex.spawn(body(), cpu=1)
+        ex.run()
+        obs = Observability()
+        obs.harvest_smp(smp)
+        metrics = obs.registry.snapshot()
+        assert metrics["smp.ncpus"] == 2
+        assert metrics["smp.line_bounces"] > 0

@@ -1,0 +1,326 @@
+"""Unit tests for the SMP machine: cache directory, shared atomics,
+IPIs, the executor's interleaving rule, and world integration.
+
+The one property everything else leans on: ``World(ncpus=1)`` is the
+same object graph as before the SMP subsystem existed (``world.smp is
+None``), so the golden Table 2 timings cannot move.
+"""
+
+import pytest
+
+from repro.hw import costs
+from repro.hw.atomic import SharedCell
+from repro.hw.memory import CacheDirectory
+from repro.sim.smp import (
+    SmpDeadlockError,
+    SmpExecutor,
+    SmpExtension,
+)
+from repro.sim.world import World
+
+TABLE = costs.NIAGARA_T3.table()
+
+
+def make_smp(ncpus, cpus_per_chip=16, model="niagara-t3"):
+    world = World(model=model, seed=7, ncpus=ncpus,
+                  cpus_per_chip=cpus_per_chip)
+    return world, world.smp
+
+
+# -- cache directory ---------------------------------------------------------
+
+
+def test_first_touch_is_free_then_local_hits():
+    d = CacheDirectory(4, TABLE)
+    line = d.line("l")
+    assert d.write(0, line, now=0) == 0  # cold take: no transfer
+    assert line.owner == 0
+    assert d.write(0, line, now=10) == 0  # owned: free
+    assert d.read(0, line, now=20) == 0
+
+
+def test_exclusive_transfer_costs_and_bounces():
+    d = CacheDirectory(4, TABLE)
+    line = d.line("l")
+    d.write(0, line, now=0)
+    extra = d.write(1, line, now=0)
+    assert extra >= TABLE[costs.LINE_TRANSFER_NEAR]
+    assert line.owner == 1
+    assert line.bounces == 1
+    assert d.bounces == 1
+
+
+def test_far_transfer_costs_more_than_near():
+    d = CacheDirectory(32, TABLE, cpus_per_chip=4)
+    near_line = d.line("near")
+    d.write(0, near_line, now=0)
+    near = d.write(1, near_line, now=10_000)  # same chip (0-3)
+    far_line = d.line("far")
+    d.write(0, far_line, now=0)
+    far = d.write(5, far_line, now=10_000)  # chip 1
+    assert far > near
+    assert far >= TABLE[costs.LINE_TRANSFER_FAR]
+
+
+def test_busy_line_serializes_transfers():
+    """Back-to-back exclusive grabs queue behind the line transfer --
+    the mechanism that makes test-and-set collapse at high CPU counts."""
+    d = CacheDirectory(4, TABLE)
+    line = d.line("l")
+    d.write(0, line, now=0)
+    first = d.write(1, line, now=100)
+    second = d.write(2, line, now=100)  # same instant: must wait
+    assert second > first
+
+
+def test_read_joins_sharers_without_stealing_ownership():
+    d = CacheDirectory(4, TABLE)
+    line = d.line("l")
+    d.write(0, line, now=0)
+    extra = d.read(1, line, now=0)
+    assert extra > 0  # the copy crosses the interconnect
+    assert line.owner is None  # demoted to shared
+    assert line.holders() == {0, 1}
+    assert d.bounces == 1  # the demotion itself is a serialized transfer
+    # Further readers join the (now shared) line without bouncing it.
+    d.read(2, line, now=50)
+    assert line.holders() == {0, 1, 2}
+    assert d.bounces == 1
+    assert d.shared_joins == 1
+
+
+def test_write_invalidates_all_sharers():
+    d = CacheDirectory(4, TABLE)
+    line = d.line("l")
+    d.write(0, line, now=0)
+    d.read(1, line, now=0)
+    d.read(2, line, now=0)
+    version = line.version
+    d.write(3, line, now=1_000)
+    assert line.owner == 3
+    assert line.holders() == {3}
+    assert line.version > version
+
+
+def test_directory_counters_and_signature():
+    d = CacheDirectory(4, TABLE)
+    line = d.line("l")
+    d.write(0, line, now=0)
+    d.write(1, line, now=0)
+    got = d.counters()
+    assert got["smp.line_bounces"] == 1
+    sig1 = d.signature()
+    d.write(2, line, now=0)
+    assert d.signature() != sig1
+
+
+# -- world integration -------------------------------------------------------
+
+
+def test_uniprocessor_world_has_no_smp_extension():
+    world = World(seed=1)
+    assert world.smp is None
+    world1 = World(seed=1, ncpus=1)
+    assert world1.smp is None
+    assert world1.state_digest() == world.state_digest()
+
+
+def test_multiprocessor_world_attaches_extension():
+    world, smp = make_smp(4)
+    assert smp.ncpus == 4
+    assert len(smp.cpus) == 4
+    assert smp.cpus[0].clock is world.clock  # CPU 0 IS the old world
+    assert smp.cpus[0].events is world.events
+    assert smp.cpus[1].clock is not world.clock
+    assert smp.interrupt_cpu == 1
+
+
+def test_smp_state_digest_tracks_coherence_traffic():
+    world, smp = make_smp(2)
+    before = world.state_digest()
+    cell = smp.cell("x")
+    smp.cpus[0].store(cell, 1)
+    smp.cpus[1].store(cell, 2)
+    assert world.state_digest() != before
+
+
+def test_world_rejects_bad_ncpus():
+    with pytest.raises(ValueError):
+        World(ncpus=0)
+
+
+# -- shared atomics on CPUs --------------------------------------------------
+
+
+def test_shared_cell_atomics_charge_local_then_remote():
+    _, smp = make_smp(2)
+    cell = smp.cell("word")
+    cpu0, cpu1 = smp.cpus
+    cpu0.store(cell, 0)
+    t0 = cpu0.clock.cycles
+    assert cpu0.ldstub(cell) == 0  # owned line: base cost only
+    local_cost = cpu0.clock.cycles - t0
+    assert local_cost == TABLE[costs.LDSTUB]
+    t1 = cpu1.clock.cycles
+    cpu1.ldstub(cell)  # line must bounce over
+    remote_cost = cpu1.clock.cycles - t1
+    assert remote_cost > local_cost
+
+
+def test_fetch_add_and_swap_return_old_values():
+    _, smp = make_smp(2)
+    cell = smp.cell("ctr", 10)
+    assert smp.cpus[0].fetch_add(cell, 5) == 10
+    assert cell.value == 15
+    assert smp.cpus[1].swap(cell, 99) == 15
+    assert cell.value == 99
+
+
+def test_cas_on_cpu_checks_expected():
+    _, smp = make_smp(2)
+    cell = smp.cell("flag", 0)
+    assert smp.cpus[0].compare_and_swap(cell, 0, 1)
+    assert not smp.cpus[1].compare_and_swap(cell, 0, 2)
+    assert cell.value == 1
+
+
+# -- IPIs --------------------------------------------------------------------
+
+
+def test_ipi_charges_send_and_delivers_later():
+    world, smp = make_smp(2)
+    hits = []
+    src, dst = smp.cpus[1], smp.cpus[0]
+    start_dst = dst.clock.cycles
+    smp.send_ipi(1, 0, lambda: hits.append(dst.clock.cycles))
+    assert smp.ipis_sent == 1
+    assert src.clock.cycles >= TABLE[costs.IPI_SEND]
+    assert not hits  # not yet: latency stands between send and receive
+    world.clock.advance_to(world.events.next_time())
+    world.fire_due()
+    assert hits
+    assert smp.ipis_delivered == 1
+    assert hits[0] >= start_dst + TABLE[costs.IPI_LATENCY]
+
+
+def test_ipi_counters_surface_in_extension_counters():
+    world, smp = make_smp(2)
+    smp.send_ipi(1, 0, lambda: None)
+    world.clock.advance_to(world.events.next_time())
+    world.fire_due()
+    got = smp.counters()
+    assert got["smp.ipis_sent"] == 1
+    assert got["smp.ipis_delivered"] == 1
+
+
+# -- the executor ------------------------------------------------------------
+
+
+def simple_counter(cell, rounds):
+    for _ in range(rounds):
+        yield ("fetch_add", cell, 1)
+        yield ("spend_cycles", 50)
+
+
+def test_executor_runs_tasks_to_completion():
+    world, smp = make_smp(2)
+    cell = smp.cell("total")
+    ex = SmpExecutor(world, smp)
+    ex.spawn(simple_counter(cell, 5), cpu=0)
+    ex.spawn(simple_counter(cell, 5), cpu=1)
+    ex.run()
+    assert cell.value == 10
+    assert ex.live == 0
+    assert ex.makespan >= max(cpu.clock.cycles for cpu in smp.cpus)
+
+
+def test_executor_interleaves_by_lowest_clock():
+    """The cheap task (small spends) retires more steps early on; the
+    expensive CPU's clock races ahead and stops being picked."""
+    world, smp = make_smp(2)
+
+    def burner(n):
+        for _ in range(n):
+            yield ("spend_cycles", 10_000)
+
+    def sipper(n):
+        for _ in range(n):
+            yield ("spend_cycles", 10)
+
+    ex = SmpExecutor(world, smp)
+    ex.spawn(burner(3), cpu=0)
+    ex.spawn(sipper(300), cpu=1)
+    ex.run()
+    # Each CPU's clock is its task's spends plus dispatch overhead.
+    dispatch = TABLE[costs.SMP_DISPATCH]
+    assert 30_000 <= smp.cpus[0].clock.cycles <= 30_000 + 4 * dispatch
+    assert 3_000 <= smp.cpus[1].clock.cycles <= 3_000 + 4 * dispatch
+
+
+def test_spin_read_parks_and_wakes_on_store():
+    world, smp = make_smp(2)
+    flag = smp.cell("flag")
+    seen = []
+
+    def waiter():
+        value = yield ("spin_read", flag, lambda v: v == 1)
+        seen.append(value)
+
+    def setter():
+        yield ("spend_cycles", 5_000)
+        yield ("store", flag, 1)
+
+    ex = SmpExecutor(world, smp)
+    ex.spawn(waiter(), cpu=0)
+    ex.spawn(setter(), cpu=1)
+    ex.run()
+    assert seen == [1]
+    assert smp.cpus[0].spin_cycles > 0  # the wait was accounted
+
+
+def test_all_parked_tasks_deadlock():
+    world, smp = make_smp(2)
+    flag = smp.cell("never")
+
+    def waiter():
+        yield ("spin_read", flag, lambda v: v == 1)
+
+    ex = SmpExecutor(world, smp)
+    ex.spawn(waiter(), cpu=0)
+    with pytest.raises(SmpDeadlockError):
+        ex.run()
+
+
+def test_work_stealing_migrates_queued_tasks():
+    world, smp = make_smp(2)
+    cell = smp.cell("n")
+    ex = SmpExecutor(world, smp, migration=True)
+    for _ in range(4):  # all on CPU 0; CPU 1 idles and must steal
+        ex.spawn(simple_counter(cell, 3), cpu=0)
+    ex.run()
+    assert cell.value == 12
+    assert smp.migrations > 0
+    assert smp.cpus[1].migrations_in > 0
+    assert smp.counters()["smp.migrations"] == smp.migrations
+
+
+def test_executor_is_deterministic():
+    def makespan():
+        world, smp = make_smp(4)
+        cell = smp.cell("n")
+        ex = SmpExecutor(world, smp)
+        for cpu in range(4):
+            ex.spawn(simple_counter(cell, 10), cpu=cpu)
+        ex.run()
+        return ex.makespan, ex.steps, smp.signature()
+
+    assert makespan() == makespan()
+
+
+def test_per_cpu_rng_streams_are_stable_and_distinct():
+    _, smp_a = make_smp(2)
+    _, smp_b = make_smp(2)
+    draws_a = [cpu.rng.randint(0, 1 << 30) for cpu in smp_a.cpus]
+    draws_b = [cpu.rng.randint(0, 1 << 30) for cpu in smp_b.cpus]
+    assert draws_a == draws_b  # same seed, same streams
+    assert draws_a[0] != draws_a[1]  # but the streams differ
