@@ -21,17 +21,30 @@ the server level.  A second sweep re-enables the cache and shows the
 gap narrow: ``pthread_create`` pre-caching is itself a thread pool,
 one layer down.
 
+After the architecture grid, the ``sf`` scale-factor fixtures push the
+dispatcher architectures into the long-lived high-concurrency regime:
+thousands to tens of thousands of concurrently connected clients,
+think time far above the arrival window, per-sample normalized rows.
+
 Shape assertions (the acceptance bar for this subsystem):
 
 - at the highest client count the pooled server sustains at least 2x
   the throughput of thread-per-connection;
 - the select dispatcher holds the best accept latency (connections
-  never wait on thread lifecycle to be picked up).
+  never wait on thread lifecycle to be picked up);
+- select beats epoll on the short-lived connection sweep (epoll_ctl
+  per accept never amortizes over a single request) and epoll beats
+  select on sf1 (the watched set is large and mostly idle, so the
+  O(n) scan stops amortizing) -- the crossover, pinned from both
+  sides;
+- sf rows hold their full client count concurrently resident
+  (``peak_clients == clients``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -40,8 +53,11 @@ from repro.bench.adapters import net_suite_result
 from repro.bench.suites import (
     NET_ARCHS as ARCHS,
     NET_CLIENT_SWEEP as CLIENT_SWEEP,
+    NET_SF_DEFAULT,
+    NET_SF_FIXTURES,
     run_net,
     run_net_point,
+    run_sf_point,
 )
 
 pytestmark = pytest.mark.net
@@ -111,6 +127,46 @@ def test_create_cache_narrows_the_architecture_gap(sweep):
     assert warm_ratio > 1.0
 
 
+def test_the_crossover_short_lived_connections_favour_select(sweep):
+    """One request per connection: the per-accept ``epoll_ctl`` is pure
+    overhead (it never amortizes), so select wins the open-loop sweep
+    at every offered load."""
+    for clients in CLIENT_SWEEP:
+        select = _by(sweep["results"], "select", clients)
+        epoll = _by(sweep["results"], "epoll", clients)
+        assert select["throughput_rps"] > epoll["throughput_rps"], clients
+
+
+def _sf_row(sweep, sf, arch):
+    (row,) = [
+        r for r in sweep["sf_results"]
+        if r["sf"] == sf and r["arch"] == arch
+    ]
+    return row
+
+
+def test_the_crossover_longlived_concurrency_favours_epoll(sweep):
+    """sf1: 1000 clients stay connected for eight request rounds; the
+    watched set is large and mostly idle, select's O(n) scan stops
+    amortizing, and the one-time registration cost pays for itself."""
+    select = _sf_row(sweep, "sf1", "select")
+    epoll = _sf_row(sweep, "sf1", "epoll")
+    assert epoll["throughput_rps"] >= select["throughput_rps"]
+    assert epoll["latency_p50_us"] < select["latency_p50_us"]
+    assert epoll["latency_p99_us"] < select["latency_p99_us"]
+
+
+def test_sf_rows_hold_the_full_fleet_concurrently(sweep):
+    for name in NET_SF_DEFAULT:
+        for arch in NET_SF_FIXTURES[name]["archs"]:
+            row = _sf_row(sweep, name, arch)
+            assert row["peak_clients"] == row["clients"]
+            assert (
+                row["replies"]
+                == row["clients"] * row["requests_per_client"]
+            )
+
+
 def test_sweep_is_deterministic(sweep):
     """Re-running one grid point reproduces its row bit-for-bit."""
     again = run_net_point("pool", CLIENT_SWEEP[0], pool_size=0)
@@ -123,12 +179,31 @@ def test_output_file_is_valid_json(sweep):
     assert len(on_disk["results"]) == len(ARCHS) * len(CLIENT_SWEEP)
 
 
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_NET_SF100"),
+    reason="opt-in (REPRO_NET_SF100=1): ~10^5 clients, minutes of host time",
+)
+def test_sf100_holds_a_hundred_thousand_clients_concurrently():
+    """The headline scale point: one epoll dispatcher thread owning
+    10^5 concurrently connected clients, every request answered."""
+    row = run_sf_point("sf100", "epoll")
+    assert row["peak_clients"] == 100_000
+    assert row["replies"] == 200_000
+    assert row["throughput_rps"] > 0
+
+
 def test_normalized_records_are_schema_valid(sweep):
     from repro.bench.schema import SuiteResult
 
     result = SuiteResult.load(RECORDS)
     assert result.suite == "net"
-    # One elapsed_us oracle per grid cell, cold sweep + warm sweep.
+    # One elapsed_us oracle per grid cell: cold + warm + sf rows.
+    sf_cells = sum(
+        len(NET_SF_FIXTURES[name]["archs"]) for name in NET_SF_DEFAULT
+    )
     oracles = [r for r in result.records if r.metric == "elapsed_us"]
-    assert len(oracles) == len(ARCHS) * len(CLIENT_SWEEP) + len(ARCHS)
+    assert len(oracles) == (
+        len(ARCHS) * len(CLIENT_SWEEP) + len(ARCHS) + sf_cells
+    )
     assert all(r.direction == "exact" for r in oracles)
+    assert result.config["sf"] == sorted(NET_SF_DEFAULT)

@@ -238,8 +238,51 @@ def net_suite_result(
                 rec(counter, row[counter], "count", "info")
             rec("queue_wait_p99_us", row["queue_wait_p99_us"], "us", "info")
 
+    def add_sf_rows(rows):
+        # Scale-factor fixtures: per-sample metrics, so the bands stay
+        # meaningful across 10^3..10^5-client rows.
+        for row in rows:
+            params = {
+                "sf": row["sf"],
+                "clients": row["clients"],
+                "sweep": "sf",
+            }
+            workload = row["arch"]
+
+            def rec(metric, value, unit, direction):
+                records.append(
+                    BenchRecord(
+                        suite=suite,
+                        workload=workload,
+                        metric=metric,
+                        value=value,
+                        unit=unit,
+                        direction=direction,
+                        params=params,
+                    )
+                )
+
+            rec("elapsed_us", row["elapsed_us"], "us", "exact")
+            rec("peak_clients", row["peak_clients"], "count", "exact")
+            rec("throughput_rps", row["throughput_rps"], "req/s", "higher")
+            rec("latency_p50_us", row["latency_p50_us"], "us", "info")
+            rec("latency_p99_us", row["latency_p99_us"], "us", "lower")
+            rec("latency_mean_us", row["latency_mean_us"], "us", "info")
+            rec("syscalls_per_request", row["syscalls_per_request"],
+                "count", "lower")
+            for counter in (
+                "replies",
+                "epoll_waits",
+                "epoll_wakeups",
+                "epoll_ctl_calls",
+                "epoll_ready_returned",
+                "epoll_stale_dropped",
+            ):
+                rec(counter, row[counter], "count", "info")
+
     add_rows(payload["results"], "cold")
     add_rows(payload.get("cache_on_results", []), "warm")
+    add_sf_rows(payload.get("sf_results", []))
     cold = payload["results"]
     config = {
         "client_sweep": sorted({row["clients"] for row in cold}),
@@ -250,6 +293,7 @@ def net_suite_result(
         ),
         "load": dict(payload.get("load", {})),
         "model": payload.get("model", "sparc-ipx"),
+        "sf": sorted({row["sf"] for row in payload.get("sf_results", [])}),
     }
     return SuiteResult(
         suite=suite, env=env, config=config, records=records

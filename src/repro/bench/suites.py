@@ -153,9 +153,52 @@ NET_LOAD: Dict[str, Any] = dict(
     first_class=True,  # identical completion path for all three archs
 )
 
-NET_ARCHS = ("perconn", "pool", "select")
+NET_ARCHS = ("perconn", "pool", "select", "epoll")
 NET_CLIENT_SWEEP = (50, 200, 1000)
 NET_CACHE_POOL_SIZE = 64
+
+#: Closed-loop scale-factor fixtures: long-lived connections, many
+#: request rounds, think time far above the arrival window so peak
+#: concurrency equals the client count.  This is the regime the epoll
+#: interest list exists for -- a huge watched set that is mostly idle
+#: at any instant -- and the regime where select's O(n) scan per
+#: wakeup stops amortizing.  ``archs`` is part of the fixture because
+#: select's per-call fd-set rebuild is host-prohibitive past ~10^3
+#: registered descriptors; sf10 up runs the epoll dispatcher only.
+NET_SF_FIXTURES: Dict[str, Dict[str, Any]] = {
+    "sf1": dict(
+        clients=1000,
+        requests_per_client=8,
+        mean_gap_us=150.0,
+        archs=("select", "epoll"),
+    ),
+    "sf10": dict(
+        clients=10000,
+        requests_per_client=4,
+        mean_gap_us=15.0,
+        archs=("epoll",),
+    ),
+    "sf100": dict(  # opt-in: ~10^5 concurrent clients, minutes of host time
+        clients=100000,
+        requests_per_client=2,
+        mean_gap_us=1.5,
+        archs=("epoll",),
+    ),
+}
+
+#: sf100 stays out of the default (and therefore archived/CI) set.
+NET_SF_DEFAULT = ("sf1", "sf10")
+
+#: Load shape shared by every sf fixture (clients/gap/rounds vary).
+NET_SF_LOAD: Dict[str, Any] = dict(
+    arrival="poisson",
+    think_us=200000.0,
+    service_cycles=100,
+    req_bytes=256,
+    resp_bytes=1024,
+    seed=42,
+    latency_us=60.0,
+)
 
 
 def run_net_point(
@@ -192,11 +235,53 @@ def run_net_point(
     }
 
 
+def run_sf_point(sf: str, arch: str) -> Dict[str, Any]:
+    """One scale-factor cell: run the fixture, emit a normalized row.
+
+    Every rate/percentile is per-sample (per reply), so rows are
+    comparable across fixtures whose client and request counts differ
+    by orders of magnitude.
+    """
+    from repro.net.scenario import run_scenario
+
+    fixture = dict(NET_SF_FIXTURES[sf])
+    fixture.pop("archs")
+    clients = fixture.pop("clients")
+    report = run_scenario(
+        arch=arch, clients=clients, backlog=clients,
+        **fixture, **NET_SF_LOAD
+    )
+    expected = clients * report.requests_per_client
+    assert report.refused == 0
+    assert report.replies == expected  # every request answered
+    assert report.peak_clients == clients  # all concurrently resident
+    return {
+        "sf": sf,
+        "arch": arch,
+        "clients": clients,
+        "requests_per_client": report.requests_per_client,
+        "replies": report.replies,
+        "peak_clients": report.peak_clients,
+        "elapsed_us": round(report.elapsed_us, 1),
+        "throughput_rps": round(report.throughput_rps, 1),
+        "latency_mean_us": round(report.latency_mean_us, 1),
+        "latency_p50_us": round(report.latency_p50_us, 1),
+        "latency_p99_us": round(report.latency_p99_us, 1),
+        "syscalls_per_request": round(report.syscalls / report.replies, 3),
+        "epoll_waits": report.epoll_waits,
+        "epoll_wakeups": report.epoll_wakeups,
+        "epoll_ctl_calls": report.epoll_ctl_calls,
+        "epoll_ready_returned": report.epoll_ready_returned,
+        "epoll_stale_dropped": report.epoll_stale_dropped,
+    }
+
+
 def run_net(
     client_sweep: Sequence[int] = NET_CLIENT_SWEEP,
     archs: Sequence[str] = NET_ARCHS,
     cache_pool_size: int = NET_CACHE_POOL_SIZE,
     load: Optional[Dict[str, Any]] = None,
+    sf: Sequence[str] = NET_SF_DEFAULT,
 ) -> Dict[str, Any]:
     """The full sweep payload (``BENCH_net.json`` shape).
 
@@ -204,7 +289,9 @@ def run_net(
     to isolate the architecture comparison; a second sweep at the top
     client count re-enables the cache and shows the gap narrow --
     ``pthread_create`` pre-caching is itself a thread pool, one layer
-    down.
+    down.  The ``sf`` scale-factor fixtures then push the dispatcher
+    architectures into the long-lived high-concurrency regime
+    (``NET_SF_FIXTURES``); sf100 is opt-in (pass ``sf`` explicitly).
     """
     load = dict(NET_LOAD if load is None else load)
     results = [
@@ -216,12 +303,18 @@ def run_net(
         run_net_point(arch, client_sweep[-1], cache_pool_size, load=load)
         for arch in archs
     ]
+    sf_results = [
+        run_sf_point(name, arch)
+        for name in sf
+        for arch in NET_SF_FIXTURES[name]["archs"]
+    ]
     return {
         "suite": "net-architecture-sweep",
         "model": "sparc-ipx",
         "load": load,
         "results": results,
         "cache_on_results": cached,
+        "sf_results": sf_results,
     }
 
 

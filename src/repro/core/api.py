@@ -356,8 +356,31 @@ class PT:
         return LibCall("select", (list(fds),), {"timeout_us": timeout_us})
 
     def close(self, fd: int) -> LibCall:
-        """Close a descriptor (socket or device mapping) -> err."""
+        """Close a descriptor (socket, epoll, or device mapping) -> err."""
         return LibCall("net_close", (fd,))
+
+    def epoll_create(self) -> LibCall:
+        """A new epoll interest-list fd (-1 when no network stack)."""
+        return LibCall("epoll_create")
+
+    def epoll_ctl(self, epfd: int, op: str, fd: int) -> LibCall:
+        """Register (``"add"``) / deregister (``"del"``) ``fd`` -> err."""
+        return LibCall("epoll_ctl", (epfd, op, fd))
+
+    def epoll_wait(
+        self,
+        epfd: int,
+        maxevents: Optional[int] = None,
+        timeout_us: Optional[float] = None,
+    ) -> LibCall:
+        """Wait for readiness on the interest list -> ``(err, ready_fds)``.
+
+        O(ready), not O(registered): the kernel pushes readiness edges
+        to the interest list, so a wakeup never probes idle fds."""
+        return LibCall(
+            "epoll_wait", (epfd,),
+            {"maxevents": maxevents, "timeout_us": timeout_us},
+        )
 
     # -- jumps ----------------------------------------------------------------------------------------------
 

@@ -37,7 +37,7 @@ from repro.core.errors import (
 )
 from repro.core.libbase import BLOCKED, LibraryOps
 from repro.core.tcb import Tcb
-from repro.unix.net import NetRequest, Socket
+from repro.unix.net import EpollInstance, NetRequest, Socket
 
 
 class NetOps(LibraryOps):
@@ -64,6 +64,9 @@ class NetOps(LibraryOps):
         "recv": "lib_recv",
         "select": "lib_select",
         "net_close": "lib_close",
+        "epoll_create": "lib_epoll_create",
+        "epoll_ctl": "lib_epoll_ctl",
+        "epoll_wait": "lib_epoll_wait",
     }
 
     # -- non-blocking setup calls -------------------------------------------
@@ -115,7 +118,69 @@ class NetOps(LibraryOps):
             rt.kern.enter()
             rt.net.sys_close(obj)
             rt.kern.leave()
+        elif isinstance(obj, EpollInstance):
+            rt.kern.enter()
+            rt.net.sys_epoll_close(obj)
+            rt.kern.leave()
         return OK
+
+    # -- epoll (interest lists; see repro.unix.net.EpollInstance) -----------
+
+    def lib_epoll_create(self, tcb: Tcb) -> int:
+        del tcb
+        rt = self.rt
+        if rt.net is None:
+            return -1
+        rt.kern.enter()
+        ep = rt.net.sys_epoll_create()
+        fd = rt.fds.alloc(ep)
+        rt.kern.leave()
+        return fd
+
+    def lib_epoll_ctl(self, tcb: Tcb, epfd: int, op: str, fd: int) -> int:
+        del tcb
+        rt = self.rt
+        ep = self._epoll(epfd)
+        if ep is None:
+            return EBADF
+        sock = self._sock(fd)
+        if op == "add" and sock is None:
+            return EBADF
+        rt.kern.enter()
+        ok = rt.net.sys_epoll_ctl(ep, op, fd, sock)
+        rt.kern.leave()
+        return OK if ok else EINVAL
+
+    def lib_epoll_wait(
+        self,
+        tcb: Tcb,
+        epfd: int,
+        maxevents: Optional[int] = None,
+        timeout_us: Optional[float] = None,
+    ) -> Any:
+        rt = self.rt
+        ep = self._epoll(epfd)
+        if ep is None:
+            return (EBADF, [])
+        if rt.cancel_ops.act_if_pending(tcb):
+            return BLOCKED
+        rt.kern.enter()
+        ready = rt.net.sys_epoll_wait(ep, maxevents)
+        if ready != "block":
+            rt.kern.leave()
+            return (OK, ready)
+        if timeout_us is not None and timeout_us <= 0:
+            rt.kern.leave()
+            return (OK, [])
+        request = rt.net.wait_epoll(ep, tcb)
+        record = self._park(tcb, rt.net, request, "epoll_wait", epfd)
+        if timeout_us is not None:
+            handle = rt.timer_ops.add_timeout(
+                timeout_us, lambda: self._select_timeout(tcb, request)
+            )
+            record.data["timeout_handle"] = handle
+        rt.kern.leave()
+        return BLOCKED
 
     # -- blocking calls ------------------------------------------------------
 
@@ -246,6 +311,10 @@ class NetOps(LibraryOps):
     def _sock(self, fd: int) -> Optional[Socket]:
         obj = self.rt.fds.get(fd)
         return obj if isinstance(obj, Socket) else None
+
+    def _epoll(self, fd: int) -> Optional[EpollInstance]:
+        obj = self.rt.fds.get(fd)
+        return obj if isinstance(obj, EpollInstance) else None
 
     def _park(
         self, tcb: Tcb, obj: Any, request: NetRequest, op: str, fd: int

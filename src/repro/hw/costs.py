@@ -63,6 +63,13 @@ RECV_WORK = "recv_work"  # copy out of the socket rx buffer
 SELECT_WORK = "select_work"  # select/poll fixed entry cost
 SELECT_PER_FD = "select_per_fd"  # per-descriptor readiness probe
 NET_DELIVER = "net_deliver"  # in-kernel packet arrival bookkeeping
+# Epoll-style interest lists: the kernel keeps the registration, so a
+# wait scans only the ready set (O(ready)) instead of probing every
+# watched descriptor (select's O(n) SELECT_PER_FD loop).
+EPOLL_WORK = "epoll_work"  # epoll_create: allocate the interest list
+EPOLL_CTL_WORK = "epoll_ctl_work"  # add/remove one registration
+EPOLL_WAIT_WORK = "epoll_wait_work"  # epoll_wait fixed entry cost
+EPOLL_PER_READY = "epoll_per_ready"  # per *ready* descriptor reported
 
 # Memory allocation.
 HEAP_ALLOC = "heap_alloc"  # malloc-level allocation (no sbrk)
@@ -168,6 +175,10 @@ _DEFAULT_CYCLES: Dict[str, int] = {
     SELECT_WORK: 120,
     SELECT_PER_FD: 12,
     NET_DELIVER: 40,
+    EPOLL_WORK: 150,
+    EPOLL_CTL_WORK: 70,
+    EPOLL_WAIT_WORK: 110,
+    EPOLL_PER_READY: 8,
     UNIX_SIGNAL_DELIVER: 6160,
     UNIX_SIGRETURN: 1100,
     PROC_SWITCH: 4900,

@@ -7,7 +7,9 @@ Examples::
 
     python -m repro.net serve --arch pool --clients 1000 --seed 42
     python -m repro.net serve --arch select --clients 200 --arrival bursty
+    python -m repro.net serve --arch epoll --sf sf10
     python -m repro.net compare --clients 200
+    python -m repro.net compare --sf sf1 --jobs 2
 """
 
 from __future__ import annotations
@@ -52,14 +54,39 @@ def _add_scenario_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--first-class", choices=("auto", "on", "off"),
                      default="auto",
                      help="completion path: first-class channel vs SIGIO "
-                          "(auto = first-class for the select arch)")
+                          "(auto = first-class for the select and epoll "
+                          "archs)")
+    sub.add_argument("--sf", choices=("sf1", "sf10", "sf100"), default=None,
+                     help="run a scale-factor fixture (long-lived "
+                          "high-concurrency load; overrides the load flags)")
 
 
 def _first_class(value: str) -> Optional[bool]:
     return {"auto": None, "on": True, "off": False}[value]
 
 
+def _sf_cell(arch: str, name: str) -> dict:
+    """A ``run_scenario`` cell for one scale-factor fixture."""
+    from repro.bench.suites import NET_SF_FIXTURES, NET_SF_LOAD
+
+    fixture = dict(NET_SF_FIXTURES[name])
+    fixture.pop("archs")
+    clients = fixture.pop("clients")
+    cell = dict(arch=arch, clients=clients, backlog=clients)
+    cell.update(fixture)
+    cell.update(NET_SF_LOAD)
+    return cell
+
+
+def _sf_archs(name: str) -> tuple:
+    from repro.bench.suites import NET_SF_FIXTURES
+
+    return tuple(NET_SF_FIXTURES[name]["archs"])
+
+
 def _cell(arch: str, args: argparse.Namespace) -> dict:
+    if getattr(args, "sf", None):
+        return _sf_cell(arch, args.sf)
     return dict(
         arch=arch,
         clients=args.clients,
@@ -96,7 +123,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
     byte-identical (results merge by cell index), and the fleet note --
     execution detail, not data -- goes to stderr.
     """
-    cells = [_cell(arch, args) for arch in sorted(ARCHITECTURES)]
+    if args.archs:
+        archs = [a.strip() for a in args.archs.split(",") if a.strip()]
+        for arch in archs:
+            if arch not in ARCHITECTURES:
+                print("unknown architecture %r" % arch, file=sys.stderr)
+                return 2
+    elif args.sf:
+        # Fixture-scoped default: select's per-call fd-set rebuild is
+        # host-prohibitive past ~10^3 registered descriptors, so each
+        # fixture names the architectures it can afford.
+        archs = list(_sf_archs(args.sf))
+    else:
+        archs = sorted(ARCHITECTURES)
+    cells = [_cell(arch, args) for arch in archs]
     stats = FleetStats()
     reports = compare_scenarios(cells, jobs=args.jobs, stats=stats)
     if args.jobs > 1:
@@ -142,6 +182,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (output is byte-identical for any value)",
+    )
+    compare.add_argument(
+        "--archs", default=None,
+        help="comma-separated architectures (default: all, or the "
+             "fixture's own set under --sf)",
     )
     compare.set_defaults(fn=cmd_compare)
 

@@ -1,13 +1,17 @@
 """Deterministic open-loop load generator for the simulated network.
 
-Clients live *in the kernel* (remote peers), not in the library: they
-are pure event-driven state machines over
-:meth:`~repro.unix.net.NetStack.remote_connect` /
-``remote_send`` / ``remote_close``, so generating load costs the
-process under test nothing but the deliveries themselves.  Arrival
-times, and nothing else, come from a salted fork of the world RNG --
-the same seed always produces the same arrival schedule, byte counts,
-and therefore the same run.
+Clients live *in the kernel* (remote peers), not in the library: each
+one is a kernel-resident :class:`~repro.unix.net.ResidentClient` state
+record -- no thread, no generator, no stack -- advanced directly by
+event-horizon entries (its pre-scheduled arrival, link deliveries, and
+think-time wakeups).  This front-end only *compiles* the arrival
+process: arrival times, and nothing else, come from a salted fork of
+the world RNG -- the same seed always produces the same arrival
+schedule, byte counts, and therefore the same run.  The per-client
+protocol and all result counters live in the shared
+:class:`~repro.unix.net.ResidentClientEngine`, which this class
+delegates to, so a client costs O(1) memory and the fleet scales to
+the sf100 fixture (10^5 concurrent clients) and beyond.
 
 Open-loop: client arrivals follow the configured process regardless of
 how the server is coping (the server being slow does not slow the
@@ -25,9 +29,9 @@ queueing and service).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
-from repro.unix.net import NetStack, Message
+from repro.unix.net import NetStack, ResidentClientEngine
 
 ARRIVALS = ("poisson", "bursty", "uniform")
 
@@ -77,19 +81,26 @@ class LoadGenerator:
         self.think_us = think_us
         self.start_us = start_us
         self._rng = self._world.rng.fork(rng_salt)
-        self._collector = collector
-        # -- results (virtual time only) --
-        self.latencies_us: List[float] = []
-        self.requests_sent = 0
-        self.replies = 0
-        self.refused = 0
-        self.completed = 0  # clients that finished all requests + closed
+        self._engine = ResidentClientEngine(
+            stack,
+            port,
+            requests_per_client=requests_per_client,
+            req_bytes=req_bytes,
+            think_us=think_us,
+            collector=collector,
+        )
 
     # -- schedule ------------------------------------------------------------
 
     def start(self) -> None:
-        """Schedule every client arrival now; costs zero cycles."""
+        """Compile every client arrival to one pre-scheduled event.
+
+        Costs zero cycles: the fleet exists purely as event-horizon
+        entries whose actions are the records' bound ``arrive``
+        methods.
+        """
         world = self._world
+        engine = self._engine
         t = self.start_us
         for i in range(self.clients):
             if self.arrival == "poisson":
@@ -101,48 +112,38 @@ class LoadGenerator:
                 t += self.mean_gap_us
             world.schedule_in(
                 max(1, world.cycles_for_us(t - world.now_us)),
-                lambda cid=i: self._arrive(cid),
+                engine.client(i).arrive,
                 name="client-%d-arrive" % i,
             )
 
-    # -- one client's state machine ------------------------------------------
+    # -- results (all owned by the kernel-resident engine) ---------------------
 
-    def _arrive(self, cid: int) -> None:
-        state: Dict[str, Any] = {"sent": 0}
-        sock = self._stack.remote_connect(
-            self._port,
-            on_connected=lambda s: self._send_next(s, cid, state),
-            on_rx=lambda s, msg: self._on_reply(s, cid, state, msg),
-        )
-        if sock is None:
-            self.refused += 1
-            if self._collector is not None:
-                self._collector.refused += 1
+    @property
+    def latencies_us(self) -> List[float]:
+        return self._engine.latencies_us
 
-    def _send_next(self, sock, cid: int, state: Dict[str, Any]) -> None:
-        meta = {
-            "t0": self._world.now_us,
-            "cid": cid,
-            "rid": state["sent"],
-        }
-        state["sent"] += 1
-        self.requests_sent += 1
-        self._stack.remote_send(sock, self.req_bytes, meta)
+    @property
+    def requests_sent(self) -> int:
+        return self._engine.requests_sent
 
-    def _on_reply(
-        self, sock, cid: int, state: Dict[str, Any], msg: Message
-    ) -> None:
-        self.replies += 1
-        latency = self._world.now_us - msg.meta["t0"]
-        self.latencies_us.append(latency)
-        if self._collector is not None:
-            self._collector.latencies_us.append(latency)
-        if state["sent"] >= self.requests_per_client:
-            self._stack.remote_close(sock)
-            self.completed += 1
-            return
-        self._world.schedule_in(
-            max(1, self._world.cycles_for_us(self.think_us)),
-            lambda: self._send_next(sock, cid, state),
-            name="client-%d-think" % cid,
-        )
+    @property
+    def replies(self) -> int:
+        return self._engine.replies
+
+    @property
+    def refused(self) -> int:
+        return self._engine.refused
+
+    @property
+    def completed(self) -> int:
+        """Clients that finished all their requests and closed."""
+        return self._engine.completed
+
+    @property
+    def active_clients(self) -> int:
+        return self._engine.active
+
+    @property
+    def peak_concurrent_clients(self) -> int:
+        """High-water mark of clients admitted and not yet closed."""
+        return self._engine.peak_active

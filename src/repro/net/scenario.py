@@ -65,6 +65,12 @@ class ScenarioReport:
     backpressure_stalls: int = 0
     completions_sigio: int = 0
     completions_fc: int = 0
+    peak_clients: int = 0  # high-water mark of concurrently open clients
+    epoll_waits: int = 0
+    epoll_wakeups: int = 0
+    epoll_ctl_calls: int = 0
+    epoll_ready_returned: int = 0
+    epoll_stale_dropped: int = 0
     syscall_counts: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -101,7 +107,20 @@ class ScenarioReport:
             "backpressure stalls%12d" % self.backpressure_stalls,
             "completions        %12d sigio / %d first-class"
             % (self.completions_sigio, self.completions_fc),
+            "peak clients       %12d" % self.peak_clients,
         ]
+        if self.epoll_waits or self.epoll_ctl_calls:
+            lines.append(
+                "epoll              %12d waits / %d wakeups / %d ctl / "
+                "%d ready / %d stale"
+                % (
+                    self.epoll_waits,
+                    self.epoll_wakeups,
+                    self.epoll_ctl_calls,
+                    self.epoll_ready_returned,
+                    self.epoll_stale_dropped,
+                )
+            )
         return "\n".join(lines)
 
 
@@ -198,12 +217,13 @@ def run_scenario(
     """Run one scenario to completion and fold the results.
 
     ``first_class`` selects the completion path: ``None`` (default)
-    uses the Marsh & Scott channel for the select architecture -- whose
-    whole point is the fewest, cheapest wakeups -- and SIGIO (the
-    paper's shipping design) for the thread-based ones.
+    uses the Marsh & Scott channel for the single-dispatcher
+    architectures (select and epoll) -- whose whole point is the
+    fewest, cheapest wakeups -- and SIGIO (the paper's shipping
+    design) for the thread-based ones.
     """
     if first_class is None:
-        first_class = arch == "select"
+        first_class = arch in ("select", "epoll")
     collector = Collector()
     rt = PthreadsRuntime(
         model=model,
@@ -267,6 +287,12 @@ def run_scenario(
     report.backpressure_stalls = stack.backpressure_stalls
     report.completions_sigio = stack.sigio_completions
     report.completions_fc = stack.fc_completions
+    report.peak_clients = gen.peak_concurrent_clients
+    report.epoll_waits = stack.epoll_waits
+    report.epoll_wakeups = stack.epoll_wakeups
+    report.epoll_ctl_calls = stack.epoll_ctl_calls
+    report.epoll_ready_returned = stack.epoll_ready_returned
+    report.epoll_stale_dropped = stack.epoll_stale_dropped
     report.syscall_counts = dict(rt.unix.syscall_counts)
 
     if obs is not None:

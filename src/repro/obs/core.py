@@ -143,6 +143,14 @@ class Observability:
         put("unix.syscalls", runtime.unix.total_syscalls,
             "UNIX kernel calls made by the library")
 
+        events = world.events
+        put("exec.events.batch_pops", events.batch_pops,
+            "event-horizon drains that popped a same-timestamp batch")
+        put("exec.events.batched_events", events.batched_events,
+            "events retired through batched pops")
+        put("exec.events.max_batch", events.max_batch,
+            "largest same-timestamp batch drained")
+
         segments = runtime._segments
         if segments is not None:
             # exec.segment.*: the executor's replay cache.  All-zero
@@ -192,6 +200,38 @@ class Observability:
                 "sends that blocked on a full peer buffer")
             put("net.select_calls", net.select_calls,
                 "select syscalls issued")
+            put("net.epoll.instances", net.epoll_instances,
+                "epoll interest lists created")
+            put("net.epoll.ctl_calls", net.epoll_ctl_calls,
+                "interest-list add/del operations")
+            put("net.epoll.waits", net.epoll_waits,
+                "epoll_wait syscalls issued")
+            put("net.epoll.wakeups", net.epoll_wakeups,
+                "parked epoll waiters completed by a readiness edge")
+            put("net.epoll.edges", net.epoll_edges,
+                "readiness edges pushed into interest lists")
+            put("net.epoll.ready_returned", net.epoll_ready_returned,
+                "descriptors reported ready by waits")
+            put("net.epoll.stale_dropped", net.epoll_stale_dropped,
+                "ready entries found unreadable at wait time")
+            resident = net.resident
+            if resident is not None:
+                helps = {
+                    "loadgen.resident.spawned":
+                        "kernel-resident client records created",
+                    "loadgen.resident.active":
+                        "clients currently holding an open connection",
+                    "loadgen.resident.peak_active":
+                        "high-water mark of concurrently open clients",
+                    "loadgen.resident.completed":
+                        "clients that finished every request and closed",
+                    "loadgen.resident.refused":
+                        "client connects refused by the listener",
+                    "loadgen.resident.requests_sent": "requests sent",
+                    "loadgen.resident.replies": "replies received",
+                }
+                for nm, value in resident.counters().items():
+                    put(nm, value, helps.get(nm, ""))
 
         check = runtime.check
         if check is not None:

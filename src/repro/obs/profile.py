@@ -98,6 +98,10 @@ CATEGORY_OF_KEY: Dict[str, str] = {
     costs.RECV_WORK: SYSCALLS,
     costs.SELECT_WORK: SYSCALLS,
     costs.SELECT_PER_FD: SYSCALLS,
+    costs.EPOLL_WORK: SYSCALLS,
+    costs.EPOLL_CTL_WORK: SYSCALLS,
+    costs.EPOLL_WAIT_WORK: SYSCALLS,
+    costs.EPOLL_PER_READY: SYSCALLS,
     costs.NET_DELIVER: SYSCALLS,
     # Signal machinery (UNIX delivery and the library's own model).
     costs.UNIX_SIGNAL_DELIVER: SIGNAL_DELIVERY,

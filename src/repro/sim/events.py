@@ -68,13 +68,23 @@ class EventQueue:
       popping tombstones off the heap top.
     """
 
-    __slots__ = ("_heap", "_seq", "_live", "_horizon")
+    __slots__ = (
+        "_heap", "_seq", "_live", "_horizon",
+        "batch_pops", "batched_events", "max_batch",
+    )
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
         self._seq = 0
         self._live = 0
         self._horizon: Optional[int] = None
+        #: Batched-pop telemetry (see :meth:`fire_due`): number of
+        #: multi-event same-timestamp batches, events fired through
+        #: them, and the largest batch seen.  Pure counters -- they
+        #: never influence behaviour.
+        self.batch_pops = 0
+        self.batched_events = 0
+        self.max_batch = 0
 
     def __len__(self) -> int:
         return self._live
@@ -134,17 +144,67 @@ class EventQueue:
         Actions may schedule further events; those fire too if they are
         also due (a timer rearming itself in the past would otherwise
         stall time).
+
+        Completions that share a timestamp (the common case under mass
+        I/O at scale) are swept off the heap as one *batch*: a single
+        run of heap pops and one horizon recompute amortize the
+        per-event queue overhead.  Batching is observably equivalent to
+        one-at-a-time pops: every event scheduled by a batch member's
+        action carries a later time -- or the same time with a higher
+        sequence number -- than every unprocessed member, so it cannot
+        overtake them (the world clamps ``schedule_at`` to the current
+        instant).  The one exception is a cross-clock queue (SMP IPIs
+        land on per-CPU queues at the *source* clock's arrival time,
+        possibly behind this queue's batch); if an action schedules
+        before the batch timestamp, the unprocessed members are pushed
+        back and the sweep restarts, reproducing the one-at-a-time
+        order exactly.  Cancellation by a sibling is honoured at
+        process time: a member cancelled after the sweep already did
+        its live/horizon bookkeeping and is simply skipped.
         """
         horizon = self._horizon
         if horizon != _STALE and (horizon is None or horizon > now):
             return 0
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
         fired = 0
         while True:
-            event = self.pop_due(now)
-            if event is None:
-                return fired
-            event.action()
-            fired += 1
+            self._drop_cancelled()
+            if not heap or heap[0][0] > now:
+                break
+            t0 = heap[0][0]
+            batch: List[Event] = []
+            while heap and heap[0][0] == t0:
+                batch.append(pop(heap)[2])
+            self._horizon = _STALE
+            n = len(batch)
+            if n > 1:
+                self.batch_pops += 1
+                self.batched_events += n
+                if n > self.max_batch:
+                    self.max_batch = n
+            i = 0
+            try:
+                while i < n:
+                    event = batch[i]
+                    i += 1
+                    if event.cancelled:
+                        continue
+                    event.fired = True
+                    self._live -= 1
+                    event.action()
+                    fired += 1
+                    if i < n and heap and heap[0][0] < t0:
+                        # A cross-clock schedule landed before this
+                        # batch; fall back to heap order for the rest.
+                        break
+            finally:
+                if i < n:
+                    for later in batch[i:]:
+                        push(heap, (later.time, later.seq, later))
+        self._horizon = heap[0][0] if heap else None
+        return fired
 
     def _cancelled(self, event: Event) -> None:
         """Bookkeeping for :meth:`Event.cancel` (tombstone stays heaped)."""

@@ -71,13 +71,14 @@ class NetRequest:
     """
 
     reqid: int
-    op: str  # "accept" | "connect" | "recv" | "send" | "select"
+    op: str  # "accept" | "connect" | "recv" | "send" | "select" | "epoll"
     sock: Optional["Socket"]
     requester: Any
     issue_time: int
     nbytes: int = 0
     meta: Optional[Dict[str, Any]] = None
     entries: Optional[List[Tuple[int, "Socket"]]] = None  # select only
+    epoll: Optional["EpollInstance"] = None  # epoll_wait only
     finisher: Optional[Callable[[Any], Any]] = None
     done: bool = False
     cancelled: bool = False
@@ -90,9 +91,26 @@ class Socket:
 
     ``kernel_owned`` marks remote endpoints driven by the load
     generator: they live entirely inside the kernel, consume arriving
-    messages through ``on_rx`` immediately (no buffering), and never
-    issue syscalls -- so simulated clients cost no library threads.
+    messages through their ``owner`` record (or the legacy ``on_rx``
+    callback) immediately -- no buffering, no library thread.
+
+    Memory discipline: at the sf100 scale fixture one run holds a few
+    hundred thousand live sockets, so the class is ``__slots__``-based
+    and its per-role queues are *lazy*.  Kernel-owned endpoints never
+    allocate queues at all; ordinary sockets allocate ``rx``/
+    ``pending_recvs``/``waiting_senders`` on first use, and the
+    listening-side queues appear when ``listen()`` is called.  Every
+    reader treats ``None`` as the empty queue.
     """
+
+    __slots__ = (
+        "sid", "stack", "state", "port", "kernel_owned",
+        "backlog", "claims", "accept_queue", "pending_accepts",
+        "peer", "rx", "rx_bytes", "rx_inflight", "rx_capacity", "rx_eof",
+        "pending_recvs", "waiting_senders", "pending_connect",
+        "selectors", "watchers", "owner",
+        "on_connected", "on_rx", "on_eof",
+    )
 
     def __init__(
         self, stack: "NetStack", rx_capacity: int, kernel_owned: bool = False
@@ -102,24 +120,27 @@ class Socket:
         self.state = "new"  # new | bound | listening | connecting | connected | closed
         self.port: Optional[int] = None
         self.kernel_owned = kernel_owned
-        # Listening side.
+        # Listening side (queues allocated by sys_listen).
         self.backlog = 0
         self.claims = 0  # connections admitted but still in flight
-        self.accept_queue: deque = deque()  # (Socket, enqueued_at_cycles)
-        self.pending_accepts: deque = deque()  # NetRequests
-        # Connected side.
+        self.accept_queue: Optional[deque] = None  # (Socket, enqueued_at)
+        self.pending_accepts: Optional[deque] = None  # NetRequests
+        # Connected side (queues allocated on first use).
         self.peer: Optional["Socket"] = None
-        self.rx: deque = deque()  # Messages
+        self.rx: Optional[deque] = None  # Messages
         self.rx_bytes = 0
         self.rx_inflight = 0  # bytes transmitted but not yet delivered
         self.rx_capacity = rx_capacity
         self.rx_eof = False
-        self.pending_recvs: deque = deque()  # NetRequests
-        self.waiting_senders: deque = deque()  # NetRequests (space in *this* rx)
+        self.pending_recvs: Optional[deque] = None  # NetRequests
+        self.waiting_senders: Optional[deque] = None  # NetRequests
         self.pending_connect: Optional[NetRequest] = None
-        # select/poll watchers.
-        self.selectors: List[NetRequest] = []
-        # Kernel-owned endpoint callbacks.
+        # select/poll watchers and epoll registrations ((epoll, fd)).
+        self.selectors: Optional[List[NetRequest]] = None
+        self.watchers: Optional[List[Tuple["EpollInstance", int]]] = None
+        # Kernel-resident state record (load generator) and the legacy
+        # per-callback hooks for kernel-owned endpoints.
+        self.owner: Optional[Any] = None
         self.on_connected: Optional[Callable[["Socket"], None]] = None
         self.on_rx: Optional[Callable[["Socket", Message], None]] = None
         self.on_eof: Optional[Callable[["Socket"], None]] = None
@@ -133,6 +154,35 @@ class Socket:
     def __repr__(self) -> str:
         return "Socket(#%d, %s, port=%s, rx=%d)" % (
             self.sid, self.state, self.port, self.rx_bytes,
+        )
+
+
+class EpollInstance:
+    """A kernel-resident interest list: select() without the O(n) scan.
+
+    ``interest`` maps fd -> socket for every registration; ``ready`` is
+    an insertion-ordered set (a dict) of descriptors that pushed a
+    readiness *edge* since the owner last consumed them.  Sockets hold
+    back-references in ``Socket.watchers``, so a state change notifies
+    only the epolls actually watching -- O(ready) per wakeup, never
+    O(interest).  Semantics are level-triggered: a descriptor stays in
+    ``ready`` until a wait observes it unreadable (stale entries are
+    dropped at wait time, never probed in between).
+    """
+
+    __slots__ = ("epid", "stack", "interest", "ready", "waiter", "closed")
+
+    def __init__(self, stack: "NetStack") -> None:
+        self.epid = next(stack._epoll_ids)
+        self.stack = stack
+        self.interest: Dict[int, Socket] = {}
+        self.ready: Dict[int, Socket] = {}
+        self.waiter: Optional[NetRequest] = None
+        self.closed = False
+
+    def __repr__(self) -> str:
+        return "EpollInstance(#%d, interest=%d, ready=%d)" % (
+            self.epid, len(self.interest), len(self.ready),
         )
 
 
@@ -180,7 +230,11 @@ class NetStack:
         self.channel = channel
         self._req_ids = itertools.count(1)
         self._sock_ids = itertools.count(1)
+        self._epoll_ids = itertools.count(1)
         self.listeners: Dict[int, Socket] = {}
+        #: Kernel-resident client engine, when a load generator attached
+        #: one (see :class:`ResidentClientEngine`; harvested by obs).
+        self.resident: Optional["ResidentClientEngine"] = None
         # Counters (harvested by the observability layer).
         self.connections_opened = 0
         self.connections_refused = 0
@@ -191,6 +245,14 @@ class NetStack:
         self.backpressure_stalls = 0
         self.select_calls = 0
         self.eof_delivered = 0
+        # Epoll counters (net.epoll.* in the obs report).
+        self.epoll_instances = 0
+        self.epoll_ctl_calls = 0
+        self.epoll_waits = 0
+        self.epoll_wakeups = 0  # parked waiters completed by an edge
+        self.epoll_edges = 0  # readiness edges pushed to interest lists
+        self.epoll_ready_returned = 0  # descriptors reported by waits
+        self.epoll_stale_dropped = 0  # ready entries found unreadable
         # Accept-path measurements (cycles; the scenario layer converts).
         self.accept_waits: List[int] = []
         self.accept_depths: List[int] = []
@@ -214,6 +276,9 @@ class NetStack:
         self._kernel._enter("listen", costs.BIND_WORK)
         sock.backlog = max(1, backlog)
         sock.state = "listening"
+        if sock.accept_queue is None:
+            sock.accept_queue = deque()
+            sock.pending_accepts = deque()
         self.listeners[sock.port] = sock
 
     def sys_accept(self, sock: Socket) -> Optional[Socket]:
@@ -286,6 +351,121 @@ class NetStack:
         self._kernel._enter("net_close", costs.SOCKET_WORK)
         self._close(sock)
 
+    # -- epoll-style interest lists (O(ready) readiness) ---------------------
+
+    def sys_epoll_create(self) -> EpollInstance:
+        self._kernel._enter("epoll_create", costs.EPOLL_WORK)
+        self.epoll_instances += 1
+        return EpollInstance(self)
+
+    def sys_epoll_ctl(
+        self, ep: EpollInstance, op: str, fd: int,
+        sock: Optional[Socket] = None,
+    ) -> bool:
+        """Add or remove one registration; False on a bad op/fd."""
+        self._kernel._enter("epoll_ctl", costs.EPOLL_CTL_WORK)
+        self.epoll_ctl_calls += 1
+        if ep.closed:
+            return False
+        if op == "add":
+            if sock is None or fd in ep.interest:
+                return False
+            ep.interest[fd] = sock
+            if sock.watchers is None:
+                sock.watchers = []
+            sock.watchers.append((ep, fd))
+            if sock.readable():
+                # Level-triggered add: already-buffered data must not
+                # need a fresh edge to surface.
+                self._epoll_mark(ep, fd, sock)
+            return True
+        if op == "del":
+            cur = ep.interest.pop(fd, None)
+            if cur is None:
+                return False
+            ep.ready.pop(fd, None)
+            if cur.watchers is not None:
+                try:
+                    cur.watchers.remove((ep, fd))
+                except ValueError:
+                    pass
+            return True
+        return False
+
+    def sys_epoll_wait(
+        self, ep: EpollInstance, maxevents: Optional[int] = None
+    ) -> Any:
+        """One O(ready) readiness harvest.
+
+        Returns the ready fds, or the string ``"block"`` when nothing
+        is ready (the library then parks via :meth:`wait_epoll`).
+        Entries whose socket went unreadable since their edge (consumed
+        by an earlier wait, or closed) are dropped as stale here --
+        cost is charged only per descriptor actually *reported*, which
+        is the whole point versus select's per-registration probe.
+        """
+        self._kernel._enter("epoll_wait", costs.EPOLL_WAIT_WORK)
+        self.epoll_waits += 1
+        ready_fds: List[int] = []
+        if ep.ready:
+            stale: List[int] = []
+            interest = ep.interest
+            for fd, sock in ep.ready.items():
+                if interest.get(fd) is sock and sock.readable():
+                    ready_fds.append(fd)
+                else:
+                    stale.append(fd)
+            if stale:
+                self.epoll_stale_dropped += len(stale)
+                for fd in stale:
+                    del ep.ready[fd]
+        if not ready_fds:
+            return "block"
+        if maxevents is not None and len(ready_fds) > maxevents:
+            ready_fds = ready_fds[:maxevents]
+        self._world.spend(
+            costs.EPOLL_PER_READY, times=len(ready_fds), fire=False
+        )
+        self.epoll_ready_returned += len(ready_fds)
+        return ready_fds
+
+    def sys_epoll_close(self, ep: EpollInstance) -> None:
+        """Close the interest list: every registration is dropped."""
+        self._kernel._enter("net_close", costs.SOCKET_WORK)
+        ep.closed = True
+        for fd, sock in ep.interest.items():
+            if sock.watchers is not None:
+                try:
+                    sock.watchers.remove((ep, fd))
+                except ValueError:
+                    pass
+        ep.interest.clear()
+        ep.ready.clear()
+        if ep.waiter is not None:
+            # Defensive: a waiter parked by another thread wakes empty.
+            waiter, ep.waiter = ep.waiter, None
+            self._complete(waiter, [])
+
+    def _epoll_mark(self, ep: EpollInstance, fd: int, sock: Socket) -> None:
+        """One readiness edge reaches ``ep``: wake its parked waiter
+        (O(1) -- the edge carries the one newly ready fd) or record the
+        fd in the ready set for the next wait."""
+        waiter = ep.waiter
+        if waiter is not None:
+            ep.waiter = None
+            self.epoll_wakeups += 1
+            self._complete(waiter, [fd])
+            return
+        if fd not in ep.ready:
+            ep.ready[fd] = sock
+
+    def _epoll_edges(self, sock: Socket) -> None:
+        """Push a readiness edge to every epoll watching ``sock``."""
+        for ep, fd in sock.watchers:
+            if ep.interest.get(fd) is sock:
+                self.epoll_edges += 1
+                self._epoll_mark(ep, fd, sock)
+
     # -- would-block registration (no extra syscall; the issue above
     #    already expressed interest, as with FASYNC on a real kernel) ------
 
@@ -316,6 +496,8 @@ class NetStack:
     def wait_recv(self, sock: Socket, requester: Any,
                   finisher: Optional[Callable] = None) -> NetRequest:
         request = self._new_request("recv", sock, requester, finisher)
+        if sock.pending_recvs is None:
+            sock.pending_recvs = deque()
         sock.pending_recvs.append(request)
         return request
 
@@ -326,7 +508,10 @@ class NetStack:
         request = self._new_request(
             "send", sock, requester, finisher, nbytes=nbytes, meta=meta
         )
-        sock.peer.waiting_senders.append(request)
+        peer = sock.peer
+        if peer.waiting_senders is None:
+            peer.waiting_senders = deque()
+        peer.waiting_senders.append(request)
         self.backpressure_stalls += 1
         return request
 
@@ -336,7 +521,16 @@ class NetStack:
             "select", None, requester, None, entries=list(entries)
         )
         for __, sock in entries:
+            if sock.selectors is None:
+                sock.selectors = []
             sock.selectors.append(request)
+        return request
+
+    def wait_epoll(self, ep: EpollInstance, requester: Any) -> NetRequest:
+        """Park an epoll_wait caller on its interest list; the next
+        readiness edge completes it with the one ready fd (O(1))."""
+        request = self._new_request("epoll", None, requester, None, epoll=ep)
+        ep.waiter = request
         return request
 
     def cancel_request(self, request: NetRequest) -> None:
@@ -358,6 +552,10 @@ class NetStack:
                 sock.pending_connect = None
         elif request.op == "select":
             self._deregister_select(request)
+        elif request.op == "epoll":
+            ep = request.epoll
+            if ep is not None and ep.waiter is request:
+                ep.waiter = None
 
     # -- load-generator surface (kernel-resident remote hosts) ---------------
 
@@ -367,15 +565,23 @@ class NetStack:
         on_connected: Optional[Callable] = None,
         on_rx: Optional[Callable] = None,
         on_eof: Optional[Callable] = None,
+        owner: Optional[Any] = None,
     ) -> Optional[Socket]:
         """A remote host connects: no syscall charge (it is not this
-        machine's kernel entering), same admission and latency rules."""
+        machine's kernel entering), same admission and latency rules.
+
+        ``owner`` attaches a kernel-resident state record (an object
+        with ``connected``/``rx``/``eof`` methods, see
+        :class:`ResidentClient`); it takes precedence over the per-
+        callback hooks and costs no closure per event.
+        """
         listener = self.listeners.get(port)
         if listener is None or not self._admit_connection(listener):
             self.connections_refused += 1
             return None
         listener.claims += 1
         client = Socket(self, self.rx_capacity, kernel_owned=True)
+        client.owner = owner
         client.on_connected = on_connected
         client.on_rx = on_rx
         client.on_eof = on_eof
@@ -446,8 +652,12 @@ class NetStack:
             self._complete(request, conn)
         else:
             self._notify_selectors(listener)
+            if listener.watchers:
+                self._epoll_edges(listener)
         # Tell the connecting side.
-        if client.pending_connect is not None:
+        if client.owner is not None:
+            client.owner.connected(client)
+        elif client.pending_connect is not None:
             request, client.pending_connect = client.pending_connect, None
             self._complete(request, client)
         elif client.on_connected is not None:
@@ -491,7 +701,10 @@ class NetStack:
         self.messages_delivered += 1
         self.bytes_delivered += msg.nbytes
         if dst.kernel_owned:
-            if dst.on_rx is not None:
+            owner = dst.owner
+            if owner is not None:
+                owner.rx(dst, msg)
+            elif dst.on_rx is not None:
                 dst.on_rx(dst, msg)
             return
         if dst.pending_recvs:
@@ -503,9 +716,13 @@ class NetStack:
             self._complete(request, msg)
             self._drain_senders(dst)
             return
+        if dst.rx is None:
+            dst.rx = deque()
         dst.rx.append(msg)
         dst.rx_bytes += msg.nbytes
         self._notify_selectors(dst)
+        if dst.watchers:
+            self._epoll_edges(dst)
 
     def _drain_senders(self, sock: Socket) -> None:
         """Receive-buffer space freed: resume backpressured senders."""
@@ -524,6 +741,17 @@ class NetStack:
         sock.state = "closed"
         if was_listening and self.listeners.get(sock.port) is sock:
             del self.listeners[sock.port]
+        # Purge readiness state *now*, before the fd is recycled: a
+        # stale interest-list or selector entry matching a reused fd
+        # would wake a dispatcher for the wrong socket.
+        if sock.watchers:
+            for ep, fd in sock.watchers:
+                if ep.interest.get(fd) is sock:
+                    del ep.interest[fd]
+                    ep.ready.pop(fd, None)
+            del sock.watchers[:]
+        if sock.selectors:
+            del sock.selectors[:]
         peer = sock.peer
         if peer is not None and peer.state not in ("closed",):
             self._world.schedule_in(
@@ -539,7 +767,10 @@ class NetStack:
         sock.rx_eof = True
         self.eof_delivered += 1
         if sock.kernel_owned:
-            if sock.on_eof is not None:
+            owner = sock.owner
+            if owner is not None:
+                owner.eof(sock)
+            elif sock.on_eof is not None:
                 sock.on_eof(sock)
             return
         # Buffered data drains first; EOF only wakes an *empty* socket.
@@ -547,6 +778,8 @@ class NetStack:
             while sock.pending_recvs:
                 self._complete(sock.pending_recvs.popleft(), EOF)
         self._notify_selectors(sock)
+        if sock.watchers:
+            self._epoll_edges(sock)
 
     # -- completion (both of the paper's paths) ------------------------------
 
@@ -583,7 +816,7 @@ class NetStack:
 
     def _deregister_select(self, request: NetRequest) -> None:
         for __, sock in request.entries:
-            if request in sock.selectors:
+            if sock.selectors and request in sock.selectors:
                 sock.selectors.remove(request)
 
     def __repr__(self) -> str:
@@ -594,7 +827,152 @@ class NetStack:
         )
 
 
-def _discard(queue: deque, request: NetRequest) -> None:
+class ResidentClient:
+    """One kernel-resident simulated client: an O(1) state record.
+
+    The paper's thesis applied to the load generator: a client needs
+    no thread, no generator, no stack -- just kernel state advanced by
+    event-horizon entries.  The record *is* the socket's owner; the
+    kernel calls its ``connected``/``rx``/``eof`` methods directly from
+    link events, and the only other entries it touches are its
+    pre-scheduled arrival and its think-time wakeups.
+
+    Lifecycle (the states are implicit in ``sock``/``sent``):
+
+    ``CONNECT``(arrive) -> ``SEND`` -> ``AWAIT_REPLY``(rx) ->
+    ``THINK``(timer) -> ``SEND`` ... -> ``CLOSE`` after
+    ``requests_per_client`` replies.
+    """
+
+    __slots__ = ("engine", "cid", "sock", "sent")
+
+    def __init__(self, engine: "ResidentClientEngine", cid: int) -> None:
+        self.engine = engine
+        self.cid = cid
+        self.sock: Optional[Socket] = None
+        self.sent = 0
+
+    # -- CONNECT: the pre-scheduled arrival event ------------------------
+
+    def arrive(self) -> None:
+        eng = self.engine
+        sock = eng.stack.remote_connect(eng.port, owner=self)
+        if sock is None:
+            eng.refused += 1
+            collector = eng.collector
+            if collector is not None:
+                collector.refused += 1
+            return
+        self.sock = sock
+        eng.active += 1
+        if eng.active > eng.peak_active:
+            eng.peak_active = eng.active
+
+    # -- SEND ------------------------------------------------------------
+
+    def send(self) -> None:
+        eng = self.engine
+        meta = {
+            "t0": eng.world.now_us,
+            "cid": self.cid,
+            "rid": self.sent,
+        }
+        self.sent += 1
+        eng.requests_sent += 1
+        eng.stack.remote_send(self.sock, eng.req_bytes, meta)
+
+    # -- kernel upcalls (socket owner protocol) --------------------------
+
+    def connected(self, sock: Socket) -> None:
+        self.send()
+
+    def rx(self, sock: Socket, msg: Message) -> None:
+        """AWAIT_REPLY satisfied: sample latency, then THINK or CLOSE."""
+        eng = self.engine
+        eng.replies += 1
+        latency = eng.world.now_us - msg.meta["t0"]
+        eng.latencies_us.append(latency)
+        collector = eng.collector
+        if collector is not None:
+            collector.latencies_us.append(latency)
+        if self.sent >= eng.requests_per_client:
+            eng.stack.remote_close(self.sock)
+            eng.completed += 1
+            eng.active -= 1
+            return
+        eng.world.schedule_in(
+            eng.think_cycles, self.send, name="client-%d-think" % self.cid
+        )
+
+    def eof(self, sock: Socket) -> None:
+        """Server closed first: the record simply goes quiescent."""
+
+
+class ResidentClientEngine:
+    """The shared half of a kernel-resident client fleet.
+
+    Holds everything common to the records (stack, protocol parameters,
+    result counters) so each :class:`ResidentClient` is four slots.
+    The front-end (:class:`repro.net.loadgen.LoadGenerator`) compiles
+    the arrival process into pre-scheduled events whose actions are the
+    records' bound ``arrive`` methods, and reads results back through
+    this object.  Registers itself on ``stack.resident`` so the
+    observability layer can harvest ``loadgen.resident.*`` counters.
+    """
+
+    __slots__ = (
+        "stack", "world", "port", "requests_per_client", "req_bytes",
+        "think_cycles", "collector", "latencies_us", "requests_sent",
+        "replies", "refused", "completed", "spawned", "active",
+        "peak_active",
+    )
+
+    def __init__(
+        self,
+        stack: NetStack,
+        port: int,
+        requests_per_client: int,
+        req_bytes: int,
+        think_us: float,
+        collector: Optional[Any] = None,
+    ) -> None:
+        self.stack = stack
+        self.world = stack._world
+        self.port = port
+        self.requests_per_client = requests_per_client
+        self.req_bytes = req_bytes
+        self.think_cycles = max(1, self.world.cycles_for_us(think_us))
+        self.collector = collector
+        self.latencies_us: List[float] = []
+        self.requests_sent = 0
+        self.replies = 0
+        self.refused = 0
+        self.completed = 0  # clients that finished all requests + closed
+        self.spawned = 0
+        self.active = 0  # arrived (admitted) and not yet closed
+        self.peak_active = 0
+        stack.resident = self
+
+    def client(self, cid: int) -> ResidentClient:
+        self.spawned += 1
+        return ResidentClient(self, cid)
+
+    def counters(self) -> Dict[str, int]:
+        """Harvested as ``loadgen.resident.*`` by the obs layer."""
+        return {
+            "loadgen.resident.spawned": self.spawned,
+            "loadgen.resident.active": self.active,
+            "loadgen.resident.peak_active": self.peak_active,
+            "loadgen.resident.completed": self.completed,
+            "loadgen.resident.refused": self.refused,
+            "loadgen.resident.requests_sent": self.requests_sent,
+            "loadgen.resident.replies": self.replies,
+        }
+
+
+def _discard(queue: Optional[deque], request: NetRequest) -> None:
+    if queue is None:
+        return
     try:
         queue.remove(request)
     except ValueError:

@@ -70,11 +70,12 @@ def test_net_migration_values(history):
         legacy = json.load(fh)
     cold = len(legacy["results"])
     warm = len(legacy["cache_on_results"])
+    sf = len(legacy.get("sf_results", []))
     oracles = [r for r in result.records if r.metric == "elapsed_us"]
-    assert len(oracles) == cold + warm
+    assert len(oracles) == cold + warm + sf
     assert all(r.direction == "exact" for r in oracles)
     sweeps = {r.params["sweep"] for r in oracles}
-    assert sweeps == {"cold", "warm"}
+    assert sweeps == ({"cold", "warm", "sf"} if sf else {"cold", "warm"})
     row = legacy["results"][0]
     match = [
         r for r in oracles

@@ -41,6 +41,45 @@ def test_harvest_exposes_net_counters():
     assert snap["net.select_calls"] >= 0
 
 
+def test_harvest_exposes_resident_client_counters():
+    report, snap = _observed_scenario()
+    assert snap["loadgen.resident.spawned"] == 5
+    assert snap["loadgen.resident.completed"] == 5
+    assert snap["loadgen.resident.active"] == 0  # all closed at exit
+    assert snap["loadgen.resident.peak_active"] == report.peak_clients > 0
+    assert snap["loadgen.resident.replies"] == report.replies
+    assert snap["loadgen.resident.refused"] == report.refused
+
+
+def test_harvest_exposes_epoll_counters():
+    # The pool arch never touches epoll: present, all zero.
+    __, snap = _observed_scenario()
+    assert snap["net.epoll.instances"] == 0
+    assert snap["net.epoll.waits"] == 0
+    # The epoll arch drives every family of counter.
+    obs = Observability()
+    report = run_scenario(
+        arch="epoll", clients=5, requests_per_client=2, seed=9,
+        arrival="uniform", mean_gap_us=70.0, think_us=50.0,
+        service_cycles=250, latency_us=40.0, obs=obs,
+    )
+    snap = obs.registry.snapshot()
+    assert snap["net.epoll.instances"] == 1
+    assert snap["net.epoll.waits"] == report.epoll_waits > 0
+    assert snap["net.epoll.wakeups"] == report.epoll_wakeups
+    assert snap["net.epoll.ctl_calls"] == report.epoll_ctl_calls >= 6
+    assert snap["net.epoll.ready_returned"] == report.epoll_ready_returned
+    assert snap["net.epoll.stale_dropped"] == report.epoll_stale_dropped
+    assert snap["net.epoll.edges"] > 0
+
+
+def test_harvest_exposes_event_batch_counters():
+    __, snap = _observed_scenario()
+    assert "exec.events.batch_pops" in snap
+    assert "exec.events.batched_events" in snap
+    assert snap["exec.events.max_batch"] >= 0
+
+
 def test_harvest_exposes_pool_counters():
     __, snap = _observed_scenario()
     # The acceptor plus two workers all came from the cache, and every
